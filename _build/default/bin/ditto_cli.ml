@@ -1,0 +1,177 @@
+(* Command-line driver for the Ditto reproduction.
+
+     ditto-cli run <app> [--qps N] [--platform A|B|C]
+         run an original model service and print its metrics
+     ditto-cli clone <app> [--qps N] [--no-tune] [--save FILE]
+         profile, generate and fine-tune a clone; print profile + validation
+     ditto-cli synth <profile.json> [--qps N] [--platform A|B|C]
+         regenerate a clone from a shared profile file and run it
+     ditto-cli export-trace <app> <out.trace>
+         export a clone's memory trace in Ramulator format
+     ditto-cli stages <app> [--qps N]
+         the Fig. 9 decomposition (stages A..H + tuned clone)
+     ditto-cli list
+         list available model applications *)
+
+module Pipeline = Ditto_core.Pipeline
+module Registry = Ditto_apps.Registry
+module Platform = Ditto_uarch.Platform
+open Ditto_app
+
+let load_for name qps duration =
+  let entry = Registry.by_name name in
+  let _, med, _ = entry.Registry.loads in
+  let qps = match qps with Some q -> q | None -> med in
+  (entry, Ditto_loadgen.Workload.to_load entry.Registry.workload ~qps ~duration ())
+
+let print_tiers out =
+  Ditto_util.Table.print ~title:"per-tier metrics" ~header:Metrics.header
+    (List.map (fun (_, m) -> Metrics.pp_row m) out.Runner.per_tier);
+  let s = out.Runner.end_to_end in
+  Printf.printf "end-to-end: avg=%.3fms p95=%.3fms p99=%.3fms n=%d\n"
+    (1e3 *. s.Ditto_util.Stats.mean) (1e3 *. s.Ditto_util.Stats.p95)
+    (1e3 *. s.Ditto_util.Stats.p99) s.Ditto_util.Stats.count
+
+let run_app name qps platform =
+  let entry, load = load_for name qps 1.0 in
+  let plat = Platform.by_name platform in
+  let t0 = Unix.gettimeofday () in
+  let out = Runner.run (Runner.config plat) ~load (entry.Registry.spec ()) in
+  print_tiers out;
+  Printf.printf "(wall %.1fs)\n" (Unix.gettimeofday () -. t0)
+
+let clone_app name qps no_tune save =
+  let entry, load = load_for name qps 0.8 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pipeline.clone ~tune:(not no_tune) ~platform:Platform.a ~load (entry.Registry.spec ())
+  in
+  Printf.printf "cloned %s in %.1fs\n\n" name (Unix.gettimeofday () -. t0);
+  (match save with
+  | Some path ->
+      Ditto_profile.Profile_io.save path result.Pipeline.profile;
+      Printf.printf "profile written to %s\n" path
+  | None -> ());
+  (match result.Pipeline.dag with
+  | Some dag -> Format.printf "RPC dependency graph:@.%a@." Ditto_trace.Dag.pp dag
+  | None -> ());
+  List.iter
+    (fun tp -> Format.printf "%a@." Ditto_profile.Tier_profile.pp tp)
+    result.Pipeline.profile.Ditto_profile.Tier_profile.tiers;
+  let c = Pipeline.validate ~platform:Platform.a ~load ~label:"validate" result in
+  List.iter
+    (fun (tier, errs) ->
+      Printf.printf "%s errors: %s\n" tier
+        (String.concat "  " (List.map (fun (a, e) -> Printf.sprintf "%s=%.1f%%" a e) errs)))
+    (Pipeline.comparison_errors c)
+
+let stages_app name qps =
+  let entry, load = load_for name qps 0.8 in
+  let result = Pipeline.clone ~platform:Platform.a ~load (entry.Registry.spec ()) in
+  let cfg = Runner.config Platform.a in
+  let tier0 = (List.hd result.Pipeline.original.Spec.tiers).Spec.tier_name in
+  let row label spec =
+    let out = Runner.run cfg ~load spec in
+    let m = Runner.tier_metrics out tier0 in
+    [ label;
+      Printf.sprintf "%.3f" m.Metrics.ipc;
+      Printf.sprintf "%.3f" (1e3 *. m.Metrics.lat_p99) ]
+  in
+  let rows =
+    row "original" result.Pipeline.original
+    :: List.map
+         (fun stage ->
+           row
+             (Printf.sprintf "stage %c" stage)
+             (Ditto_gen.Clone.synth_app
+                ~features:(Ditto_gen.Body_gen.stage stage)
+                result.Pipeline.profile))
+         [ 'A'; 'B'; 'C'; 'D'; 'E'; 'F'; 'G'; 'H' ]
+    @ [ row "tuned" result.Pipeline.synthetic ]
+  in
+  Ditto_util.Table.print ~title:"Fig. 9-style decomposition"
+    ~header:[ "stage"; "IPC"; "p99 ms" ]
+    rows
+
+let synth_profile path qps platform =
+  let profile = Ditto_profile.Profile_io.load path in
+  let clone = Ditto_gen.Clone.synth_app profile in
+  Printf.printf "regenerated %s (%d tiers) from %s\n" clone.Spec.app_name
+    (List.length clone.Spec.tiers) path;
+  let qps = Option.value ~default:1000.0 qps in
+  let load = Service.load ~qps ~duration:1.0 () in
+  let out = Runner.run (Runner.config (Platform.by_name platform)) ~load clone in
+  print_tiers out
+
+let export_trace name out_path =
+  let entry, _ = load_for name None 0.5 in
+  let app = entry.Registry.spec () in
+  let load = Service.load ~qps:1000.0 ~duration:0.4 () in
+  let result = Pipeline.clone ~tune:false ~platform:Platform.a ~load app in
+  let tier = List.hd result.Pipeline.synthetic.Spec.tiers in
+  let n = Ditto_gen.Trace_export.save ~path:out_path ~tier ~requests:50 ~seed:1 () in
+  Printf.printf "wrote %d accesses to %s\n" n out_path
+
+let list_apps () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let low, med, high = e.Registry.loads in
+      Printf.printf "%-16s %-10s loads: %.0f / %.0f / %.0f qps; focus: %s\n" e.Registry.name
+        e.Registry.workload.Ditto_loadgen.Workload.gen_name low med high
+        (String.concat ", " e.Registry.focus_tiers))
+    Registry.all
+
+open Cmdliner
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application name")
+
+let qps_arg = Arg.(value & opt (some float) None & info [ "qps" ] ~doc:"Offered load (QPS)")
+
+let platform_arg =
+  Arg.(value & opt string "A" & info [ "platform" ] ~doc:"Platform (A, B or C)")
+
+let no_tune_arg = Arg.(value & flag & info [ "no-tune" ] ~doc:"Skip fine tuning")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Write the profile to FILE")
+
+let path_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Profile file")
+
+let out_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output trace file")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an original model service and print metrics")
+    Term.(const run_app $ app_arg $ qps_arg $ platform_arg)
+
+let clone_cmd =
+  Cmd.v
+    (Cmd.info "clone" ~doc:"Clone a service and validate the clone")
+    Term.(const clone_app $ app_arg $ qps_arg $ no_tune_arg $ save_arg)
+
+let synth_cmd =
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Regenerate and run a clone from a shared profile file")
+    Term.(const synth_profile $ path_arg $ qps_arg $ platform_arg)
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export-trace" ~doc:"Export a clone's memory trace (Ramulator format)")
+    Term.(const export_trace $ app_arg $ out_arg)
+
+let stages_cmd =
+  Cmd.v
+    (Cmd.info "stages" ~doc:"Fig. 9-style accuracy decomposition")
+    Term.(const stages_app $ app_arg $ qps_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List model applications") Term.(const list_apps $ const ())
+
+let () =
+  let info = Cmd.info "ditto-cli" ~doc:"Ditto (ASPLOS'23) reproduction CLI" in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Ditto_app Ditto_apps Ditto_core Ditto_uarch Ditto_util List Printf Runner Service

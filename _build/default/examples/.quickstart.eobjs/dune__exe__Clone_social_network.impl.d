@@ -1,0 +1,1 @@
+examples/clone_social_network.ml: Ditto_app Ditto_apps Ditto_core Ditto_trace Ditto_uarch Ditto_util Format List Printf Service Spec

@@ -1,0 +1,1 @@
+examples/clone_social_network.mli:

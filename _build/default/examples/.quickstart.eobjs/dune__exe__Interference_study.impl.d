@@ -1,0 +1,1 @@
+examples/interference_study.ml: Ditto_app Ditto_apps Ditto_core Ditto_uarch Ditto_util List Metrics Printf Runner Service

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ditto_app Ditto_apps Ditto_core Ditto_gen Ditto_profile Ditto_tune Ditto_uarch Ditto_util Format List Metrics Printf Service Spec

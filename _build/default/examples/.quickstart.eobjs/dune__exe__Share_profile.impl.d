@@ -1,0 +1,1 @@
+examples/share_profile.ml: Ditto_app Ditto_apps Ditto_core Ditto_gen Ditto_profile Ditto_uarch Ditto_util Filename List Metrics Printf Runner Service Spec Unix

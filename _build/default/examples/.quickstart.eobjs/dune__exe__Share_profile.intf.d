@@ -1,0 +1,1 @@
+examples/share_profile.mli:

@@ -1,0 +1,55 @@
+(* Interference sensitivity study on a clone (the Fig. 10 use case):
+   does the clone react to cache/network antagonists the way the original
+   does, even though it was profiled in isolation?
+
+     dune exec examples/interference_study.exe *)
+
+open Ditto_app
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+
+let () =
+  let original = Ditto_apps.Nginx.spec () in
+  let load = Service.load ~qps:25_000.0 ~connections:48 ~duration:0.6 () in
+  Printf.printf "Cloning nginx for an interference study ...\n%!";
+  let result = Pipeline.clone ~platform:Platform.a ~load original in
+
+  let scenarios =
+    [
+      ("isolated", fun p -> Runner.config p);
+      ( "HT sibling",
+        fun p ->
+          Runner.config ~stressor:Ditto_apps.Stressors.cpu_spin ~stressor_placement:`Same_core
+            ~smt_pressure:0.55 p );
+      ( "L2 thrash",
+        fun p ->
+          Runner.config ~stressor:Ditto_apps.Stressors.l2 ~stressor_placement:`Same_core
+            ~smt_pressure:0.8 p );
+      ( "LLC stream",
+        fun p ->
+          Runner.config ~stressor:Ditto_apps.Stressors.llc ~stressor_placement:`Other_core p );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, config_of) ->
+        let c = Pipeline.validate ~config_of ~platform:Platform.a ~load ~label result in
+        let row who (m : Metrics.t) =
+          [
+            Printf.sprintf "%s/%s" label who;
+            Printf.sprintf "%.3f" m.Metrics.ipc;
+            Printf.sprintf "%.2f%%" (100. *. m.Metrics.l2_miss_rate);
+            Printf.sprintf "%.2f%%" (100. *. m.Metrics.llc_miss_rate);
+            Printf.sprintf "%.3f" (1e3 *. m.Metrics.lat_p99);
+          ]
+        in
+        [
+          row "actual" (List.assoc "nginx" c.Pipeline.actual);
+          row "clone" (List.assoc "nginx" c.Pipeline.synthetic);
+        ])
+      scenarios
+  in
+  Ditto_util.Table.print
+    ~title:"nginx under antagonists: the clone moves with the original"
+    ~header:[ "scenario"; "IPC"; "L2 miss"; "LLC miss"; "p99 ms" ]
+    rows

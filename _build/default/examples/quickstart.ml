@@ -1,0 +1,56 @@
+(* Quickstart: clone a service end to end and validate the clone.
+
+     dune exec examples/quickstart.exe
+
+   This walks the whole Ditto pipeline on the Redis model service:
+   1. run the original at medium load (profiling run),
+   2. profile skeleton + body, generate a synthetic clone, fine-tune it,
+   3. run original and clone side by side and compare their metrics. *)
+
+open Ditto_app
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+
+let () =
+  (* The original service. Any Spec.t works here — the pipeline only sees
+     its runtime behaviour, never its definition. *)
+  let original = Ditto_apps.Redis.spec () in
+
+  (* Profile at medium load (the paper profiles one load and validates on
+     all others). YCSB drives Redis closed-loop. *)
+  let load = Service.load ~qps:35_000.0 ~open_loop:false ~duration:1.0 () in
+
+  Printf.printf "Cloning %s ...\n%!" original.Spec.app_name;
+  let result = Pipeline.clone ~platform:Platform.a ~load original in
+
+  (match result.Pipeline.tuning with
+  | Some report ->
+      Printf.printf "fine tuning: %d iterations, converged=%b\n"
+        (List.length report.Ditto_tune.Tuner.iterations)
+        report.Ditto_tune.Tuner.converged;
+      List.iter
+        (fun (tier, params) ->
+          Format.printf "  %s knobs: %a@." tier Ditto_gen.Params.pp params)
+        report.Ditto_tune.Tuner.final_params
+  | None -> ());
+
+  (* Print the shareable profile — the only artefact that would leave the
+     original owner's hands. *)
+  List.iter
+    (fun tp -> Format.printf "%a@." Ditto_profile.Tier_profile.pp tp)
+    result.Pipeline.profile.Ditto_profile.Tier_profile.tiers;
+
+  (* Validate: fresh identical environments for original and clone. *)
+  let c = Pipeline.validate ~platform:Platform.a ~load ~label:"medium" result in
+  let actual = List.assoc "redis" c.Pipeline.actual in
+  let synth = List.assoc "redis" c.Pipeline.synthetic in
+  Ditto_util.Table.print ~title:"original vs clone (medium load, platform A)"
+    ~header:Metrics.header
+    [
+      "actual" :: List.tl (Metrics.pp_row actual);
+      "synthetic" :: List.tl (Metrics.pp_row synth);
+    ];
+  Printf.printf "\nper-metric errors:\n";
+  List.iter
+    (fun (axis, e) -> Printf.printf "  %-8s %5.1f%%\n" axis e)
+    (Metrics.error_pct ~actual ~synthetic:synth)

@@ -1,0 +1,59 @@
+(* The sharing workflow the paper is built around (§4.1, §7.2): a provider
+   profiles a production service and ships ONLY the profile file; a vendor
+   or researcher regenerates and runs the synthetic clone from that file,
+   never seeing code, data, or addresses of the original.
+
+     dune exec examples/share_profile.exe
+
+   The two halves below would normally run in different organisations. *)
+
+open Ditto_app
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+
+let profile_path = Filename.temp_file "mongodb" ".ditto.json"
+
+(* --- Provider side: profile and export ------------------------------- *)
+
+let provider () =
+  let original = Ditto_apps.Mongodb.spec () in
+  let load = Service.load ~qps:900.0 ~open_loop:false ~duration:0.8 () in
+  let result = Pipeline.clone ~platform:Platform.a ~load original in
+  Ditto_profile.Profile_io.save profile_path result.Pipeline.profile;
+  Printf.printf "provider: wrote %s (%d bytes)\n%!" profile_path
+    (Unix.stat profile_path).Unix.st_size;
+  (* what the provider can check before shipping: the file holds only
+     distributions (counts, histograms, rates) — grep it yourself. *)
+  result
+
+(* --- Consumer side: import and regenerate ---------------------------- *)
+
+let consumer () =
+  let profile = Ditto_profile.Profile_io.load profile_path in
+  let clone = Ditto_gen.Clone.synth_app profile in
+  Printf.printf "consumer: regenerated %s with %d tier(s)\n%!" clone.Spec.app_name
+    (List.length clone.Spec.tiers);
+  (* Run the clone on whatever platform the consumer cares about. *)
+  let load = Service.load ~qps:900.0 ~open_loop:false ~duration:0.8 () in
+  let out = Runner.run (Runner.config Platform.b) ~load clone in
+  Ditto_util.Table.print ~title:"clone on consumer hardware (platform B)"
+    ~header:Metrics.header
+    (List.map (fun (_, m) -> Metrics.pp_row m) out.Runner.per_tier);
+  (* Or export its memory trace for a trace-driven simulator (Ramulator). *)
+  let trace_path = Filename.temp_file "mongodb" ".trace" in
+  let n =
+    Ditto_gen.Trace_export.save ~path:trace_path
+      ~tier:(List.hd clone.Spec.tiers)
+      ~requests:20 ~seed:3 ~max_accesses:50_000 ()
+  in
+  Printf.printf "consumer: exported %d memory accesses to %s\n" n trace_path
+
+let () =
+  let provider_result = provider () in
+  consumer ();
+  (* Sanity: the round-tripped profile regenerates the same clone. *)
+  let reloaded = Ditto_profile.Profile_io.load profile_path in
+  let a = Ditto_gen.Clone.synth_app provider_result.Pipeline.profile in
+  let b = Ditto_gen.Clone.synth_app reloaded in
+  Printf.printf "round-trip: tier counts %d = %d\n"
+    (List.length a.Spec.tiers) (List.length b.Spec.tiers)

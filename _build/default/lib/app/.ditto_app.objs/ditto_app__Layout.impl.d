@@ -1,0 +1,1 @@
+lib/app/layout.ml: Ditto_isa

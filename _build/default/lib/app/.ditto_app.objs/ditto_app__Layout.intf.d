@@ -1,0 +1,1 @@
+lib/app/layout.mli: Ditto_isa

@@ -1,0 +1,1 @@
+lib/app/machine.ml: Array Ditto_net Ditto_os Ditto_sim Ditto_storage Ditto_uarch

@@ -1,0 +1,1 @@
+lib/app/measure.ml: Array Core_model Counters Ditto_isa Ditto_os Ditto_uarch Ditto_util Float Hashtbl Layout List Machine Memory Page_cache Spec Syscall

@@ -1,0 +1,1 @@
+lib/app/measure.mli: Ditto_uarch Ditto_util Layout Machine Spec

@@ -1,0 +1,1 @@
+lib/app/metrics.ml: Counters Ditto_uarch Float List Printf

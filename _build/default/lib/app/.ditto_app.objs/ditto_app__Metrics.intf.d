@@ -1,0 +1,1 @@
+lib/app/metrics.mli: Ditto_uarch

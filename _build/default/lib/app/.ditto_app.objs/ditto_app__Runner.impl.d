@@ -1,0 +1,1 @@
+lib/app/runner.ml: Counters Ditto_sim Ditto_uarch Ditto_util Float Layout List Machine Measure Metrics Platform Printf Service Spec

@@ -1,0 +1,1 @@
+lib/app/runner.mli: Ditto_uarch Ditto_util Measure Metrics Service Spec

@@ -1,0 +1,1 @@
+lib/app/service.ml: Array Ditto_net Ditto_os Ditto_sim Ditto_storage Ditto_util Engine Float Hashtbl List Machine Measure Nic Printf Queue Socket Spec

@@ -1,0 +1,1 @@
+lib/app/service.mli: Ditto_sim Ditto_util Machine Measure Spec

@@ -1,0 +1,1 @@
+lib/app/spec.ml: Ditto_isa Ditto_os Ditto_util List Printf

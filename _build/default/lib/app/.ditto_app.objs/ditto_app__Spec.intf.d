@@ -1,0 +1,1 @@
+lib/app/spec.mli: Ditto_isa Ditto_os Ditto_util

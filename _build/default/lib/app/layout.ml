@@ -1,0 +1,32 @@
+type space = {
+  tier_index : int;
+  code_base : int;
+  heap : Ditto_isa.Block.region;
+  shared : Ditto_isa.Block.region;
+}
+
+let max_tiers = 48
+let code_region_base = 0x1000_0000
+let code_stride = 0x0100_0000 (* 16MB of text per tier *)
+let heap_region_base = 0x8000_0000
+let heap_stride = 0x2000_0000 (* 512MB window per tier *)
+
+let space ~tier_index ~heap_bytes ~shared_bytes =
+  assert (tier_index >= 0 && tier_index < max_tiers);
+  let heap_base = heap_region_base + (tier_index * heap_stride) in
+  let shared_base = heap_base + (heap_stride / 2) in
+  {
+    tier_index;
+    code_base = code_region_base + (tier_index * code_stride);
+    heap = Ditto_isa.Block.make_region ~base:heap_base ~bytes:heap_bytes ~shared:false;
+    shared =
+      Ditto_isa.Block.make_region ~base:shared_base ~bytes:(max 64 shared_bytes) ~shared:true;
+  }
+
+let code_window t ~index = t.code_base + (index * 4096)
+
+let sub_heap t ~offset ~bytes =
+  assert (offset + bytes <= t.heap.Ditto_isa.Block.region_bytes);
+  Ditto_isa.Block.make_region
+    ~base:(t.heap.Ditto_isa.Block.region_base + offset)
+    ~bytes ~shared:false

@@ -1,0 +1,24 @@
+(** Virtual address-space layout for simulated tiers.
+
+    Each tier gets disjoint code, heap, and shared-data windows so that
+    colocated tiers interfere only through the shared cache levels, exactly
+    as separate processes would. Kernel windows are owned by
+    {!Ditto_os.Syscall.Kernel}. *)
+
+type space = {
+  tier_index : int;
+  code_base : int;  (** base of the tier's text segment *)
+  heap : Ditto_isa.Block.region;  (** private data *)
+  shared : Ditto_isa.Block.region;  (** thread-shared data (coherence) *)
+}
+
+val space : tier_index:int -> heap_bytes:int -> shared_bytes:int -> space
+
+val code_window : space -> index:int -> int
+(** Address for the [index]-th 4KB code window inside the tier's text
+    segment (distinct handler functions / synthetic blocks). *)
+
+val sub_heap : space -> offset:int -> bytes:int -> Ditto_isa.Block.region
+(** A private sub-region of the heap (e.g. a hash-table vs a value arena). *)
+
+val max_tiers : int

@@ -1,0 +1,36 @@
+type t = {
+  engine : Ditto_sim.Engine.t;
+  platform : Ditto_uarch.Platform.t;
+  mem : Ditto_uarch.Memory.t;
+  cores : Ditto_uarch.Core_model.t array;
+  sched : Ditto_os.Sched.t;
+  nic : Ditto_net.Nic.t;
+  loopback : Ditto_net.Nic.t;
+  disk : Ditto_storage.Disk.t;
+  page_cache : Ditto_os.Page_cache.t;
+}
+
+let create ?page_cache_bytes ?cores engine (platform : Ditto_uarch.Platform.t) =
+  let ncores = match cores with Some n -> n | None -> platform.Ditto_uarch.Platform.cores in
+  let mem = Ditto_uarch.Memory.create platform ~ncores in
+  let page_cache_bytes =
+    match page_cache_bytes with
+    | Some b -> b
+    | None -> platform.Ditto_uarch.Platform.ram_gb * 1024 * 1024 * 1024 / 4
+  in
+  {
+    engine;
+    platform;
+    mem;
+    cores = Array.init ncores (fun core -> Ditto_uarch.Core_model.create mem ~core);
+    sched = Ditto_os.Sched.create engine ~ncores ();
+    nic = Ditto_net.Nic.create engine ~gbps:platform.Ditto_uarch.Platform.net_gbps;
+    loopback = Ditto_net.Nic.create engine ~gbps:400.0;
+    disk = Ditto_storage.Disk.create engine platform.Ditto_uarch.Platform.disk;
+    page_cache = Ditto_os.Page_cache.create ~capacity_bytes:page_cache_bytes;
+  }
+
+let ncores t = Array.length t.cores
+
+let cycles_to_seconds t cycles =
+  cycles /. (t.platform.Ditto_uarch.Platform.freq_ghz *. 1e9)

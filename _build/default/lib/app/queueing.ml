@@ -1,0 +1,84 @@
+type t = {
+  servers : int;
+  mean : float;
+  scv : float;
+  samples_sorted : float array;
+}
+
+let of_samples ~servers samples =
+  if Array.length samples = 0 then invalid_arg "Queueing.of_samples: empty";
+  let n = float_of_int (Array.length samples) in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  let scv = if mean > 0.0 then var /. (mean *. mean) else 0.0 in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  { servers = max 1 servers; mean; scv; samples_sorted = sorted }
+
+let of_measure ~servers (r : Measure.tier_result) =
+  of_samples ~servers (Array.map Measure.trace_cpu_seconds r.Measure.traces)
+
+let service_mean t = t.mean
+let service_scv t = t.scv
+let utilization t ~qps = qps *. t.mean /. float_of_int t.servers
+let capacity t = float_of_int t.servers /. t.mean
+
+(* Erlang-C probability that an arrival waits, for M/M/c. *)
+let erlang_c ~servers ~rho =
+  let c = float_of_int servers in
+  let a = rho *. c in
+  let rec term k acc fact =
+    if k > servers - 1 then (acc, fact)
+    else begin
+      let fact = if k = 0 then 1.0 else fact *. (a /. float_of_int k) in
+      term (k + 1) (acc +. fact) fact
+    end
+  in
+  let sum, fact_last = term 0 0.0 1.0 in
+  let fact_c = fact_last *. (a /. c) in
+  let top = fact_c /. (1.0 -. rho) in
+  top /. (sum +. top)
+
+let mean_wait t ~qps =
+  let rho = utilization t ~qps in
+  if rho >= 1.0 then infinity
+  else if rho <= 0.0 then 0.0
+  else begin
+    let pw = erlang_c ~servers:t.servers ~rho in
+    (* Allen–Cunneen: scale the M/M/c wait by (1 + scv)/2 for general
+       service times. *)
+    let mmc_wait = pw *. t.mean /. (float_of_int t.servers *. (1.0 -. rho)) in
+    mmc_wait *. (1.0 +. t.scv) /. 2.0
+  end
+
+let mean_latency t ~qps = mean_wait t ~qps +. t.mean
+
+let percentile_latency t ~qps q =
+  let n = Array.length t.samples_sorted in
+  let rank = int_of_float (Float.round (q /. 100.0 *. float_of_int (n - 1))) in
+  let service_q = t.samples_sorted.(max 0 (min (n - 1) rank)) in
+  let w = mean_wait t ~qps in
+  if w = infinity then infinity
+  else if w <= 0.0 then service_q
+  else begin
+    (* Exponential-tail approximation of the waiting time. *)
+    let p = Float.max 1e-9 (1.0 -. (q /. 100.0)) in
+    service_q +. (w *. -.Float.log p)
+  end
+
+let saturation_qps t ~target_latency =
+  if t.mean > target_latency then 0.0
+  else begin
+    let cap = capacity t in
+    let rec bisect lo hi n =
+      if n = 0 then lo
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if mean_latency t ~qps:mid <= target_latency then bisect mid hi (n - 1)
+        else bisect lo mid (n - 1)
+      end
+    in
+    bisect 0.0 cap 40
+  end

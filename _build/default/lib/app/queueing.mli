@@ -1,0 +1,42 @@
+(** Analytical queueing estimates — a µqsim/BigHouse-style cross-check.
+
+    The paper's related work (§2.2) covers queueing-based estimators that
+    predict high-level metrics without executing instructions. This module
+    implements M/G/c approximations over a measured service-time
+    distribution, used to sanity-check the DES latency results and to give
+    fast what-if answers ("what load saturates k workers?") without a full
+    run. *)
+
+type t
+
+val of_samples : servers:int -> float array -> t
+(** Build a model from per-request service-time samples (seconds) served by
+    [servers] parallel workers. Raises [Invalid_argument] on empty input. *)
+
+val of_measure : servers:int -> Measure.tier_result -> t
+(** Convenience: use the measurement phase's per-request CPU times. *)
+
+val service_mean : t -> float
+val service_scv : t -> float
+(** Squared coefficient of variation of the service time. *)
+
+val utilization : t -> qps:float -> float
+(** Offered utilisation [rho]; >= 1 means unstable. *)
+
+val capacity : t -> float
+(** The arrival rate at which utilisation reaches 1. *)
+
+val mean_wait : t -> qps:float -> float
+(** Mean queueing delay (excluding service) by the Allen–Cunneen M/G/c
+    approximation; [infinity] when unstable. *)
+
+val mean_latency : t -> qps:float -> float
+(** Wait plus mean service. *)
+
+val percentile_latency : t -> qps:float -> float -> float
+(** Approximate latency percentile (0-100): exponential-tail approximation
+    of the waiting distribution added to the service percentile. *)
+
+val saturation_qps : t -> target_latency:float -> float
+(** Largest arrival rate whose mean latency stays at or below the target
+    (bisection; 0 if even an idle system exceeds it). *)

@@ -1,0 +1,154 @@
+open Ditto_uarch
+
+type config = {
+  platform : Platform.t;
+  cluster : bool;
+  requests : int;
+  seed : int;
+  syscall_scale : float;
+  stressor : (Ditto_util.Rng.t -> int -> Spec.op list) option;
+  stressor_placement : [ `Same_core | `Other_core ];
+  smt_pressure : float;
+  net_interference_gbps : float;
+  cores : int option;
+  page_cache_bytes : int option;
+}
+
+let config ?(cluster = false) ?(requests = 220) ?(seed = 42) ?(syscall_scale = 0.25) ?stressor
+    ?(stressor_placement = `Same_core) ?(smt_pressure = 1.0) ?(net_interference_gbps = 0.0)
+    ?cores ?page_cache_bytes platform =
+  {
+    platform;
+    cluster;
+    requests;
+    seed;
+    syscall_scale;
+    stressor;
+    stressor_placement;
+    smt_pressure;
+    net_interference_gbps;
+    cores;
+    page_cache_bytes;
+  }
+
+type output = {
+  app : Spec.t;
+  per_tier : (string * Metrics.t) list;
+  end_to_end : Ditto_util.Stats.summary;
+  service : Service.result;
+  measured : (string * Measure.tier_result) list;
+}
+
+(* Mean per-worker idle gap between requests: drives how much timer/idle
+   kernel housekeeping pollutes the frontend. Clamped: past ~5ms more idle
+   does not add per-request pollution. *)
+let estimate_idle_per_request ~qps ~workers =
+  if qps <= 0.0 then 5e-3
+  else Float.min 5e-3 (float_of_int (max 1 workers) /. qps *. 0.8)
+
+let run cfg ~load (app : Spec.t) =
+  let engine = Ditto_sim.Engine.create () in
+  let tiers = app.Spec.tiers in
+  let page_cache_bytes =
+    match cfg.page_cache_bytes with Some b -> Some b | None -> app.Spec.page_cache_hint
+  in
+  let make_machine () = Machine.create ?page_cache_bytes ?cores:cfg.cores engine cfg.platform in
+  let placements =
+    if cfg.cluster then List.map (fun (t : Spec.tier) -> (t.Spec.tier_name, make_machine ())) tiers
+    else begin
+      let m = make_machine () in
+      List.map (fun (t : Spec.tier) -> (t.Spec.tier_name, m)) tiers
+    end
+  in
+  let placement name = List.assoc name placements in
+  let spaces =
+    List.mapi
+      (fun i (t : Spec.tier) ->
+        ( t.Spec.tier_name,
+          Layout.space ~tier_index:i ~heap_bytes:t.Spec.heap_bytes
+            ~shared_bytes:t.Spec.shared_bytes ))
+      tiers
+  in
+  (* Group tiers by machine for the measurement phase. *)
+  let machines =
+    List.fold_left
+      (fun acc (_, m) -> if List.exists (fun m' -> m' == m) acc then acc else acc @ [ m ])
+      [] placements
+  in
+  let avg_workers =
+    let total =
+      List.fold_left (fun a (t : Spec.tier) -> a + t.Spec.thread_model.Spec.workers) 0 tiers
+    in
+    max 1 (total / List.length tiers)
+  in
+  let mcfg =
+    {
+      Measure.default_config with
+      Measure.syscall_scale = cfg.syscall_scale;
+      idle_per_request = estimate_idle_per_request ~qps:load.Service.qps ~workers:avg_workers;
+      stressor = cfg.stressor;
+      stressor_placement = cfg.stressor_placement;
+      smt_pressure = cfg.smt_pressure;
+    }
+  in
+  let measured =
+    List.concat_map
+      (fun m ->
+        let hosted =
+          List.filter_map
+            (fun (t : Spec.tier) ->
+              if placement t.Spec.tier_name == m then
+                Some (t, List.assoc t.Spec.tier_name spaces)
+              else None)
+            tiers
+        in
+        if hosted = [] then []
+        else
+          Measure.run ~config:mcfg ~machine:m ~seed:cfg.seed ~requests:cfg.requests hosted
+          |> List.map (fun (r : Measure.tier_result) -> (r.Measure.tier.Spec.tier_name, r)))
+      machines
+  in
+  let results name = List.assoc name measured in
+  let service =
+    Service.run ~engine ~app ~placement ~results ~seed:(cfg.seed + 1)
+      ~net_interference_gbps:cfg.net_interference_gbps load
+  in
+  let per_tier =
+    List.map
+      (fun (t : Spec.tier) ->
+        let name = t.Spec.tier_name in
+        let r = results name in
+        let c = r.Measure.counters in
+        let obs =
+          List.find (fun o -> o.Service.obs_name = name) service.Service.tiers
+        in
+        let lat =
+          (* Single-tier services are measured at the client, like the
+             paper's load generators; tiers of a microservice are measured
+             server-side. *)
+          if List.length tiers = 1 then service.Service.latency else obs.Service.obs_latency
+        in
+        ( name,
+          {
+            Metrics.label = Printf.sprintf "%s/%s" app.Spec.app_name name;
+            qps = service.Service.achieved_qps;
+            ipc = Counters.ipc c;
+            branch_miss_rate = Counters.branch_miss_rate c;
+            l1i_miss_rate = Counters.l1i_miss_rate c;
+            l1d_miss_rate = Counters.l1d_miss_rate c;
+            l2_miss_rate = Counters.l2_miss_rate c;
+            llc_miss_rate = Counters.llc_miss_rate c;
+            net_mbps = obs.Service.obs_net_mbps;
+            disk_mbps = obs.Service.obs_disk_mbps;
+            lat_avg = lat.Ditto_util.Stats.mean;
+            lat_p50 = lat.Ditto_util.Stats.p50;
+            lat_p95 = lat.Ditto_util.Stats.p95;
+            lat_p99 = lat.Ditto_util.Stats.p99;
+            topdown = Counters.topdown c;
+            counters = c;
+          } ))
+      tiers
+  in
+  { app; per_tier; end_to_end = service.Service.latency; service; measured }
+
+let tier_metrics output name = List.assoc name output.per_tier

@@ -1,0 +1,370 @@
+open Ditto_sim
+open Ditto_net
+module Stats = Ditto_util.Stats
+module Rng = Ditto_util.Rng
+module Dist = Ditto_util.Dist
+
+type load = { qps : float; connections : int; open_loop : bool; duration : float }
+
+let load ?(connections = 16) ?(open_loop = true) ?(duration = 2.0) ~qps () =
+  { qps; connections; open_loop; duration }
+
+type tier_obs = {
+  obs_name : string;
+  obs_latency : Stats.summary;
+  obs_requests : int;
+  obs_net_mbps : float;
+  obs_disk_mbps : float;
+}
+
+type result = {
+  latency : Stats.summary;
+  latency_raw : float array;
+  achieved_qps : float;
+  completed : int;
+  elapsed : float;
+  tiers : tier_obs list;
+}
+
+type tier_rt = {
+  spec : Spec.tier;
+  machine : Machine.t;
+  mres : Measure.tier_result;
+  rng : Rng.t;
+  epolls : Socket.Epoll.t array;
+  mutable epoll_rr : int;
+  mutable poll_conns : Socket.endpoint list;
+  pools : (string, Socket.endpoint Queue.t) Hashtbl.t;
+  lat : Stats.t;
+  mutable served : int;
+  mutable stopped : bool;
+}
+
+let fresh_tid counter =
+  incr counter;
+  !counter
+
+(* Serve one request whose bytes arrived at [arrived]: replay a measured
+   trace (CPU, disk, sleeps, downstream RPCs) then send the response. *)
+let rec handle registry tids rt ~tid ep ~arrived =
+  let trace = rt.mres.Measure.traces.(Rng.int rt.rng (Array.length rt.mres.Measure.traces)) in
+  replay registry tids rt ~tid trace;
+  Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
+  Stats.add rt.lat (Engine.time () -. arrived);
+  rt.served <- rt.served + 1
+
+and replay registry tids rt ~tid trace =
+  let pending = ref [] in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Measure.Cpu s -> Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
+      | Measure.Disk_read { bytes; random } ->
+          Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
+      | Measure.Disk_write { bytes } ->
+          (* Buffered write: flushed in the background. *)
+          Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
+      | Measure.Sleep s -> Engine.wait s
+      | Measure.Downstream { target; req_bytes; resp_bytes } -> (
+          match rt.spec.Spec.client_model with
+          | Spec.Sync_client -> downstream registry tids rt ~tid target req_bytes resp_bytes
+          | Spec.Async_client ->
+              let iv = Engine.Ivar.create () in
+              Engine.fork (fun () ->
+                  downstream registry tids rt ~tid target req_bytes resp_bytes;
+                  Engine.Ivar.fill iv ());
+              pending := iv :: !pending))
+    trace;
+  List.iter Engine.Ivar.read !pending
+
+and downstream registry tids rt ~tid target req_bytes _resp_bytes =
+  ignore tid;
+  let drt =
+    match Hashtbl.find_opt registry target with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Service: unknown downstream tier %S" target)
+  in
+  let pool =
+    match Hashtbl.find_opt rt.pools target with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add rt.pools target q;
+        q
+  in
+  let conn =
+    match Queue.take_opt pool with Some c -> c | None -> connect registry tids rt drt
+  in
+  Socket.send conn ~bytes:req_bytes;
+  ignore (Socket.recv conn);
+  Queue.push conn pool
+
+and connect registry tids rt drt =
+  let same = rt.machine == drt.machine in
+  let a_nic = if same then rt.machine.Machine.loopback else rt.machine.Machine.nic in
+  let b_nic = if same then drt.machine.Machine.loopback else drt.machine.Machine.nic in
+  let latency = if same then 5e-6 else 20e-6 in
+  let client_ep, server_ep =
+    Socket.pair rt.machine.Machine.engine ~a_nic ~b_nic ~latency
+  in
+  attach registry tids drt server_ep;
+  client_ep
+
+(* Register a new inbound connection according to the server's network and
+   thread model. *)
+and attach registry tids rt ep =
+  match rt.spec.Spec.server_model with
+  | Spec.Io_multiplexing ->
+      Socket.Epoll.add rt.epolls.(rt.epoll_rr mod Array.length rt.epolls) ep;
+      rt.epoll_rr <- rt.epoll_rr + 1
+  | Spec.Blocking ->
+      (* Thread-per-connection (spawned dynamically for services like
+         MongoDB whose thread count follows the connection count). *)
+      let tid = fresh_tid tids in
+      Engine.fork (fun () -> blocking_loop registry tids rt ~tid ep)
+  | Spec.Nonblocking -> rt.poll_conns <- ep :: rt.poll_conns
+
+and blocking_loop registry tids rt ~tid ep =
+  if not rt.stopped then begin
+    let bytes, arrived = Socket.recv_timed ep in
+    ignore bytes;
+    handle registry tids rt ~tid ep ~arrived;
+    blocking_loop registry tids rt ~tid ep
+  end
+
+let epoll_worker registry tids rt ~tid w =
+  let rec loop () =
+    if not rt.stopped then begin
+      match Socket.Epoll.wait ~timeout:0.1 rt.epolls.(w) with
+      | [] -> loop ()
+      | ready ->
+          List.iter
+            (fun ep ->
+              let rec drain () =
+                match Socket.try_recv_timed ep with
+                | Some (_, arrived) ->
+                    handle registry tids rt ~tid ep ~arrived;
+                    drain ()
+                | None -> ()
+              in
+              drain ())
+            ready;
+          loop ()
+    end
+  in
+  loop ()
+
+let nonblocking_worker registry tids rt ~tid =
+  let poll_interval = 20e-6 and poll_cpu = 1.5e-6 in
+  let rec loop () =
+    if not rt.stopped then begin
+      let got = ref false in
+      List.iter
+        (fun ep ->
+          match Socket.try_recv_timed ep with
+          | Some (_, arrived) ->
+              got := true;
+              handle registry tids rt ~tid ep ~arrived
+          | None -> ())
+        rt.poll_conns;
+      (* Polling burns CPU even when idle — the §4.3.1 caveat. *)
+      Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid poll_cpu;
+      if not !got then Engine.wait poll_interval;
+      loop ()
+    end
+  in
+  loop ()
+
+let background_thread rt ~tid period trace =
+  let rec loop () =
+    if not rt.stopped then begin
+      Engine.wait period;
+      List.iter
+        (fun seg ->
+          match seg with
+          | Measure.Cpu s -> Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
+          | Measure.Disk_read { bytes; random } ->
+              Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
+          | Measure.Disk_write { bytes } ->
+              Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
+          | Measure.Sleep s -> Engine.wait s
+          | Measure.Downstream _ -> ())
+        trace;
+      loop ()
+    end
+  in
+  loop ()
+
+let dedupe_machines rts =
+  List.fold_left
+    (fun acc rt -> if List.exists (fun m -> m == rt.machine) acc then acc else rt.machine :: acc)
+    [] rts
+
+let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbps = 0.0) l =
+  let registry : (string, tier_rt) Hashtbl.t = Hashtbl.create 8 in
+  let tids = ref 0 in
+  let root = Rng.create seed in
+  let rts =
+    List.map
+      (fun (tier : Spec.tier) ->
+        let rt =
+          {
+            spec = tier;
+            machine = placement tier.Spec.tier_name;
+            mres = results tier.Spec.tier_name;
+            rng = Rng.split root;
+            epolls =
+              Array.init (max 1 tier.Spec.thread_model.Spec.workers) (fun _ ->
+                  Socket.Epoll.create ());
+            epoll_rr = 0;
+            poll_conns = [];
+            pools = Hashtbl.create 4;
+            lat = Stats.create ();
+            served = 0;
+            stopped = false;
+          }
+        in
+        Hashtbl.add registry tier.Spec.tier_name rt;
+        rt)
+      app.Spec.tiers
+  in
+  (* Spawn server workers. *)
+  List.iter
+    (fun rt ->
+      (match rt.spec.Spec.server_model with
+      | Spec.Io_multiplexing ->
+          Array.iteri
+            (fun w _ ->
+              let tid = fresh_tid tids in
+              Engine.spawn engine (fun () -> epoll_worker registry tids rt ~tid w))
+            rt.epolls
+      | Spec.Nonblocking ->
+          for _ = 1 to max 1 rt.spec.Spec.thread_model.Spec.workers do
+            let tid = fresh_tid tids in
+            Engine.spawn engine (fun () -> nonblocking_worker registry tids rt ~tid)
+          done
+      | Spec.Blocking -> (* threads spawn per connection in [attach] *) ());
+      match (rt.mres.Measure.background_trace, rt.spec.Spec.thread_model.Spec.background) with
+      | Some trace, bgs ->
+          List.iter
+            (fun (_, period) ->
+              let tid = fresh_tid tids in
+              Engine.spawn engine (fun () -> background_thread rt ~tid period trace))
+            bgs
+      | None, _ -> ())
+    rts;
+  let entry = Hashtbl.find registry app.Spec.entry in
+  let machines = dedupe_machines rts in
+  let nic_before =
+    List.map
+      (fun m -> Nic.bytes_sent m.Machine.nic + Nic.bytes_received m.Machine.nic)
+      machines
+  in
+  let disk_before =
+    List.map
+      (fun m ->
+        Ditto_storage.Disk.bytes_read m.Machine.disk
+        + Ditto_storage.Disk.bytes_written m.Machine.disk)
+      machines
+  in
+  (* Client connections (the load generator is its own machine). *)
+  let client_nic = Nic.create engine ~gbps:40.0 in
+  let conns =
+    Array.init (max 1 l.connections) (fun _ ->
+        let a, b =
+          Socket.pair engine ~a_nic:client_nic ~b_nic:entry.machine.Machine.nic ~latency:20e-6
+        in
+        Engine.spawn engine (fun () -> attach registry tids entry b);
+        (a, Engine.Resource.create 1))
+  in
+  let t_start = Engine.now engine in
+  let t_end = t_start +. l.duration in
+  let lat = Stats.create () in
+  let completed = ref 0 in
+  let gen_rng = Rng.split root in
+  let do_request ci =
+    (* The clock starts at submission: open-loop latency must include any
+       wait for a free connection (coordinated-omission correction, as in
+       wrk2/mutated). *)
+    let t0 = Engine.time () in
+    let conn, mutex = conns.(ci) in
+    Engine.Resource.with_resource mutex (fun () ->
+        Socket.send conn ~bytes:entry.spec.Spec.request_bytes;
+        ignore (Socket.recv conn);
+        Stats.add lat (Engine.time () -. t0);
+        incr completed)
+  in
+  if l.open_loop then
+    Engine.spawn engine (fun () ->
+        let i = ref 0 in
+        while Engine.time () < t_end do
+          Engine.wait (Dist.exponential gen_rng ~mean:(1.0 /. l.qps));
+          let ci = !i mod Array.length conns in
+          incr i;
+          Engine.fork (fun () -> do_request ci)
+        done)
+  else begin
+    (* Closed loop with rate throttling (YCSB-style: one outstanding request
+       per connection; late responses eat into the think gap). *)
+    let per_conn_mean = float_of_int (Array.length conns) /. l.qps in
+    Array.iteri
+      (fun ci _ ->
+        Engine.spawn engine (fun () ->
+            let next = ref (Engine.time ()) in
+            while Engine.time () < t_end do
+              next := !next +. Dist.exponential gen_rng ~mean:per_conn_mean;
+              let now = Engine.time () in
+              if !next > now then Engine.wait (!next -. now);
+              if Engine.time () < t_end then do_request ci
+            done))
+      conns
+  end;
+  (* iperf-style competing stream through the entry machine's NIC. *)
+  if net_interference_gbps > 0.0 then begin
+    let chunk = 65536 in
+    let interval = float_of_int (chunk * 8) /. (net_interference_gbps *. 1e9) in
+    Engine.spawn engine (fun () ->
+        while Engine.time () < t_end do
+          let t0 = Engine.time () in
+          Nic.transmit entry.machine.Machine.nic ~bytes:chunk;
+          let used = Engine.time () -. t0 in
+          if used < interval then Engine.wait (interval -. used)
+        done)
+  end;
+  Engine.run ~until:(t_end +. 0.5) engine;
+  List.iter (fun rt -> rt.stopped <- true) rts;
+  let elapsed = Float.max 1e-9 (Float.min (Engine.now engine) t_end -. t_start) in
+  let mbps before now = float_of_int (now - before) /. elapsed /. 1e6 in
+  let tiers =
+    List.map
+      (fun rt ->
+        let m = rt.machine in
+        let nic_now = Nic.bytes_sent m.Machine.nic + Nic.bytes_received m.Machine.nic in
+        let disk_now =
+          Ditto_storage.Disk.bytes_read m.Machine.disk
+          + Ditto_storage.Disk.bytes_written m.Machine.disk
+        in
+        let idx =
+          let rec find i = function
+            | [] -> 0
+            | mm :: rest -> if mm == m then i else find (i + 1) rest
+          in
+          find 0 machines
+        in
+        {
+          obs_name = rt.spec.Spec.tier_name;
+          obs_latency = Stats.summary rt.lat;
+          obs_requests = rt.served;
+          obs_net_mbps = mbps (List.nth nic_before idx) nic_now;
+          obs_disk_mbps = mbps (List.nth disk_before idx) disk_now;
+        })
+      rts
+  in
+  {
+    latency = Stats.summary lat;
+    latency_raw = Stats.to_array lat;
+    achieved_qps = float_of_int !completed /. elapsed;
+    completed = !completed;
+    elapsed;
+    tiers;
+  }

@@ -1,0 +1,50 @@
+(** DES phase: serve load against measured request traces.
+
+    Tiers run as processes with their profiled thread/network models
+    (Fig. 3's skeleton): I/O-multiplexing workers on epoll sets, blocking
+    thread-per-connection servers, or non-blocking pollers. Request work is
+    replayed from {!Measure} traces — on-CPU segments contend on the
+    scheduler, disk segments queue on the device, downstream RPC segments
+    traverse sockets to other tiers. Latency distributions, achieved
+    throughput and I/O bandwidth fall out of the simulation. *)
+
+type load = {
+  qps : float;  (** offered load *)
+  connections : int;
+  open_loop : bool;
+      (** open loop (mutated/wrk2-style: arrivals never wait) vs closed
+          loop (YCSB-style: one outstanding request per connection) *)
+  duration : float;  (** simulated seconds of load *)
+}
+
+val load : ?connections:int -> ?open_loop:bool -> ?duration:float -> qps:float -> unit -> load
+
+type tier_obs = {
+  obs_name : string;
+  obs_latency : Ditto_util.Stats.summary;  (** server-side per-request latency *)
+  obs_requests : int;
+  obs_net_mbps : float;  (** machine NIC bandwidth during the run *)
+  obs_disk_mbps : float;
+}
+
+type result = {
+  latency : Ditto_util.Stats.summary;  (** end-to-end, at the client *)
+  latency_raw : float array;
+  achieved_qps : float;
+  completed : int;
+  elapsed : float;
+  tiers : tier_obs list;
+}
+
+val run :
+  engine:Ditto_sim.Engine.t ->
+  app:Spec.t ->
+  placement:(string -> Machine.t) ->
+  results:(string -> Measure.tier_result) ->
+  seed:int ->
+  ?net_interference_gbps:float ->
+  load ->
+  result
+(** Serve [load] against the deployed app. [net_interference_gbps] runs an
+    iperf-style competing stream through the entry machine's NIC (Fig. 10's
+    network interference). *)

@@ -1,0 +1,77 @@
+type op =
+  | Compute of Ditto_isa.Block.t * int
+  | Syscall of Ditto_os.Syscall.kind
+  | File_read of { offset : int; bytes : int; random : bool }
+  | File_write of { bytes : int }
+  | Call of { target : string; req_bytes : int; resp_bytes : int }
+
+type server_model = Blocking | Nonblocking | Io_multiplexing
+type client_model = Sync_client | Async_client
+
+type thread_model = {
+  workers : int;
+  dynamic_threads : bool;
+  background : (string * float) list;
+}
+
+type tier = {
+  tier_name : string;
+  server_model : server_model;
+  client_model : client_model;
+  thread_model : thread_model;
+  handler : Ditto_util.Rng.t -> int -> op list;
+  background_handler : (Ditto_util.Rng.t -> op list) option;
+  request_bytes : int;
+  response_bytes : int;
+  heap_bytes : int;
+  shared_bytes : int;
+  file_bytes : int;
+}
+
+let tier ?(server_model = Io_multiplexing) ?(client_model = Sync_client) ?(workers = 4)
+    ?(dynamic_threads = false) ?(background = []) ?background_handler ?(request_bytes = 128)
+    ?(response_bytes = 512) ?(heap_bytes = 16 * 1024 * 1024) ?(shared_bytes = 1024 * 1024)
+    ?(file_bytes = 0) ~name ~handler () =
+  {
+    tier_name = name;
+    server_model;
+    client_model;
+    thread_model = { workers; dynamic_threads; background };
+    handler;
+    background_handler;
+    request_bytes;
+    response_bytes;
+    heap_bytes;
+    shared_bytes;
+    file_bytes;
+  }
+
+type t = {
+  app_name : string;
+  tiers : tier list;
+  entry : string;
+  page_cache_hint : int option;
+}
+
+let make ~name ?entry ?page_cache_hint tiers =
+  match tiers with
+  | [] -> invalid_arg "Spec.make: no tiers"
+  | first :: _ ->
+      let entry = match entry with Some e -> e | None -> first.tier_name in
+      { app_name = name; tiers; entry; page_cache_hint }
+
+let find_tier t name =
+  match List.find_opt (fun tier -> tier.tier_name = name) t.tiers with
+  | Some tier -> tier
+  | None -> invalid_arg (Printf.sprintf "Spec.find_tier: unknown tier %S" name)
+
+let is_microservice t = List.length t.tiers > 1
+
+let server_model_name = function
+  | Blocking -> "blocking"
+  | Nonblocking -> "non-blocking"
+  | Io_multiplexing -> "io-multiplexing"
+
+let client_model_name = function
+  | Sync_client -> "synchronous"
+  | Async_client -> "asynchronous"

@@ -1,0 +1,85 @@
+(** Application specifications — the runnable form of a service.
+
+    Both "original" model applications ({!Ditto_apps}) and Ditto-generated
+    synthetic clones ({!Ditto_gen}) are values of this type; the runner,
+    profilers and validators treat them identically, so the cloning
+    pipeline never inspects a spec's internals, only its dynamic behaviour. *)
+
+(** One step of a request handler's work. *)
+type op =
+  | Compute of Ditto_isa.Block.t * int
+      (** execute a user-space instruction block for N iterations *)
+  | Syscall of Ditto_os.Syscall.kind
+      (** kernel work only (gettime, futex, mmap, nanosleep...) *)
+  | File_read of { offset : int; bytes : int; random : bool }
+      (** pread: kernel work + page cache + disk on miss *)
+  | File_write of { bytes : int }
+  | Call of { target : string; req_bytes : int; resp_bytes : int }
+      (** downstream RPC to another tier *)
+
+(** Server-side network model (§4.3.1). *)
+type server_model = Blocking | Nonblocking | Io_multiplexing
+
+(** Client-side model for downstream calls: synchronous calls block the
+    worker; asynchronous ones overlap all downstream calls of a request. *)
+type client_model = Sync_client | Async_client
+
+type thread_model = {
+  workers : int;  (** worker threads (long-lived) at the profiled config *)
+  dynamic_threads : bool;
+      (** thread-per-connection services (e.g. MongoDB) scale threads with
+          concurrent connections *)
+  background : (string * float) list;
+      (** timer-triggered background threads: (name, period seconds) *)
+}
+
+type tier = {
+  tier_name : string;
+  server_model : server_model;
+  client_model : client_model;
+  thread_model : thread_model;
+  handler : Ditto_util.Rng.t -> int -> op list;
+      (** the request-handling body: given a request id, the work list *)
+  background_handler : (Ditto_util.Rng.t -> op list) option;
+  request_bytes : int;  (** typical inbound request size *)
+  response_bytes : int;
+  heap_bytes : int;
+  shared_bytes : int;
+  file_bytes : int;  (** on-disk dataset size; 0 = no disk component *)
+}
+
+val tier :
+  ?server_model:server_model ->
+  ?client_model:client_model ->
+  ?workers:int ->
+  ?dynamic_threads:bool ->
+  ?background:(string * float) list ->
+  ?background_handler:(Ditto_util.Rng.t -> op list) ->
+  ?request_bytes:int ->
+  ?response_bytes:int ->
+  ?heap_bytes:int ->
+  ?shared_bytes:int ->
+  ?file_bytes:int ->
+  name:string ->
+  handler:(Ditto_util.Rng.t -> int -> op list) ->
+  unit ->
+  tier
+
+type t = {
+  app_name : string;
+  tiers : tier list;
+  entry : string;
+  page_cache_hint : int option;
+      (** deployment hint: OS page-cache bytes needed to reproduce the
+          original's cache-vs-disk balance (e.g. MongoDB's dataset exceeds
+          it, making the service disk-bound) *)
+}
+
+val make : name:string -> ?entry:string -> ?page_cache_hint:int -> tier list -> t
+(** [entry] defaults to the first tier. *)
+
+val find_tier : t -> string -> tier
+val is_microservice : t -> bool
+
+val server_model_name : server_model -> string
+val client_model_name : client_model -> string

@@ -1,0 +1,1 @@
+lib/apps/body_builder.ml: Block Ditto_isa Ditto_util Iform List

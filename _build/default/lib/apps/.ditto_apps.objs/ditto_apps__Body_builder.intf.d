@@ -1,0 +1,1 @@
+lib/apps/body_builder.mli: Ditto_isa Ditto_util

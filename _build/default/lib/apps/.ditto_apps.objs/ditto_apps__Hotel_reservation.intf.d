@@ -1,0 +1,1 @@
+lib/apps/hotel_reservation.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/media_service.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/memcached.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/mongodb.ml: Block Body_builder Ditto_app Ditto_isa Ditto_loadgen Ditto_os Ditto_util Layout Spec

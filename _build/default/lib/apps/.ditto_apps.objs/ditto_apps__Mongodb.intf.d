@@ -1,0 +1,1 @@
+lib/apps/mongodb.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/nginx.mli: Ditto_app Ditto_loadgen

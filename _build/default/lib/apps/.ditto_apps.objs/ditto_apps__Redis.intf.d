@@ -1,0 +1,1 @@
+lib/apps/redis.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Ditto_app Ditto_loadgen Hotel_reservation List Media_service Memcached Mongodb Nginx Printf Redis Social_network

@@ -1,0 +1,1 @@
+lib/apps/registry.mli: Ditto_app Ditto_loadgen

@@ -1,0 +1,1 @@
+lib/apps/social_network.ml: Block Body_builder Ditto_app Ditto_isa Ditto_loadgen Ditto_util Layout List Spec

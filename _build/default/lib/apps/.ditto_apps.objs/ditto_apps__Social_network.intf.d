@@ -1,0 +1,1 @@
+lib/apps/social_network.mli: Ditto_app Ditto_loadgen

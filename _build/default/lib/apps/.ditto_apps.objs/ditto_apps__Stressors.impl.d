@@ -1,0 +1,1 @@
+lib/apps/stressors.ml: Block Ditto_app Ditto_isa Ditto_util Iform Lazy List Spec

@@ -1,0 +1,1 @@
+lib/apps/stressors.mli: Ditto_app Ditto_util

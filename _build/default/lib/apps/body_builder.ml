@@ -1,0 +1,175 @@
+open Ditto_isa
+module Rng = Ditto_util.Rng
+module Dist = Ditto_util.Dist
+
+type profile = {
+  w_alu : float;
+  w_mul : float;
+  w_div : float;
+  w_fp : float;
+  w_simd : float;
+  w_load : float;
+  w_store : float;
+  w_branch : float;
+  w_lock : float;
+  w_crc : float;
+  w_lea : float;
+  load_patterns : (Block.mem_pattern * float) list;
+  store_patterns : (Block.mem_pattern * float) list;
+  branch_m : int * int;
+  branch_n : int * int;
+  chain : float;
+}
+
+let default_profile =
+  {
+    w_alu = 0.40;
+    w_mul = 0.02;
+    w_div = 0.002;
+    w_fp = 0.01;
+    w_simd = 0.02;
+    w_load = 0.24;
+    w_store = 0.10;
+    w_branch = 0.16;
+    w_lock = 0.002;
+    w_crc = 0.005;
+    w_lea = 0.04;
+    load_patterns = [];
+    store_patterns = [];
+    branch_m = (2, 7);
+    branch_n = (3, 8);
+    chain = 0.25;
+  }
+
+type op_kind =
+  | K_alu
+  | K_mul
+  | K_div
+  | K_fp
+  | K_simd
+  | K_load
+  | K_store
+  | K_branch
+  | K_lock
+  | K_crc
+  | K_lea
+
+let alu_forms = [| "ADD_GPR64_GPR64"; "SUB_GPR64_GPR64"; "AND_GPR64_GPR64"; "OR_GPR64_GPR64";
+                   "XOR_GPR64_GPR64"; "CMP_GPR64_GPR64"; "TEST_GPR64_IMM"; "INC_GPR64";
+                   "MOV_GPR64_GPR64"; "MOV_GPR64_IMM"; "SHL_GPR64_IMM"; "CMOVZ_GPR64_GPR64" |]
+
+let fp_forms = [| "ADDSD_XMM_XMM"; "SUBSD_XMM_XMM"; "MULSD_XMM_XMM"; "CVTSI2SD_XMM_GPR64" |]
+let simd_forms = [| "PADDD_XMM_XMM"; "PAND_XMM_XMM"; "PCMPEQB_XMM_XMM"; "PSHUFB_XMM_XMM" |]
+let load_forms = [| "MOV_GPR64_MEM"; "MOV_GPR32_MEM"; "MOVZX_GPR64_MEM8"; "ADD_GPR64_MEM" |]
+let store_forms = [| "MOV_MEM_GPR64"; "MOV_MEM_GPR32" |]
+let branch_forms = [| "JZ_REL"; "JNZ_REL"; "JL_REL" |]
+let lock_forms = [| "LOCK_ADD_MEM_GPR64"; "LOCK_CMPXCHG_MEM_GPR64"; "XADD_LOCK_MEM_GPR64" |]
+
+(* Registers 0..11 rotate freely; 12..15 are long-lived "state" registers
+   that create medium-distance dependencies like real compiled code. *)
+let pick_reg rng = Block.gp (Rng.int rng 12)
+let pick_xmm rng = Block.xmm (Rng.int rng 12)
+
+let sample_pattern rng patterns fallback =
+  match patterns with
+  | [] -> fallback
+  | _ -> Dist.discrete_sample (Dist.discrete patterns) rng
+
+let build ~rng ~code_base ~label ~insts profile =
+  let kinds =
+    Dist.discrete
+      [
+        (K_alu, profile.w_alu);
+        (K_mul, profile.w_mul);
+        (K_div, profile.w_div);
+        (K_fp, profile.w_fp);
+        (K_simd, profile.w_simd);
+        (K_load, profile.w_load);
+        (K_store, profile.w_store);
+        (K_branch, profile.w_branch);
+        (K_lock, profile.w_lock);
+        (K_crc, profile.w_crc);
+        (K_lea, profile.w_lea);
+      ]
+  in
+  let load_dist = match profile.load_patterns with [] -> None | ps -> Some (Dist.discrete ps) in
+  let store_dist =
+    match profile.store_patterns with [] -> None | ps -> Some (Dist.discrete ps)
+  in
+  let prev_dst = ref (Block.gp 0) in
+  let mk _i =
+    let kind = Dist.discrete_sample kinds rng in
+    let chained = Rng.float rng 1.0 < profile.chain in
+    let src1 = if chained then !prev_dst else pick_reg rng in
+    let dst = pick_reg rng in
+    let temp =
+      match kind with
+      | K_alu ->
+          Block.temp (Iform.by_name (Rng.choose rng alu_forms)) ~dst ~srcs:[| src1; dst |]
+      | K_mul -> Block.temp (Iform.by_name "IMUL_GPR64_GPR64") ~dst ~srcs:[| src1; dst |]
+      | K_div -> Block.temp (Iform.by_name "IDIV_GPR64") ~dst ~srcs:[| src1; dst |]
+      | K_fp ->
+          let d = pick_xmm rng in
+          Block.temp (Iform.by_name (Rng.choose rng fp_forms)) ~dst:d ~srcs:[| d; pick_xmm rng |]
+      | K_simd ->
+          let d = pick_xmm rng in
+          Block.temp (Iform.by_name (Rng.choose rng simd_forms)) ~dst:d ~srcs:[| d; pick_xmm rng |]
+      | K_load ->
+          let pattern =
+            match load_dist with
+            | Some d -> Dist.discrete_sample d rng
+            | None -> Block.No_mem
+          in
+          Block.temp (Iform.by_name (Rng.choose rng load_forms)) ~dst ~srcs:[| src1 |] ~mem:pattern
+      | K_store ->
+          let pattern =
+            match store_dist with
+            | Some d -> Dist.discrete_sample d rng
+            | None -> Block.No_mem
+          in
+          Block.temp
+            (Iform.by_name (Rng.choose rng store_forms))
+            ~srcs:[| src1 |]
+            ~mem:pattern
+      | K_branch ->
+          let mlo, mhi = profile.branch_m and nlo, nhi = profile.branch_n in
+          Block.temp
+            (Iform.by_name (Rng.choose rng branch_forms))
+            ~branch:
+              {
+                Block.m = Rng.range rng mlo (mhi + 1);
+                n = Rng.range rng nlo (nhi + 1);
+                invert = Rng.bool rng;
+              }
+      | K_lock ->
+          let pattern =
+            sample_pattern rng profile.store_patterns Block.No_mem
+          in
+          Block.temp (Iform.by_name (Rng.choose rng lock_forms)) ~srcs:[| src1 |] ~mem:pattern
+      | K_crc -> Block.temp (Iform.by_name "CRC32_GPR64_GPR64") ~dst ~srcs:[| src1; dst |]
+      | K_lea -> Block.temp (Iform.by_name "LEA_GPR64_AGEN") ~dst ~srcs:[| src1 |]
+    in
+    (match temp.Block.dst with d when d >= 0 -> prev_dst := d | _ -> ());
+    temp
+  in
+  Block.make ~label ~code_base (List.init insts mk)
+
+let copy_block ~code_base ~label ~src ~bytes =
+  Block.make ~label ~code_base
+    [ Block.temp (Ditto_isa.Iform.by_name "REP_MOVSB") ~srcs:[| Block.gp 6 |] ~mem:src ~rep_count:bytes ]
+
+let chase_block ~code_base ~label ~region ~span ~hops =
+  (* r11 = [r11] pointer walk with a compare+branch per hop. *)
+  let r11 = Block.gp 11 in
+  let temps =
+    List.concat
+      (List.init hops (fun _ ->
+           [
+             Block.temp (Iform.by_name "MOV_GPR64_MEM") ~dst:r11 ~srcs:[| r11 |]
+               ~mem:(Block.Chase { region; start = 0; span });
+             Block.temp (Iform.by_name "CMP_GPR64_GPR64") ~srcs:[| r11; Block.gp 4 |];
+             Block.temp (Iform.by_name "JNZ_REL")
+               ~branch:{ Block.m = 3; n = 4; invert = true };
+           ]))
+  in
+  Block.make ~label ~code_base temps

@@ -1,0 +1,54 @@
+(** Builder for the instruction bodies of the {e original} model
+    applications.
+
+    This is deliberately separate from {!Ditto_gen} (the cloning
+    generator): these blocks stand in for real compiled application code,
+    with app-specific structure — hash probes, B-tree walks, string
+    scanning — while the generator only ever sees their dynamic behaviour
+    through the profilers. *)
+
+type profile = {
+  w_alu : float;
+  w_mul : float;
+  w_div : float;
+  w_fp : float;
+  w_simd : float;
+  w_load : float;
+  w_store : float;
+  w_branch : float;
+  w_lock : float;
+  w_crc : float;
+  w_lea : float;
+  load_patterns : (Ditto_isa.Block.mem_pattern * float) list;
+      (** sampled per load/store instruction *)
+  store_patterns : (Ditto_isa.Block.mem_pattern * float) list;
+  branch_m : int * int;  (** inclusive range of taken-rate exponents *)
+  branch_n : int * int;
+  chain : float;  (** fraction of instructions reading the previous result *)
+}
+
+val default_profile : profile
+(** Balanced integer-server profile; override fields as needed. *)
+
+val build :
+  rng:Ditto_util.Rng.t ->
+  code_base:int ->
+  label:string ->
+  insts:int ->
+  profile ->
+  Ditto_isa.Block.t
+(** Generate a static block of [insts] templates following the profile. *)
+
+val copy_block :
+  code_base:int -> label:string -> src:Ditto_isa.Block.mem_pattern -> bytes:int -> Ditto_isa.Block.t
+(** A REP MOVSB bulk copy (value/response marshalling). *)
+
+val chase_block :
+  code_base:int ->
+  label:string ->
+  region:Ditto_isa.Block.region ->
+  span:int ->
+  hops:int ->
+  Ditto_isa.Block.t
+(** A dependent pointer-walk of [hops] loads (hash chains, B-tree descents,
+    adjacency lists) with a little key-comparison work per hop. *)

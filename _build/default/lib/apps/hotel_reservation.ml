@@ -1,0 +1,194 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let mb n = n * 1024 * 1024
+
+(* Tier indices 24.. keep the address space disjoint from Social Network
+   (both apps can be profiled in one process). *)
+let base = 24
+
+let spec () =
+  let rng = Rng.create 0x807E1 in
+  let mk_space i heap = Layout.space ~tier_index:(base + i) ~heap_bytes:heap ~shared_bytes:(1 lsl 18) in
+
+  let fe_space = mk_space 0 (mb 16) in
+  let fe_parse =
+    Body_builder.build ~rng ~code_base:(Layout.code_window fe_space ~index:0) ~label:"hr_fe"
+      ~insts:800
+      { Body_builder.default_profile with Body_builder.w_branch = 0.22; branch_m = (1, 4) }
+  in
+  let frontend_handler rng _req =
+    let r = Rng.float rng 1.0 in
+    [
+      Spec.Compute (fe_parse, 2);
+      (if r < 0.60 then Spec.Call { target = "SearchService"; req_bytes = 256; resp_bytes = 2048 }
+       else if r < 0.85 then
+         Spec.Call { target = "RecommendationService"; req_bytes = 128; resp_bytes = 1024 }
+       else Spec.Call { target = "ReservationService"; req_bytes = 512; resp_bytes = 256 });
+    ]
+  in
+
+  (* search: geo filter then rate lookup, results merged. *)
+  let se_space = mk_space 1 (mb 16) in
+  let se_merge =
+    Body_builder.build ~rng ~code_base:(Layout.code_window se_space ~index:0) ~label:"hr_search"
+      ~insts:700
+      { Body_builder.default_profile with Body_builder.w_fp = 0.05; w_branch = 0.18 }
+  in
+  let search_handler _rng _req =
+    [
+      Spec.Compute (se_merge, 1);
+      Spec.Call { target = "GeoService"; req_bytes = 128; resp_bytes = 1024 };
+      Spec.Call { target = "RateService"; req_bytes = 256; resp_bytes = 1024 };
+      Spec.Compute (se_merge, 1);
+    ]
+  in
+
+  (* geo: nearest-neighbour over a spatial index (pointer-heavy, fp math). *)
+  let geo_space = mk_space 2 (mb 32) in
+  let geo_index = Layout.sub_heap geo_space ~offset:0 ~bytes:(mb 24) in
+  let geo_walk =
+    Body_builder.chase_block ~code_base:(Layout.code_window geo_space ~index:0) ~label:"hr_geo_w"
+      ~region:geo_index ~span:(mb 24) ~hops:7
+  in
+  let geo_math =
+    Body_builder.build ~rng ~code_base:(Layout.code_window geo_space ~index:1) ~label:"hr_geo_m"
+      ~insts:500
+      { Body_builder.default_profile with Body_builder.w_fp = 0.18; w_mul = 0.06 }
+  in
+  let geo_handler _rng _req = [ Spec.Compute (geo_walk, 1); Spec.Compute (geo_math, 1) ] in
+
+  (* rate: price tables, integer-heavy scans. *)
+  let rate_space = mk_space 3 (mb 16) in
+  let rate_tables = Layout.sub_heap rate_space ~offset:0 ~bytes:(mb 12) in
+  let rate_scan =
+    Body_builder.build ~rng ~code_base:(Layout.code_window rate_space ~index:0) ~label:"hr_rate"
+      ~insts:900
+      {
+        Body_builder.default_profile with
+        Body_builder.w_load = 0.30;
+        load_patterns =
+          [ (Block.Seq_stride { region = rate_tables; start = 0; stride = 64; span = mb 12 }, 1.0) ];
+      }
+  in
+  let rate_handler _rng _req = [ Spec.Compute (rate_scan, 1) ] in
+
+  (* reservation: transactional write path. *)
+  let rs_space = mk_space 4 (mb 16) in
+  let rs_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window rs_space ~index:0) ~label:"hr_resv"
+      ~insts:600
+      { Body_builder.default_profile with Body_builder.w_lock = 0.02 }
+  in
+  let reservation_handler _rng _req =
+    [
+      Spec.Compute (rs_logic, 1);
+      Spec.Call { target = "UserAuthService"; req_bytes = 128; resp_bytes = 128 };
+      Spec.Call { target = "ReservationDB"; req_bytes = 512; resp_bytes = 256 };
+    ]
+  in
+
+  (* recommendation: score vectors (simd). *)
+  let rc_space = mk_space 5 (mb 16) in
+  let rc_score =
+    Body_builder.build ~rng ~code_base:(Layout.code_window rc_space ~index:0) ~label:"hr_rec"
+      ~insts:800
+      { Body_builder.default_profile with Body_builder.w_simd = 0.16; w_fp = 0.08 }
+  in
+  let recommendation_handler _rng _req =
+    [
+      Spec.Compute (rc_score, 1);
+      Spec.Call { target = "ProfileService"; req_bytes = 128; resp_bytes = 2048 };
+    ]
+  in
+
+  (* profile with cache-aside backend pair. *)
+  let pf_space = mk_space 6 (mb 8) in
+  let pf_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window pf_space ~index:0) ~label:"hr_prof"
+      ~insts:400 Body_builder.default_profile
+  in
+  let profile_handler rng _req =
+    [
+      Spec.Compute (pf_logic, 1);
+      Spec.Call { target = "ProfileCache"; req_bytes = 128; resp_bytes = 2048 };
+    ]
+    @
+    if Rng.float rng 1.0 < 0.25 then
+      [ Spec.Call { target = "ProfileDB"; req_bytes = 256; resp_bytes = 2048 } ]
+    else []
+  in
+
+  let ua_space = mk_space 7 (mb 8) in
+  let ua_table = Layout.sub_heap ua_space ~offset:0 ~bytes:(mb 4) in
+  let ua_probe =
+    Body_builder.chase_block ~code_base:(Layout.code_window ua_space ~index:0) ~label:"hr_auth"
+      ~region:ua_table ~span:(mb 4) ~hops:2
+  in
+  let ua_crypto =
+    Body_builder.build ~rng ~code_base:(Layout.code_window ua_space ~index:1) ~label:"hr_crypto"
+      ~insts:500
+      { Body_builder.default_profile with Body_builder.w_crc = 0.2; chain = 0.5 }
+  in
+  let auth_handler _rng _req = [ Spec.Compute (ua_probe, 1); Spec.Compute (ua_crypto, 1) ] in
+
+  (* memcached-style profile cache. *)
+  let pc_space = mk_space 8 (mb 16) in
+  let pc_arena = Layout.sub_heap pc_space ~offset:0 ~bytes:(mb 12) in
+  let pc_copy =
+    Body_builder.copy_block ~code_base:(Layout.code_window pc_space ~index:0) ~label:"hr_pc_copy"
+      ~src:(Block.Rand_uniform { region = pc_arena; start = 0; span = mb 12 })
+      ~bytes:2048
+  in
+  let pc_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window pc_space ~index:1) ~label:"hr_pc"
+      ~insts:300 Body_builder.default_profile
+  in
+  let cache_handler _rng _req = [ Spec.Compute (pc_logic, 1); Spec.Compute (pc_copy, 1) ] in
+
+  (* mongodb-style stores. *)
+  let mk_store i label dataset =
+    let sp = mk_space i (mb 32) in
+    let idx = Layout.sub_heap sp ~offset:0 ~bytes:(mb 24) in
+    let parse =
+      Body_builder.build ~rng ~code_base:(Layout.code_window sp ~index:0) ~label:(label ^ "_p")
+        ~insts:500 Body_builder.default_profile
+    in
+    let btree =
+      Body_builder.chase_block ~code_base:(Layout.code_window sp ~index:2) ~label:(label ^ "_b")
+        ~region:idx ~span:(mb 24) ~hops:6
+    in
+    fun rng _req ->
+      if Rng.float rng 1.0 < 0.7 then
+        [
+          Spec.Compute (parse, 1);
+          Spec.Compute (btree, 1);
+          Spec.File_read { offset = 4096 * Rng.int rng (dataset / 4096); bytes = 4096; random = true };
+        ]
+      else [ Spec.Compute (parse, 1); Spec.Compute (btree, 1); Spec.File_write { bytes = 4096 } ]
+  in
+  let t ?(workers = 2) ?(req = 256) ?(resp = 512) ?(heap = mb 16) ?(file = 0) name handler =
+    Spec.tier ~name ~server_model:Spec.Io_multiplexing ~workers ~request_bytes:req
+      ~response_bytes:resp ~heap_bytes:heap ~shared_bytes:(1 lsl 18) ~file_bytes:file ~handler ()
+  in
+  Spec.make ~name:"hotel_reservation" ~entry:"frontend"
+    ~page_cache_hint:(256 * 1024 * 1024)
+    [
+      t "frontend" frontend_handler ~req:384 ~resp:2048;
+      t "SearchService" search_handler ~req:256 ~resp:2048;
+      t "GeoService" geo_handler ~req:128 ~resp:1024 ~heap:(mb 32);
+      t "RateService" rate_handler ~req:256 ~resp:1024;
+      t "ReservationService" reservation_handler ~req:512 ~resp:256;
+      t "RecommendationService" recommendation_handler ~req:128 ~resp:1024;
+      t "ProfileService" profile_handler ~req:128 ~resp:2048 ~heap:(mb 8);
+      t "UserAuthService" auth_handler ~req:128 ~resp:128 ~heap:(mb 8);
+      t "ProfileCache" cache_handler ~req:128 ~resp:2048;
+      t "ProfileDB" (mk_store 9 "hr_pdb" (mb 512)) ~req:256 ~resp:2048 ~heap:(mb 32)
+        ~file:(mb 512);
+      t "ReservationDB" (mk_store 10 "hr_rdb" (mb 512)) ~req:512 ~resp:256 ~heap:(mb 32)
+        ~file:(mb 512);
+    ]
+
+let workload = Ditto_loadgen.Workload.wrk2_open
+let loads = (400., 1_200., 2_400.)

@@ -1,0 +1,14 @@
+(** Model of DeathStarBench's Hotel Reservation — a second microservice
+    topology beyond the paper's Social Network evaluation, included to
+    exercise the cloning pipeline's generality across RPC graphs (the
+    framework "generalizes across deployments", §4.1).
+
+    Ten services: an HTTP frontend fanning out to search (which consults
+    geo and rate), reservation (backed by user auth and a MongoDB-style
+    store), recommendation, and a profile service with its cache/store
+    pair. Request mix: 60% searches, 25% profile/recommendation reads,
+    15% reservations. *)
+
+val spec : unit -> Ditto_app.Spec.t
+val workload : Ditto_loadgen.Workload.t
+val loads : float * float * float

@@ -1,0 +1,180 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let mb n = n * 1024 * 1024
+
+(* Tier indices 36.. keep the address space disjoint from the other apps. *)
+let base = 36
+
+let spec () =
+  let rng = Rng.create 0x3D1A in
+  let mk_space i heap =
+    Layout.space ~tier_index:(base + i) ~heap_bytes:heap ~shared_bytes:(1 lsl 18)
+  in
+
+  let fe_space = mk_space 0 (mb 16) in
+  let fe_parse =
+    Body_builder.build ~rng ~code_base:(Layout.code_window fe_space ~index:0) ~label:"ms_fe"
+      ~insts:850
+      { Body_builder.default_profile with Body_builder.w_branch = 0.22; branch_m = (1, 4) }
+  in
+  let frontend_handler rng _req =
+    [
+      Spec.Compute (fe_parse, 2);
+      (if Rng.float rng 1.0 < 0.7 then
+         Spec.Call { target = "PageService"; req_bytes = 256; resp_bytes = 4096 }
+       else Spec.Call { target = "ComposeReviewService"; req_bytes = 1024; resp_bytes = 128 });
+    ]
+  in
+
+  (* page render: gather movie info + reviews, template the page. *)
+  let pg_space = mk_space 1 (mb 16) in
+  let pg_template =
+    Body_builder.build ~rng ~code_base:(Layout.code_window pg_space ~index:0) ~label:"ms_page"
+      ~insts:900
+      { Body_builder.default_profile with Body_builder.w_store = 0.16; w_simd = 0.05 }
+  in
+  let page_handler _rng _req =
+    [
+      Spec.Compute (pg_template, 1);
+      Spec.Call { target = "MovieInfoService"; req_bytes = 128; resp_bytes = 2048 };
+      Spec.Call { target = "ReviewStorageService"; req_bytes = 256; resp_bytes = 4096 };
+      Spec.Compute (pg_template, 1);
+    ]
+  in
+
+  (* compose review: text + id + rating, then store. *)
+  let cr_space = mk_space 2 (mb 8) in
+  let cr_text =
+    Body_builder.build ~rng ~code_base:(Layout.code_window cr_space ~index:0) ~label:"ms_text"
+      ~insts:700
+      { Body_builder.default_profile with Body_builder.w_branch = 0.22; w_simd = 0.06 }
+  in
+  let compose_handler _rng _req =
+    [
+      Spec.Compute (cr_text, 1);
+      Spec.Call { target = "UniqueIdService"; req_bytes = 64; resp_bytes = 64 };
+      Spec.Call { target = "RatingService"; req_bytes = 128; resp_bytes = 64 };
+      Spec.Call { target = "ReviewStorageService"; req_bytes = 1024; resp_bytes = 128 };
+    ]
+  in
+
+  let uid_space = mk_space 3 (mb 2) in
+  let uid_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window uid_space ~index:0) ~label:"ms_uid"
+      ~insts:150
+      { Body_builder.default_profile with Body_builder.w_crc = 0.1; chain = 0.4 }
+  in
+  let uid_handler _rng _req = [ Spec.Compute (uid_logic, 1) ] in
+
+  (* rating: shared counters, lock-heavy updates. *)
+  let rt_space = mk_space 4 (mb 8) in
+  let rt_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window rt_space ~index:0) ~label:"ms_rate"
+      ~insts:350
+      {
+        Body_builder.default_profile with
+        Body_builder.w_lock = 0.05;
+        store_patterns =
+          [ (Block.Rand_uniform { region = rt_space.Layout.shared; start = 0; span = 1 lsl 17 }, 1.0) ];
+        load_patterns =
+          [ (Block.Rand_uniform { region = rt_space.Layout.shared; start = 0; span = 1 lsl 17 }, 1.0) ];
+      }
+  in
+  let rating_handler _rng _req = [ Spec.Compute (rt_logic, 1) ] in
+
+  (* movie info: cache-aside over a store. *)
+  let mi_space = mk_space 5 (mb 8) in
+  let mi_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window mi_space ~index:0) ~label:"ms_minfo"
+      ~insts:400 Body_builder.default_profile
+  in
+  let movie_handler rng _req =
+    [
+      Spec.Compute (mi_logic, 1);
+      Spec.Call { target = "MovieCache"; req_bytes = 128; resp_bytes = 2048 };
+    ]
+    @
+    if Rng.float rng 1.0 < 0.2 then
+      [ Spec.Call { target = "MovieDB"; req_bytes = 256; resp_bytes = 2048 } ]
+    else []
+  in
+
+  (* review storage: reads fan to the store frequently (long tail of old
+     reviews), writes always hit it. *)
+  let rs_space = mk_space 6 (mb 8) in
+  let rs_logic =
+    Body_builder.build ~rng ~code_base:(Layout.code_window rs_space ~index:0) ~label:"ms_rstore"
+      ~insts:500 Body_builder.default_profile
+  in
+  let review_handler rng _req =
+    [
+      Spec.Compute (rs_logic, 1);
+      Spec.Call { target = "ReviewDB"; req_bytes = 512; resp_bytes = 4096 };
+    ]
+    @
+    if Rng.float rng 1.0 < 0.3 then
+      [ Spec.Call { target = "ReviewDB"; req_bytes = 512; resp_bytes = 4096 } ]
+    else []
+  in
+
+  let mk_cache i label =
+    let sp = mk_space i (mb 16) in
+    let arena = Layout.sub_heap sp ~offset:0 ~bytes:(mb 12) in
+    let logic =
+      Body_builder.build ~rng ~code_base:(Layout.code_window sp ~index:0) ~label:(label ^ "_l")
+        ~insts:300 Body_builder.default_profile
+    in
+    let copy =
+      Body_builder.copy_block ~code_base:(Layout.code_window sp ~index:1) ~label:(label ^ "_c")
+        ~src:(Block.Rand_uniform { region = arena; start = 0; span = mb 12 })
+        ~bytes:2048
+    in
+    fun _rng _req -> [ Spec.Compute (logic, 1); Spec.Compute (copy, 1) ]
+  in
+  let mk_store i label ~dataset =
+    let sp = mk_space i (mb 32) in
+    let idx = Layout.sub_heap sp ~offset:0 ~bytes:(mb 24) in
+    let parse =
+      Body_builder.build ~rng ~code_base:(Layout.code_window sp ~index:0) ~label:(label ^ "_p")
+        ~insts:500 Body_builder.default_profile
+    in
+    let btree =
+      Body_builder.chase_block ~code_base:(Layout.code_window sp ~index:2) ~label:(label ^ "_b")
+        ~region:idx ~span:(mb 24) ~hops:6
+    in
+    fun rng _req ->
+      if Rng.float rng 1.0 < 0.75 then
+        [
+          Spec.Compute (parse, 1);
+          Spec.Compute (btree, 1);
+          Spec.File_read
+            { offset = 4096 * Rng.int rng (dataset / 4096); bytes = 4096; random = true };
+        ]
+      else [ Spec.Compute (parse, 1); Spec.Compute (btree, 1); Spec.File_write { bytes = 4096 } ]
+  in
+  let t ?(workers = 2) ?(req = 256) ?(resp = 512) ?(heap = mb 16) ?(file = 0) name handler =
+    Spec.tier ~name ~server_model:Spec.Io_multiplexing ~workers ~request_bytes:req
+      ~response_bytes:resp ~heap_bytes:heap ~shared_bytes:(1 lsl 18) ~file_bytes:file ~handler ()
+  in
+  Spec.make ~name:"media_service" ~entry:"frontend"
+    ~page_cache_hint:(256 * 1024 * 1024)
+    [
+      t "frontend" frontend_handler ~req:384 ~resp:4096;
+      t "PageService" page_handler ~req:256 ~resp:4096;
+      t "ComposeReviewService" compose_handler ~req:1024 ~resp:128 ~heap:(mb 8);
+      t "UniqueIdService" uid_handler ~req:64 ~resp:64 ~heap:(mb 2);
+      t "RatingService" rating_handler ~req:128 ~resp:64 ~heap:(mb 8);
+      t "MovieInfoService" movie_handler ~req:128 ~resp:2048 ~heap:(mb 8);
+      t "ReviewStorageService" review_handler ~req:512 ~resp:4096 ~heap:(mb 8);
+      t "MovieCache" (mk_cache 7 "ms_mcache") ~req:128 ~resp:2048;
+      t "MovieDB" (mk_store 8 "ms_mdb" ~dataset:(mb 512)) ~req:256 ~resp:2048 ~heap:(mb 32)
+        ~file:(mb 512);
+      t "ReviewDB" (mk_store 9 "ms_rdb" ~dataset:(1024 * 1024 * 1024)) ~workers:4 ~req:512
+        ~resp:4096 ~heap:(mb 32)
+        ~file:(1024 * 1024 * 1024);
+    ]
+
+let workload = Ditto_loadgen.Workload.wrk2_open
+let loads = (400., 1_000., 2_000.)

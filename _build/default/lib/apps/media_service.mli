@@ -1,0 +1,13 @@
+(** Model of DeathStarBench's Media Service — the third DSB topology,
+    included (like {!Hotel_reservation}) as a pipeline-generality check
+    beyond the paper's evaluated set.
+
+    A review-centric workload: an NGINX-like frontend routes 70% page
+    renders (compose a movie page from movie info, plot, cast and reviews)
+    and 30% review submissions (text handling, unique id, rating update,
+    storage). Review and movie data live in MongoDB-style stores behind
+    memcached-style caches. Nine services. *)
+
+val spec : unit -> Ditto_app.Spec.t
+val workload : Ditto_loadgen.Workload.t
+val loads : float * float * float

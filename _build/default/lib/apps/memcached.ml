@@ -1,0 +1,79 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let items = 10_000
+let value_bytes = 4096
+
+let spec_gen ~keys ~value_bytes () =
+  let space = Layout.space ~tier_index:0 ~heap_bytes:(64 * 1024 * 1024) ~shared_bytes:(1 lsl 20) in
+  let value_arena = Layout.sub_heap space ~offset:0 ~bytes:(items * value_bytes) in
+  let hash_table = Layout.sub_heap space ~offset:(48 * 1024 * 1024) ~bytes:(2 * 1024 * 1024) in
+  let conn_buffers = Layout.sub_heap space ~offset:(52 * 1024 * 1024) ~bytes:(256 * 1024) in
+  let rng = Rng.create 0x3C in
+  let parse =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:0) ~label:"mc_parse"
+      ~insts:700
+      {
+        Body_builder.default_profile with
+        Body_builder.w_branch = 0.20;
+        w_crc = 0.02;
+        branch_m = (1, 4);
+        branch_n = (2, 5);
+        load_patterns =
+          [ (Block.Seq_stride { region = conn_buffers; start = 0; stride = 64; span = 65536 }, 1.0) ];
+        store_patterns =
+          [ (Block.Seq_stride { region = conn_buffers; start = 0; stride = 64; span = 65536 }, 1.0) ];
+      }
+  in
+  let hash_key =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:2) ~label:"mc_hash"
+      ~insts:150
+      { Body_builder.default_profile with Body_builder.w_crc = 0.25; w_load = 0.10; chain = 0.5 }
+  in
+  let probe =
+    Body_builder.chase_block ~code_base:(Layout.code_window space ~index:3) ~label:"mc_probe"
+      ~region:hash_table ~span:(2 * 1024 * 1024) ~hops:5
+  in
+  let lru =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:4) ~label:"mc_lru"
+      ~insts:140
+      {
+        Body_builder.default_profile with
+        Body_builder.w_lock = 0.06;
+        w_store = 0.18;
+        store_patterns =
+          [ (Block.Rand_uniform { region = space.Layout.shared; start = 0; span = 1 lsl 18 }, 1.0) ];
+        load_patterns =
+          [ (Block.Rand_uniform { region = space.Layout.shared; start = 0; span = 1 lsl 18 }, 1.0) ];
+      }
+  in
+  let respond =
+    Body_builder.copy_block ~code_base:(Layout.code_window space ~index:5) ~label:"mc_value_copy"
+      ~src:(Block.Rand_uniform { region = value_arena; start = 0; span = items * 4096 })
+      ~bytes:value_bytes
+  in
+  let handler _rng _req =
+    Spec.Compute (parse, 2)
+    :: List.concat
+         (List.init keys (fun _ ->
+              [
+                Spec.Compute (hash_key, 1);
+                Spec.Compute (probe, 1);
+                Spec.Compute (lru, 1);
+                Spec.Compute (respond, 1);
+              ]))
+  in
+  Spec.make ~name:"memcached"
+    [
+      Spec.tier ~name:"memcached" ~server_model:Spec.Io_multiplexing ~workers:4
+        ~request_bytes:(64 + (32 * keys))
+        ~response_bytes:(keys * value_bytes)
+        ~heap_bytes:(64 * 1024 * 1024) ~shared_bytes:(1 lsl 20) ~handler ();
+    ]
+
+let spec () = spec_gen ~keys:1 ~value_bytes ()
+let spec_multiget ~keys ~value_bytes () = spec_gen ~keys ~value_bytes ()
+
+let workload = Ditto_loadgen.Workload.mutated
+let loads = (60_000., 180_000., 320_000.)

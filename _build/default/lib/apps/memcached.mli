@@ -1,0 +1,18 @@
+(** Model of Memcached 1.6 (§6.1.2): in-memory key-value store, four
+    I/O-multiplexing worker threads, 10K items of 30B key / 4KB value,
+    driven by an open-loop mutated client. Request work: protocol parse,
+    key hash (CRC), hash-chain probe, LRU bookkeeping on shared data
+    (lock-prefixed), and a 4KB value copy into the response. *)
+
+val spec : unit -> Ditto_app.Spec.t
+(** The §6.1.2 configuration: single-key GETs of 4KB values. *)
+
+val spec_multiget : keys:int -> value_bytes:int -> unit -> Ditto_app.Spec.t
+(** A CPU-heavier configuration (multiget of [keys] records of
+    [value_bytes] each) used by the Fig. 11 power-management sweep, where
+    the service must be compute-bound for cores/frequency to matter. *)
+
+val workload : Ditto_loadgen.Workload.t
+
+val loads : float * float * float
+(** (low, medium, high) QPS for the Fig. 5 sweep on this substrate. *)

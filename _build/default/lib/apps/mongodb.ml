@@ -1,0 +1,78 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let records = 1_000_000
+let record_bytes = 4096
+let dataset_bytes = records * record_bytes (* 4GB *)
+
+let spec () =
+  let space = Layout.space ~tier_index:0 ~heap_bytes:(192 * 1024 * 1024) ~shared_bytes:(2 lsl 20) in
+  let index = Layout.sub_heap space ~offset:0 ~bytes:(128 * 1024 * 1024) in
+  let bson_buffers = Layout.sub_heap space ~offset:(160 * 1024 * 1024) ~bytes:(8 * 1024 * 1024) in
+  let rng = Rng.create 0xD0C in
+  let parse =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:0) ~label:"mongo_bson"
+      ~insts:1100
+      {
+        Body_builder.default_profile with
+        Body_builder.w_branch = 0.18;
+        w_load = 0.26;
+        w_store = 0.12;
+        chain = 0.35;
+        load_patterns =
+          [ (Block.Seq_stride { region = bson_buffers; start = 0; stride = 64; span = 1 lsl 21 }, 1.0) ];
+        store_patterns =
+          [ (Block.Seq_stride { region = bson_buffers; start = 0; stride = 64; span = 1 lsl 21 }, 1.0) ];
+      }
+  in
+  let plan =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:2) ~label:"mongo_plan"
+      ~insts:700
+      { Body_builder.default_profile with Body_builder.w_branch = 0.20; w_mul = 0.04; w_fp = 0.03 }
+  in
+  let btree =
+    Body_builder.chase_block ~code_base:(Layout.code_window space ~index:4) ~label:"mongo_btree"
+      ~region:index ~span:(128 * 1024 * 1024) ~hops:12
+  in
+  let assemble =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:5) ~label:"mongo_doc"
+      ~insts:800
+      {
+        Body_builder.default_profile with
+        Body_builder.w_store = 0.18;
+        w_simd = 0.04;
+        store_patterns =
+          [ (Block.Seq_stride { region = bson_buffers; start = 1 lsl 20; stride = 64; span = 1 lsl 21 }, 1.0) ];
+      }
+  in
+  let keys = Ditto_loadgen.Workload.Keys.uniform ~records ~record_bytes in
+  let handler rng _req =
+    let offset = Ditto_loadgen.Workload.Keys.sample_offset keys rng in
+    [
+      Spec.Compute (parse, 1);
+      Spec.Compute (plan, 1);
+      Spec.Compute (btree, 1);
+      Spec.File_read { offset; bytes = record_bytes; random = true };
+      Spec.Compute (assemble, 1);
+      Spec.Syscall Ditto_os.Syscall.Futex_wake;
+    ]
+  in
+  let checkpoint _rng =
+    [
+      Spec.File_write { bytes = 1 lsl 20 };
+      Spec.Syscall (Ditto_os.Syscall.Nanosleep { seconds = 0.0 });
+    ]
+  in
+  Spec.make ~name:"mongodb"
+    ~page_cache_hint:(1024 * 1024 * 1024) (* 1GB cache vs 4GB data: disk-bound *)
+    [
+      Spec.tier ~name:"mongodb" ~server_model:Spec.Blocking ~dynamic_threads:true ~workers:16
+        ~background:[ ("checkpoint", 0.5) ]
+        ~background_handler:checkpoint ~request_bytes:512 ~response_bytes:record_bytes
+        ~heap_bytes:(192 * 1024 * 1024) ~shared_bytes:(2 lsl 20) ~file_bytes:dataset_bytes
+        ~handler ();
+    ]
+
+let workload = Ditto_loadgen.Workload.ycsb
+let loads = (300., 900., 2_000.)

@@ -1,0 +1,14 @@
+(** Model of MongoDB 4.4 (§6.1.2): document store with a 4GB on-disk
+    dataset (scaled from the paper's 40GB at the same cache-to-data ratio),
+    one million uniformly-read records via YCSB (closed loop). Thread per
+    connection (the paper notes MongoDB's thread count follows the number
+    of concurrent connections). Request work: BSON parse, B-tree descent
+    over a large index, a random 4KB-page pread that usually misses the
+    page cache — making the service disk-bound, and much faster on the
+    SSD platform (Fig. 7). Background checkpoint thread flushes dirty
+    pages periodically. *)
+
+val spec : unit -> Ditto_app.Spec.t
+val workload : Ditto_loadgen.Workload.t
+val loads : float * float * float
+val dataset_bytes : int

@@ -1,0 +1,82 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let file_count = 512
+let file_bytes = 16 * 1024
+let body_bytes = 10 * 1024
+
+let spec () =
+  let space = Layout.space ~tier_index:0 ~heap_bytes:(32 * 1024 * 1024) ~shared_bytes:(1 lsl 18) in
+  let conn_buffers = Layout.sub_heap space ~offset:0 ~bytes:(512 * 1024) in
+  let config_tree = Layout.sub_heap space ~offset:(1 lsl 20) ~bytes:(4 * 1024 * 1024) in
+  let out_buffers = Layout.sub_heap space ~offset:(8 * 1024 * 1024) ~bytes:(4 * 1024 * 1024) in
+  let rng = Rng.create 0x7E in
+  (* A wide code footprint split over many windows: the HTTP state machine,
+     header tables, module chain — NGINX's binary is i-cache-hungry. *)
+  let parse_stage i =
+    Body_builder.build ~rng
+      ~code_base:(Layout.code_window space ~index:(2 * i))
+      ~label:(Printf.sprintf "ngx_parse_%d" i) ~insts:800
+      {
+        Body_builder.default_profile with
+        Body_builder.w_branch = 0.24;
+        w_load = 0.22;
+        branch_m = (1, 4);
+        branch_n = (2, 5);
+        chain = 0.30;
+        load_patterns =
+          [ (Block.Seq_stride { region = conn_buffers; start = 0; stride = 64; span = 1 lsl 18 }, 0.7);
+            (Block.Rand_uniform { region = conn_buffers; start = 0; span = 1 lsl 18 }, 0.3) ];
+        store_patterns =
+          [ (Block.Seq_stride { region = out_buffers; start = 0; stride = 64; span = 1 lsl 20 }, 1.0) ];
+      }
+  in
+  let parse = Array.init 5 parse_stage in
+  let route =
+    Body_builder.chase_block ~code_base:(Layout.code_window space ~index:12) ~label:"ngx_route"
+      ~region:config_tree ~span:(4 * 1024 * 1024) ~hops:4
+  in
+  let headers =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:13) ~label:"ngx_headers"
+      ~insts:600
+      {
+        Body_builder.default_profile with
+        Body_builder.w_store = 0.20;
+        w_branch = 0.18;
+        w_simd = 0.05;
+        store_patterns =
+          [ (Block.Seq_stride { region = out_buffers; start = 0; stride = 64; span = 1 lsl 20 }, 1.0) ];
+      }
+  in
+  let body_copy =
+    Body_builder.copy_block ~code_base:(Layout.code_window space ~index:14) ~label:"ngx_body"
+      ~src:(Block.Rand_uniform { region = out_buffers; start = 0; span = 4 * 1024 * 1024 })
+      ~bytes:body_bytes
+  in
+  let handler rng _req =
+    let file = Rng.int rng file_count in
+    [
+      Spec.Compute (parse.(0), 1);
+      Spec.Compute (parse.(1), 1);
+      Spec.Compute (parse.(2), 1);
+      Spec.Compute (route, 1);
+      Spec.Compute (parse.(3), 1);
+      Spec.File_read { offset = file * file_bytes; bytes = body_bytes; random = true };
+      Spec.Compute (headers, 1);
+      Spec.Compute (body_copy, 1);
+      Spec.Compute (parse.(4), 1);
+      Spec.File_write { bytes = 120 } (* access log append *);
+    ]
+  in
+  Spec.make ~name:"nginx"
+    ~page_cache_hint:(64 * 1024 * 1024) (* files fit: served from memory *)
+    [
+      Spec.tier ~name:"nginx" ~server_model:Spec.Io_multiplexing ~workers:1 ~request_bytes:220
+        ~response_bytes:(body_bytes + 256) ~heap_bytes:(32 * 1024 * 1024)
+        ~shared_bytes:(1 lsl 18)
+        ~file_bytes:(file_count * file_bytes) ~handler ();
+    ]
+
+let workload = Ditto_loadgen.Workload.tcpkali
+let loads = (8_000., 25_000., 45_000.)

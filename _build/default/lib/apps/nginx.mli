@@ -1,0 +1,10 @@
+(** Model of NGINX 1.20 (§6.1.2): event-driven web server with one worker
+    process, serving small static files, driven by open-loop tcpkali HTTP
+    load. Request work: HTTP header parsing over a large, branchy code
+    footprint (frontend-bound, like the real server), virtual-host/route
+    lookup, a page-cache file read, header generation and body copy, and an
+    access-log append. *)
+
+val spec : unit -> Ditto_app.Spec.t
+val workload : Ditto_loadgen.Workload.t
+val loads : float * float * float

@@ -1,0 +1,59 @@
+open Ditto_isa
+open Ditto_app
+module Rng = Ditto_util.Rng
+
+let records = 100_000
+let value_bytes = 1024
+
+let spec () =
+  let space = Layout.space ~tier_index:0 ~heap_bytes:(160 * 1024 * 1024) ~shared_bytes:(1 lsl 16) in
+  let dict = Layout.sub_heap space ~offset:0 ~bytes:(8 * 1024 * 1024) in
+  let value_arena = Layout.sub_heap space ~offset:(16 * 1024 * 1024) ~bytes:(records * value_bytes) in
+  let conn_buffers = Layout.sub_heap space ~offset:(144 * 1024 * 1024) ~bytes:(256 * 1024) in
+  let rng = Rng.create 0x4ED15 in
+  let parse =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:0) ~label:"redis_resp"
+      ~insts:450
+      {
+        Body_builder.default_profile with
+        Body_builder.w_branch = 0.17;
+        branch_m = (2, 5);
+        branch_n = (3, 6);
+        chain = 0.30;
+        load_patterns =
+          [ (Block.Seq_stride { region = conn_buffers; start = 0; stride = 64; span = 1 lsl 16 }, 1.0) ];
+        store_patterns =
+          [ (Block.Seq_stride { region = conn_buffers; start = 0; stride = 64; span = 1 lsl 16 }, 1.0) ];
+      }
+  in
+  let dict_probe =
+    Body_builder.chase_block ~code_base:(Layout.code_window space ~index:1) ~label:"redis_dict"
+      ~region:dict ~span:(8 * 1024 * 1024) ~hops:3
+  in
+  let command =
+    Body_builder.build ~rng ~code_base:(Layout.code_window space ~index:2) ~label:"redis_cmd"
+      ~insts:350
+      { Body_builder.default_profile with Body_builder.w_alu = 0.46; chain = 0.35 }
+  in
+  let reply =
+    Body_builder.copy_block ~code_base:(Layout.code_window space ~index:3) ~label:"redis_reply"
+      ~src:(Block.Rand_uniform { region = value_arena; start = 0; span = records * value_bytes })
+      ~bytes:value_bytes
+  in
+  let handler _rng _req =
+    [
+      Spec.Compute (parse, 1);
+      Spec.Compute (dict_probe, 1);
+      Spec.Compute (command, 1);
+      Spec.Compute (reply, 1);
+    ]
+  in
+  Spec.make ~name:"redis"
+    [
+      Spec.tier ~name:"redis" ~server_model:Spec.Io_multiplexing ~workers:1 ~request_bytes:128
+        ~response_bytes:value_bytes ~heap_bytes:(160 * 1024 * 1024) ~shared_bytes:(1 lsl 16)
+        ~handler ();
+    ]
+
+let workload = Ditto_loadgen.Workload.ycsb
+let loads = (12_000., 35_000., 70_000.)

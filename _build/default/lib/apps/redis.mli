@@ -1,0 +1,9 @@
+(** Model of Redis 6.2 (§6.1.2): single-threaded in-memory store,
+    persistence disabled, 100K records, YCSB closed-loop client. Request
+    work: RESP protocol parse, main-dict probe, small value copy — a
+    compact, cache-friendly code path with comparatively high IPC; the
+    single worker thread bounds throughput. *)
+
+val spec : unit -> Ditto_app.Spec.t
+val workload : Ditto_loadgen.Workload.t
+val loads : float * float * float

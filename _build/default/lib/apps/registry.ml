@@ -1,0 +1,71 @@
+type entry = {
+  name : string;
+  spec : unit -> Ditto_app.Spec.t;
+  workload : Ditto_loadgen.Workload.t;
+  loads : float * float * float;
+  focus_tiers : string list;
+}
+
+let all =
+  [
+    {
+      name = "memcached";
+      spec = Memcached.spec;
+      workload = Memcached.workload;
+      loads = Memcached.loads;
+      focus_tiers = [ "memcached" ];
+    };
+    {
+      name = "nginx";
+      spec = Nginx.spec;
+      workload = Nginx.workload;
+      loads = Nginx.loads;
+      focus_tiers = [ "nginx" ];
+    };
+    {
+      name = "mongodb";
+      spec = Mongodb.spec;
+      workload = Mongodb.workload;
+      loads = Mongodb.loads;
+      focus_tiers = [ "mongodb" ];
+    };
+    {
+      name = "redis";
+      spec = Redis.spec;
+      workload = Redis.workload;
+      loads = Redis.loads;
+      focus_tiers = [ "redis" ];
+    };
+    {
+      name = "social_network";
+      spec = Social_network.spec;
+      workload = Social_network.workload;
+      loads = Social_network.loads;
+      focus_tiers = [ "TextService"; "SocialGraphService" ];
+    };
+  ]
+
+let extras =
+  [
+    {
+      name = "hotel_reservation";
+      spec = Hotel_reservation.spec;
+      workload = Hotel_reservation.workload;
+      loads = Hotel_reservation.loads;
+      focus_tiers = [ "SearchService"; "GeoService" ];
+    };
+    {
+      name = "media_service";
+      spec = Media_service.spec;
+      workload = Media_service.workload;
+      loads = Media_service.loads;
+      focus_tiers = [ "PageService"; "ReviewStorageService" ];
+    };
+  ]
+
+let by_name name =
+  match List.find_opt (fun e -> e.name = name) (all @ extras) with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Registry.by_name: unknown app %S" name)
+
+let singles = List.filter (fun e -> e.name <> "social_network") all

@@ -1,0 +1,61 @@
+open Ditto_isa
+open Ditto_app
+
+type t = Ditto_util.Rng.t -> int -> Spec.op list
+
+(* Stressors live in their own address range, above all tier heaps. *)
+let stress_region bytes = Block.make_region ~base:0x70_0000_0000 ~bytes ~shared:false
+let stress_code = 0x6FFF_0000
+
+(* A sweep block whose load templates are phase-staggered across the window
+   so one pass touches [temps * iterations] distinct lines — one antagonist
+   turn is the work a continuously-running stress thread does while the
+   victim handles one request. *)
+let sweep_block ~label ~bytes ~insts =
+  let region = stress_region bytes in
+  let lines = max 1 (bytes / 64) in
+  let temps =
+    List.init insts (fun i ->
+        if i mod 4 = 3 then
+          Block.temp (Iform.by_name "ADD_GPR64_GPR64") ~dst:(Block.gp (i mod 8))
+            ~srcs:[| Block.gp (i mod 8); Block.gp ((i + 1) mod 8) |]
+        else begin
+          let t =
+            Block.temp (Iform.by_name "MOV_GPR64_MEM")
+              ~dst:(Block.gp (i mod 8))
+              ~srcs:[| Block.gp 10 |]
+              ~mem:(Block.Seq_stride { region; start = 0; stride = 64; span = bytes })
+          in
+          Block.set_phase t (i * lines / max 1 insts);
+          t
+        end)
+  in
+  Block.make ~label ~code_base:stress_code temps
+
+let spin_block =
+  lazy
+    (let temps =
+       List.init 64 (fun i ->
+           Block.temp (Iform.by_name "IMUL_GPR64_GPR64") ~dst:(Block.gp (i mod 10))
+             ~srcs:[| Block.gp (i mod 10); Block.gp ((i + 3) mod 10) |])
+     in
+     Block.make ~label:"stress_cpu" ~code_base:stress_code temps)
+
+let l1d_block = lazy (sweep_block ~label:"stress_l1d" ~bytes:(32 * 1024) ~insts:256)
+let l2_block = lazy (sweep_block ~label:"stress_l2" ~bytes:(768 * 1024) ~insts:256)
+let llc_block = lazy (sweep_block ~label:"stress_llc" ~bytes:(64 * 1024 * 1024) ~insts:256)
+
+(* Iteration counts size each turn's distinct-line footprint: L1d turns
+   cover ~2x a 32KB L1d, L2 turns ~1.5x a 1MB L2, LLC turns roughly half of
+   a 30MB LLC (an iBench-grade antagonist streaming flat out). *)
+let cpu_spin _rng _seq = [ Spec.Compute (Lazy.force spin_block, 24) ]
+let l1d _rng _seq = [ Spec.Compute (Lazy.force l1d_block, 6) ]
+let l2 _rng _seq = [ Spec.Compute (Lazy.force l2_block, 128) ]
+let llc _rng _seq = [ Spec.Compute (Lazy.force llc_block, 1200) ]
+
+let by_name = function
+  | "HT" -> cpu_spin
+  | "L1d" -> l1d
+  | "L2" -> l2
+  | "LLC" -> llc
+  | _ -> raise Not_found

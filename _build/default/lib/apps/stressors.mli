@@ -1,0 +1,23 @@
+(** Interference micro-benchmarks: the stress-ng / iBench / iperf3 roles of
+    §6.5. Each returns a stream generator suitable for
+    {!Ditto_app.Measure.config}'s [stressor] field — a burst of antagonist
+    work interleaved with the victim's requests. *)
+
+type t = Ditto_util.Rng.t -> int -> Ditto_app.Spec.op list
+
+val cpu_spin : t
+(** ALU-saturating loop with no memory traffic: pairs with an SMT sibling
+    (hyperthreading contention). *)
+
+val l1d : t
+(** Sweeps a 32KB window: evicts the victim's L1d. *)
+
+val l2 : t
+(** Sweeps a window sized to a typical L2: evicts L2 (and adds LLC
+    accesses with constant misses, the effect Fig. 10 calls out). *)
+
+val llc : t
+(** Streams tens of MB: flushes the shared LLC (iBench-style). *)
+
+val by_name : string -> t
+(** ["HT"|"L1d"|"L2"|"LLC"] — raises [Not_found] otherwise. *)

@@ -1,0 +1,1 @@
+lib/baseline/userlevel_clone.ml: Array Block Ditto_app Ditto_isa Ditto_profile Ditto_util Iclass Iform Layout List Spec

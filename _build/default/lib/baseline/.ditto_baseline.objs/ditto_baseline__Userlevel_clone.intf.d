@@ -1,0 +1,1 @@
+lib/baseline/userlevel_clone.mli: Ditto_app Ditto_isa Ditto_profile

@@ -1,0 +1,115 @@
+open Ditto_isa
+open Ditto_app
+module P = Ditto_profile
+module Rng = Ditto_util.Rng
+module Dist = Ditto_util.Dist
+
+(* 0 int-alu, 1 mul, 2 div, 3 fp, 4 simd, 5 load, 6 store, 7 control *)
+let category_of (k : Iclass.t) =
+  match k with
+  | Iclass.Int_alu | Iclass.Lea | Iclass.Shift | Iclass.Cmov | Iclass.Crc | Iclass.Lock_rmw
+  | Iclass.Nop ->
+      0
+  | Iclass.Int_mul -> 1
+  | Iclass.Int_div -> 2
+  | Iclass.Float_add | Iclass.Float_mul | Iclass.Float_div -> 3
+  | Iclass.Simd_int | Iclass.Simd_float -> 4
+  | Iclass.Load | Iclass.Rep_string -> 5
+  | Iclass.Store -> 6
+  | Iclass.Branch_cond | Iclass.Branch_uncond | Iclass.Call | Iclass.Ret -> 7
+
+(* One representative instruction per category — the prior-work recipe. *)
+let representative = function
+  | 0 -> Iform.by_name "ADD_GPR64_GPR64"
+  | 1 -> Iform.by_name "IMUL_GPR64_GPR64"
+  | 2 -> Iform.by_name "IDIV_GPR64"
+  | 3 -> Iform.by_name "MULSD_XMM_XMM"
+  | 4 -> Iform.by_name "PADDD_XMM_XMM"
+  | 5 -> Iform.by_name "MOV_GPR64_MEM"
+  | 6 -> Iform.by_name "MOV_MEM_GPR64"
+  | _ -> Iform.by_name "JNZ_REL"
+
+let synth_tier ?(seed = 7001) ~(profile : P.Tier_profile.t) ~space () =
+  let rng = Rng.create seed in
+  let mix = profile.P.Tier_profile.instmix in
+  (* Collapse the profiled iform counts into the 8 coarse buckets. *)
+  let buckets = Array.make 8 0.0 in
+  List.iter
+    (fun (id, count) ->
+      let cat = category_of (Iform.of_id id).Iform.klass in
+      buckets.(cat) <- buckets.(cat) +. float_of_int count)
+    mix.P.Instmix.iform_counts;
+  let sampler =
+    let pairs =
+      Array.to_list (Array.mapi (fun cat w -> (cat, w)) buckets)
+      |> List.filter (fun (_, w) -> w > 0.0)
+    in
+    match pairs with [] -> None | _ -> Some (Dist.discrete pairs)
+  in
+  (* A single small loop body: compact footprint, 64KB working set, fully
+     chained dependencies — typical of CPU-centric miniature proxies. *)
+  let work_window =
+    Block.make_region
+      ~base:space.Layout.heap.Block.region_base
+      ~bytes:(min (64 * 1024) space.Layout.heap.Block.region_bytes)
+      ~shared:false
+  in
+  let n_templates = 256 in
+  let prev = ref (Block.gp 0) in
+  let temps =
+    List.init n_templates (fun i ->
+        let cat = match sampler with None -> 0 | Some s -> Dist.discrete_sample s rng in
+        let iform = representative cat in
+        let dst = Block.gp (i mod 8) in
+        let temp =
+          match cat with
+          | 5 ->
+              Block.temp iform ~dst ~srcs:[| !prev |]
+                ~mem:
+                  (Block.Seq_stride
+                     { region = work_window; start = 0; stride = 64; span = 64 * 1024 })
+          | 6 ->
+              Block.temp iform ~srcs:[| !prev |]
+                ~mem:
+                  (Block.Seq_stride
+                     { region = work_window; start = 0; stride = 64; span = 64 * 1024 })
+          | 7 -> Block.temp iform ~branch:{ Block.m = 1; n = 1; invert = false }
+          | 3 | 4 ->
+              let d = Block.xmm (i mod 8) in
+              Block.temp iform ~dst:d ~srcs:[| d; Block.xmm ((i + 1) mod 8) |]
+          | _ -> Block.temp iform ~dst ~srcs:[| !prev; dst |]
+        in
+        (match temp.Block.dst with d when d >= 0 && d < 16 -> prev := d | _ -> ());
+        temp)
+  in
+  let block =
+    Block.make ~label:"userlevel_proxy"
+      ~code_base:(Layout.code_window space ~index:4)
+      temps
+  in
+  let iterations =
+    max 1 (int_of_float (mix.P.Instmix.insts_per_request /. float_of_int n_templates))
+  in
+  let handler _rng _req = [ Spec.Compute (block, iterations) ] in
+  Spec.tier ~name:profile.P.Tier_profile.tier_name ~server_model:Spec.Io_multiplexing
+    ~workers:1
+    ~request_bytes:profile.P.Tier_profile.skeleton.P.Skeleton.request_bytes
+    ~response_bytes:profile.P.Tier_profile.skeleton.P.Skeleton.response_bytes
+    ~heap_bytes:profile.P.Tier_profile.heap_bytes
+    ~shared_bytes:profile.P.Tier_profile.shared_bytes ~handler ()
+
+let synth_app ?(seed = 7001) (app : P.Tier_profile.app) =
+  let tiers =
+    List.mapi
+      (fun i (tp : P.Tier_profile.t) ->
+        let space =
+          Layout.space ~tier_index:i ~heap_bytes:tp.P.Tier_profile.heap_bytes
+            ~shared_bytes:tp.P.Tier_profile.shared_bytes
+        in
+        synth_tier ~seed:(seed + i) ~profile:tp ~space ())
+      app.P.Tier_profile.tiers
+  in
+  Spec.make
+    ~name:(app.P.Tier_profile.app_name ^ "_userlevel")
+    ~entry:app.P.Tier_profile.entry
+    ?page_cache_hint:app.P.Tier_profile.page_cache_hint tiers

@@ -1,0 +1,27 @@
+(** Prior-work baseline: a user-level, CPU-centric performance cloner in
+    the style of PerfProx / MicroGrad / Joshi et al. (§2.3).
+
+    It reproduces only the coarse 8-category instruction mix (integer
+    arithmetic, multiply, divide, floating point, SIMD, load, store,
+    control) with one representative instruction per category, a single
+    compact code footprint, uniform small-working-set memory accesses and
+    chained dependencies — and it models {e no} system calls, no I/O, no
+    thread/network skeleton beyond a trivial single-worker server. The
+    paper's argument is that this class of clone misses kernel time,
+    off-CPU behaviour and high-level metrics; comparing it against Ditto's
+    clone quantifies exactly that gap. *)
+
+val category_of : Ditto_isa.Iclass.t -> int
+(** The coarse 8-way categorisation (exposed for tests). *)
+
+val synth_tier :
+  ?seed:int ->
+  profile:Ditto_profile.Tier_profile.t ->
+  space:Ditto_app.Layout.space ->
+  unit ->
+  Ditto_app.Spec.tier
+
+val synth_app : ?seed:int -> Ditto_profile.Tier_profile.app -> Ditto_app.Spec.t
+(** Clones every tier at user level; RPC structure is preserved only as a
+    direct pass-through (no downstream calls), since these tools model
+    independent processes. *)

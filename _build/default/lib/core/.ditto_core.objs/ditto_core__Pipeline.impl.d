@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Ditto_app Ditto_gen Ditto_profile Ditto_trace Ditto_tune Ditto_util List Metrics Runner Service Spec

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ditto_app Ditto_profile Ditto_trace Ditto_tune Ditto_uarch Ditto_util

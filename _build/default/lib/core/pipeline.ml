@@ -1,0 +1,77 @@
+open Ditto_app
+module P = Ditto_profile
+
+type clone_result = {
+  original : Spec.t;
+  reference : Runner.output;
+  dag : Ditto_trace.Dag.t option;
+  profile : P.Tier_profile.app;
+  synthetic : Spec.t;
+  tuning : Ditto_tune.Tuner.report option;
+}
+
+let clone ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(seed = 42) ~platform
+    ~load (original : Spec.t) =
+  let config = Runner.config ~requests ~seed platform in
+  (* Step 1: run the original at the profiling load; this run provides the
+     counter reference for tuning and the measured traces the distributed
+     tracer samples. *)
+  let reference = Runner.run config ~load original in
+  (* Step 2: microservice topology from sampled end-to-end traces. *)
+  let dag =
+    if Spec.is_microservice original then begin
+      let results name = List.assoc name reference.Runner.measured in
+      let spans =
+        Ditto_trace.Collector.collect ~entry:original.Spec.entry ~results ~samples:256
+          ~seed:(seed + 3)
+      in
+      Some (Ditto_trace.Dag.of_spans spans)
+    end
+    else None
+  in
+  (* Step 3: profile skeleton and body of every tier. *)
+  let profile = P.Tier_profile.profile_app ~requests:profile_requests ~seed:(seed + 5) ?dag original in
+  (* Step 4: generate; Step 5: fine-tune. *)
+  if tune then begin
+    let synthetic, report =
+      Ditto_tune.Tuner.tune ~seed:(seed + 11) ~config ~load ~reference ~profile ()
+    in
+    { original; reference; dag; profile; synthetic; tuning = Some report }
+  end
+  else begin
+    let synthetic = Ditto_gen.Clone.synth_app ~seed:(seed + 11) profile in
+    { original; reference; dag; profile; synthetic; tuning = None }
+  end
+
+type comparison = {
+  label : string;
+  actual : (string * Metrics.t) list;
+  synthetic : (string * Metrics.t) list;
+  actual_end_to_end : Ditto_util.Stats.summary;
+  synthetic_end_to_end : Ditto_util.Stats.summary;
+  actual_raw : float array;
+  synthetic_raw : float array;
+}
+
+let validate ?config_of ~platform ~load ~label result =
+  let config =
+    match config_of with Some f -> f platform | None -> Runner.config platform
+  in
+  let actual_out = Runner.run config ~load result.original in
+  let synth_out = Runner.run config ~load result.synthetic in
+  {
+    label;
+    actual = actual_out.Runner.per_tier;
+    synthetic = synth_out.Runner.per_tier;
+    actual_end_to_end = actual_out.Runner.end_to_end;
+    synthetic_end_to_end = synth_out.Runner.end_to_end;
+    actual_raw = actual_out.Runner.service.Service.latency_raw;
+    synthetic_raw = synth_out.Runner.service.Service.latency_raw;
+  }
+
+let comparison_errors c =
+  List.map
+    (fun (name, actual) ->
+      let synthetic = List.assoc name c.synthetic in
+      (name, Metrics.error_pct ~actual ~synthetic))
+    c.actual

@@ -1,0 +1,50 @@
+(** The end-to-end Ditto pipeline (Fig. 3): profile an original service,
+    extract the microservice topology, generate a synthetic clone, and
+    fine-tune it — then validate original vs clone under arbitrary loads,
+    platforms and interference, without reprofiling. *)
+
+type clone_result = {
+  original : Ditto_app.Spec.t;
+  reference : Ditto_app.Runner.output;  (** original's run at the profiling load *)
+  dag : Ditto_trace.Dag.t option;
+  profile : Ditto_profile.Tier_profile.app;
+  synthetic : Ditto_app.Spec.t;
+  tuning : Ditto_tune.Tuner.report option;
+}
+
+val clone :
+  ?tune:bool ->
+  ?requests:int ->
+  ?profile_requests:int ->
+  ?seed:int ->
+  platform:Ditto_uarch.Platform.t ->
+  load:Ditto_app.Service.load ->
+  Ditto_app.Spec.t ->
+  clone_result
+(** Profile at [load] (the paper profiles only at medium load) on
+    [platform] and produce the clone. [tune] (default true) runs the §4.5
+    calibration loop. *)
+
+type comparison = {
+  label : string;
+  actual : (string * Ditto_app.Metrics.t) list;
+  synthetic : (string * Ditto_app.Metrics.t) list;
+  actual_end_to_end : Ditto_util.Stats.summary;
+  synthetic_end_to_end : Ditto_util.Stats.summary;
+  actual_raw : float array;  (** raw end-to-end latency samples *)
+  synthetic_raw : float array;
+}
+
+val validate :
+  ?config_of:(Ditto_uarch.Platform.t -> Ditto_app.Runner.config) ->
+  platform:Ditto_uarch.Platform.t ->
+  load:Ditto_app.Service.load ->
+  label:string ->
+  clone_result ->
+  comparison
+(** Run original and synthetic under identical fresh environments and
+    collect both metric sets. [config_of] customises the runner config
+    (interference, core counts, ...). *)
+
+val comparison_errors : comparison -> (string * (string * float) list) list
+(** Per tier: the radar-axis error percentages. *)

@@ -1,0 +1,1 @@
+lib/gen/body_gen.ml: Array Block Ditto_app Ditto_isa Ditto_profile Ditto_trace Ditto_util Float Iclass Iform Layout List Params Printf Spec

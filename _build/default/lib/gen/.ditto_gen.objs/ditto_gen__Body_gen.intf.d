@@ -1,0 +1,1 @@
+lib/gen/body_gen.mli: Ditto_app Ditto_profile Ditto_trace Ditto_util Params

@@ -1,0 +1,1 @@
+lib/gen/clone.ml: Body_gen Ditto_app Ditto_profile Ditto_trace Layout List Params Spec

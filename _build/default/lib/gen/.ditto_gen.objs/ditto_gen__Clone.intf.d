@@ -1,0 +1,1 @@
+lib/gen/clone.mli: Body_gen Ditto_app Ditto_profile Ditto_trace Params

@@ -1,0 +1,1 @@
+lib/gen/params.mli: Format

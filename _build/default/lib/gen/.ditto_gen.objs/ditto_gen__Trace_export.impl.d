@@ -1,0 +1,1 @@
+lib/gen/trace_export.ml: Block Buffer Ditto_isa Ditto_profile Fun Iclass Iform List Printf

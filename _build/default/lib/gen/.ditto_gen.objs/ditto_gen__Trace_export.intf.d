@@ -1,0 +1,1 @@
+lib/gen/trace_export.mli: Ditto_app

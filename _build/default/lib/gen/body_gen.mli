@@ -1,0 +1,42 @@
+(** Synthetic application-body generator (§4.4).
+
+    Produces a handler whose instruction blocks reproduce the profiled
+    instruction mix, branch behaviour (bitmask taken/transition patterns),
+    instruction and data working-set decompositions (Eqs. 1 and 2, Fig. 4's
+    window layout), and register-assigned dependency distances with
+    pointer-chasing loads for MLP — plus system calls and downstream RPCs
+    drawn from their profiled distributions. The generated code sequence is
+    entirely distinct from the original's (§4.1 "Abstraction"): only
+    statistics cross the boundary. *)
+
+(** Which profile components to incorporate — the A..I decomposition of
+    Fig. 9. *)
+type features = {
+  f_syscalls : bool;
+  f_inst_count : bool;
+  f_inst_mix : bool;
+  f_branches : bool;
+  f_i_mem : bool;
+  f_d_mem : bool;
+  f_deps : bool;
+}
+
+val all_features : features
+val no_features : features
+
+val stage : char -> features
+(** ['A'].. ['H'] per Fig. 9 (stage I is H plus tuning, applied via
+    {!Params}). Raises [Invalid_argument] otherwise. *)
+
+val generate :
+  profile:Ditto_profile.Tier_profile.t ->
+  space:Ditto_app.Layout.space ->
+  features:features ->
+  params:Params.t ->
+  downstream:Ditto_trace.Dag.edge list ->
+  seed:int ->
+  Ditto_util.Rng.t -> int -> Ditto_app.Spec.op list
+(** The returned closure is the synthetic tier's request handler. Blocks
+    are generated once (hard-coded offsets and bitmasks, like emitted
+    assembly); per-request variation comes only from profiled
+    probabilities (call fan-out, syscall counts). *)

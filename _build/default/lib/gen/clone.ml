@@ -1,0 +1,55 @@
+open Ditto_app
+module P = Ditto_profile
+
+let synth_tier ?(features = Body_gen.all_features) ?(params = Params.default) ?(seed = 1009)
+    ~(profile : P.Tier_profile.t) ~space ~downstream () =
+  let sk = profile.P.Tier_profile.skeleton in
+  let handler =
+    Body_gen.generate ~profile ~space ~features ~params ~downstream ~seed
+  in
+  let background_handler =
+    match profile.P.Tier_profile.background with
+    | None -> None
+    | Some bg_profile ->
+        let bg =
+          Body_gen.generate ~profile:bg_profile ~space ~features ~params ~downstream:[]
+            ~seed:(seed + 13)
+        in
+        Some (fun rng -> bg rng 0)
+  in
+  Spec.tier ~name:profile.P.Tier_profile.tier_name
+    ~server_model:sk.P.Skeleton.server_model ~client_model:sk.P.Skeleton.client_model
+    ~workers:sk.P.Skeleton.worker_threads ~dynamic_threads:sk.P.Skeleton.dynamic_threads
+    ~background:sk.P.Skeleton.background ?background_handler
+    ~request_bytes:sk.P.Skeleton.request_bytes ~response_bytes:sk.P.Skeleton.response_bytes
+    ~heap_bytes:profile.P.Tier_profile.heap_bytes
+    ~shared_bytes:profile.P.Tier_profile.shared_bytes
+    ~file_bytes:profile.P.Tier_profile.file_bytes ~handler ()
+
+let synth_app ?(features = Body_gen.all_features) ?params ?(seed = 1009)
+    (app : P.Tier_profile.app) =
+  let params_for name =
+    match params with Some f -> f name | None -> Params.default
+  in
+  let tiers =
+    List.mapi
+      (fun i (tp : P.Tier_profile.t) ->
+        let space =
+          Layout.space ~tier_index:i ~heap_bytes:tp.P.Tier_profile.heap_bytes
+            ~shared_bytes:tp.P.Tier_profile.shared_bytes
+        in
+        let downstream =
+          match app.P.Tier_profile.dag with
+          | None -> []
+          | Some dag -> Ditto_trace.Dag.downstreams dag tp.P.Tier_profile.tier_name
+        in
+        synth_tier ~features
+          ~params:(params_for tp.P.Tier_profile.tier_name)
+          ~seed:(seed + (17 * i))
+          ~profile:tp ~space ~downstream ())
+      app.P.Tier_profile.tiers
+  in
+  Spec.make
+    ~name:(app.P.Tier_profile.app_name ^ "_synth")
+    ~entry:app.P.Tier_profile.entry
+    ?page_cache_hint:app.P.Tier_profile.page_cache_hint tiers

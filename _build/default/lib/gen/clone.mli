@@ -1,0 +1,27 @@
+(** Clone assembly: profile → synthetic {!Ditto_app.Spec.t} (§4.1–4.4).
+
+    The skeleton generator recreates each tier's thread and network models
+    from the skeleton profile; the body generator fills the handlers; the
+    topology DAG wires synthetic tiers together with the original's RPC
+    interfaces. The resulting spec runs through exactly the same
+    {!Ditto_app.Runner} as the original. *)
+
+val synth_tier :
+  ?features:Body_gen.features ->
+  ?params:Params.t ->
+  ?seed:int ->
+  profile:Ditto_profile.Tier_profile.t ->
+  space:Ditto_app.Layout.space ->
+  downstream:Ditto_trace.Dag.edge list ->
+  unit ->
+  Ditto_app.Spec.tier
+
+val synth_app :
+  ?features:Body_gen.features ->
+  ?params:(string -> Params.t) ->
+  ?seed:int ->
+  Ditto_profile.Tier_profile.app ->
+  Ditto_app.Spec.t
+(** Clone every tier. [params] maps tier name to its calibrated knobs
+    (defaults to {!Params.default} for all). The synthetic app's name is
+    the original's suffixed with ["_synth"]. *)

@@ -1,0 +1,33 @@
+type t = {
+  inst_scale : float;
+  i_ws_scale : float;
+  d_ws_scale : float;
+  big_mass_scale : float;
+  branch_m_shift : int;
+  branch_n_shift : int;
+  chase_scale : float;
+}
+
+let default =
+  {
+    inst_scale = 1.0;
+    i_ws_scale = 1.0;
+    d_ws_scale = 1.0;
+    big_mass_scale = 1.0;
+    branch_m_shift = 0;
+    branch_n_shift = 0;
+    chase_scale = 1.0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "inst=%.3f iws=%.3f dws=%.3f big=%.3f bm=%+d bn=%+d chase=%.3f"
+    t.inst_scale t.i_ws_scale t.d_ws_scale t.big_mass_scale t.branch_m_shift t.branch_n_shift
+    t.chase_scale
+
+type group = Frontend | Data | Work
+
+let group_of_metric = function
+  | "l1i" | "branch" -> Some Frontend
+  | "l1d" | "l2" | "llc" -> Some Data
+  | "ipc" | "insts" -> Some Work
+  | _ -> None

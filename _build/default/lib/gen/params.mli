@@ -1,0 +1,27 @@
+(** Generator tuning knobs, calibrated by {!Ditto_tune} (§4.5).
+
+    Knobs are grouped: members of a group are jointly tuned because they
+    influence the same counters (e.g. branch rates and the i-cache pattern
+    both drive branch prediction); across groups they are close to
+    orthogonal, which is what makes the paper's feedback heuristic work. *)
+
+type t = {
+  inst_scale : float;  (** scales dynamic instructions per request *)
+  i_ws_scale : float;  (** scales instruction footprints (L1i/frontend) *)
+  d_ws_scale : float;  (** scales data working-set sizes (L1d) *)
+  big_mass_scale : float;
+      (** scales the count of large-working-set accesses (L2/LLC traffic) *)
+  branch_m_shift : int;  (** +1 = halve minority-direction rates *)
+  branch_n_shift : int;
+  chase_scale : float;  (** scales the pointer-chasing load fraction (MLP) *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit
+
+(** The jointly-tuned knob groups. *)
+type group = Frontend | Data | Work
+
+val group_of_metric : string -> group option
+(** Maps a counter name ("l1i" | "branch" | "l1d" | "l2" | "llc" | "ipc")
+    to the knob group that owns it. *)

@@ -1,0 +1,49 @@
+open Ditto_isa
+module P = Ditto_profile
+
+type access = { addr : int; write : bool }
+
+let collect ~tier ~requests ~seed ~max_accesses =
+  let out = ref [] in
+  let count = ref 0 in
+  let push addr write =
+    if !count < max_accesses then begin
+      incr count;
+      out := { addr; write } :: !out
+    end
+  in
+  let obs =
+    {
+      P.Stream.null_observer with
+      P.Stream.on_event =
+        (fun ev ->
+          if ev.Block.ev_addr >= 0 then begin
+            let klass = ev.Block.ev_temp.Block.iform.Iform.klass in
+            if klass = Iclass.Rep_string then begin
+              let lines = max 1 (ev.Block.ev_temp.Block.rep_count / 64) in
+              for i = 0 to lines - 1 do
+                push (ev.Block.ev_addr + (64 * i)) false
+              done
+            end
+            else push ev.Block.ev_addr (Iclass.is_memory_write klass)
+          end);
+    }
+  in
+  P.Stream.drive ~tier ~requests ~seed [ obs ];
+  List.rev !out
+
+let to_ramulator accesses =
+  let buf = Buffer.create (List.length accesses * 16) in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "0x%x %s\n" a.addr (if a.write then "W" else "R")))
+    accesses;
+  Buffer.contents buf
+
+let save ~path ~tier ~requests ~seed ?(max_accesses = 1_000_000) () =
+  let accesses = collect ~tier ~requests ~seed ~max_accesses in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_ramulator accesses));
+  List.length accesses

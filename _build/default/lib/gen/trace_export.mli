@@ -1,0 +1,28 @@
+(** Memory-trace export for trace-driven simulators.
+
+    §5: "the synthesized binaries can run directly on hardware,
+    execution-driven simulators like gem5 and ZSim, or their traces can be
+    fed to trace-driven simulators like Ramulator." This module walks a
+    synthetic (or original) tier's dynamic instruction stream and emits its
+    memory accesses in Ramulator's simple trace format —
+    [<hex address> R|W] per line — plus an instruction-fetch variant. *)
+
+type access = { addr : int; write : bool }
+
+val collect :
+  tier:Ditto_app.Spec.tier -> requests:int -> seed:int -> max_accesses:int -> access list
+(** Dynamic data accesses of the tier's handler stream, REP operations
+    expanded to their per-line touches, truncated at [max_accesses]. *)
+
+val to_ramulator : access list -> string
+(** One [0x<addr> R|W] line per access. *)
+
+val save :
+  path:string ->
+  tier:Ditto_app.Spec.tier ->
+  requests:int ->
+  seed:int ->
+  ?max_accesses:int ->
+  unit ->
+  int
+(** Write the trace file; returns the number of accesses written. *)

@@ -1,0 +1,1 @@
+lib/isa/block.mli: Ditto_util Iform

@@ -1,0 +1,1 @@
+lib/isa/iform.ml: Array Float Hashtbl Iclass List

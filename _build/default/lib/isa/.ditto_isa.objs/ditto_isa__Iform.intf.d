@@ -1,0 +1,1 @@
+lib/isa/iform.mli: Iclass

@@ -1,0 +1,184 @@
+type region = { region_base : int; region_bytes : int; shared : bool }
+
+let make_region ~base ~bytes ~shared =
+  assert (base land 63 = 0);
+  { region_base = base; region_bytes = bytes; shared }
+
+type mem_pattern =
+  | No_mem
+  | Fixed_offset of { region : region; offset : int }
+  | Seq_stride of { region : region; start : int; stride : int; span : int }
+  | Rand_uniform of { region : region; start : int; span : int }
+  | Chase of { region : region; start : int; span : int }
+
+type branch_spec = { m : int; n : int; invert : bool }
+
+(* Deterministic outcome sequence with taken fraction 2^-m and transition
+   frequency 2^-n (clamped to 2^(1-m) when the rates are inconsistent).
+   Within each period of 2^(n+1) executions the first 2^(n+1-m) are taken;
+   when m > n+1 only one period in 2^(m-n-1) contains a single taken slot. *)
+let branch_outcome ~m ~n k =
+  let m = max 0 m and n = max 0 n in
+  let period_bits = n + 1 in
+  let in_period = k land ((1 lsl period_bits) - 1) in
+  if m <= period_bits then in_period < 1 lsl (period_bits - m)
+  else begin
+    let j = k lsr period_bits in
+    let skip = (1 lsl (m - period_bits)) - 1 in
+    j land skip = 0 && in_period = 0
+  end
+
+type temp = {
+  iform : Iform.t;
+  dst : int;
+  srcs : int array;
+  mem : mem_pattern;
+  branch : branch_spec option;
+  rep_count : int;
+  mutable branch_seq : int;
+  mutable seq_pos : int;
+  mutable seq_phase : int;
+  mutable chase_cur : int;
+}
+
+let no_reg = -1
+
+let temp ?(dst = no_reg) ?(srcs = [||]) ?(mem = No_mem) ?branch ?(rep_count = 0) iform =
+  {
+    iform;
+    dst;
+    srcs;
+    mem;
+    branch;
+    rep_count;
+    branch_seq = 0;
+    seq_pos = 0;
+    seq_phase = 0;
+    chase_cur = -1;
+  }
+
+let set_phase temp phase =
+  temp.seq_phase <- phase;
+  temp.seq_pos <- phase
+
+type t = {
+  uid : int;
+  label : string;
+  code_base : int;
+  temps : temp array;
+  addrs : int array;
+  code_bytes : int;
+  static_insts : int;
+}
+
+let next_uid = ref 0
+
+let make ~label ~code_base temps =
+  let temps = Array.of_list temps in
+  let n = Array.length temps in
+  let addrs = Array.make n 0 in
+  let pc = ref code_base in
+  Array.iteri
+    (fun i t ->
+      addrs.(i) <- !pc;
+      pc := !pc + t.iform.Iform.bytes)
+    temps;
+  incr next_uid;
+  {
+    uid = !next_uid;
+    label;
+    code_base;
+    temps;
+    addrs;
+    code_bytes = !pc - code_base;
+    static_insts = n;
+  }
+
+let reset_state t =
+  Array.iter
+    (fun temp ->
+      temp.branch_seq <- 0;
+      temp.seq_pos <- temp.seq_phase;
+      temp.chase_cur <- -1)
+    t.temps
+
+let gp i =
+  assert (i >= 0 && i < 16);
+  i
+
+let xmm i =
+  assert (i >= 0 && i < 16);
+  16 + i
+
+let num_regs = 32
+
+(* Multiplicative hash onto a 64-byte-aligned slot of the window; constants
+   from SplitMix64's finaliser so chains visit slots in a scattered order. *)
+let chase_next region ~start ~span addr =
+  let slots = max 1 (span / 64) in
+  let h = (addr * 0x2545F4914F6CDD1D) land max_int in
+  let slot = (h lsr 6) mod slots in
+  region.region_base + start + (slot * 64)
+
+let resolve_mem ~rng temp =
+  match temp.mem with
+  | No_mem -> (-1, false)
+  | Fixed_offset { region; offset } -> (region.region_base + offset, region.shared)
+  | Seq_stride { region; start; stride; span } ->
+      let span = max 64 span in
+      let pos = temp.seq_pos in
+      temp.seq_pos <- pos + 1;
+      (region.region_base + start + (pos * stride mod span), region.shared)
+  | Rand_uniform { region; start; span } ->
+      let lines = max 1 (span / 64) in
+      (region.region_base + start + (64 * Ditto_util.Rng.int rng lines), region.shared)
+  | Chase { region; start; span } ->
+      (* A chain is (re-)entered at a random node every [chain_len] hops, so
+         distinct requests walk distinct but internally serialised chains. *)
+      let chain_len = 64 in
+      let cur =
+        if temp.chase_cur < 0 || temp.seq_pos mod chain_len = 0 then
+          region.region_base + start + (64 * Ditto_util.Rng.int rng (max 1 (span / 64)))
+        else temp.chase_cur
+      in
+      temp.seq_pos <- temp.seq_pos + 1;
+      let next = chase_next region ~start ~span cur in
+      temp.chase_cur <- next;
+      (cur, region.shared)
+
+type event = {
+  ev_index : int;
+  ev_pc : int;
+  ev_temp : temp;
+  ev_addr : int;
+  ev_shared : bool;
+  ev_taken : bool option;
+  ev_iteration : int;
+}
+
+let iter_stream ~rng ~iterations t f =
+  let ntemps = Array.length t.temps in
+  for iteration = 0 to iterations - 1 do
+    for k = 0 to ntemps - 1 do
+      let temp = t.temps.(k) in
+      let addr, shared = resolve_mem ~rng temp in
+      let taken =
+        match temp.branch with
+        | Some spec ->
+            let seq = temp.branch_seq in
+            temp.branch_seq <- seq + 1;
+            Some (branch_outcome ~m:spec.m ~n:spec.n seq <> spec.invert)
+        | None -> None
+      in
+      f
+        {
+          ev_index = k;
+          ev_pc = t.addrs.(k);
+          ev_temp = temp;
+          ev_addr = addr;
+          ev_shared = shared;
+          ev_taken = taken;
+          ev_iteration = iteration;
+        }
+    done
+  done

@@ -1,0 +1,1 @@
+lib/loadgen/workload.ml: Ditto_app Ditto_util

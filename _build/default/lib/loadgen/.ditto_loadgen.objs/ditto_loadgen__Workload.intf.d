@@ -1,0 +1,1 @@
+lib/loadgen/workload.mli: Ditto_app Ditto_util

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Ditto_sim Engine

@@ -1,0 +1,1 @@
+lib/net/socket.ml: Ditto_sim Engine List Nic Option Queue

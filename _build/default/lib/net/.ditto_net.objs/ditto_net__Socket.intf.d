@@ -1,0 +1,1 @@
+lib/net/socket.mli: Ditto_sim Nic

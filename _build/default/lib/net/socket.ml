@@ -1,0 +1,82 @@
+open Ditto_sim
+
+type endpoint = {
+  engine : Engine.t;
+  inbox : (int * float) Queue.t;
+  mutable watchers : unit Engine.waker list;
+  nic : Nic.t;
+  latency : float;
+  mutable peer : endpoint option;
+}
+
+let make engine nic latency =
+  { engine; inbox = Queue.create (); watchers = []; nic; latency; peer = None }
+
+let pair engine ~a_nic ~b_nic ~latency =
+  let a = make engine a_nic latency and b = make engine b_nic latency in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+let notify_watchers ep =
+  let ws = ep.watchers in
+  ep.watchers <- [];
+  List.iter (fun w -> Engine.wake w ()) ws
+
+let send ep ~bytes =
+  match ep.peer with
+  | None -> invalid_arg "Socket.send: unconnected"
+  | Some peer ->
+      Nic.transmit ep.nic ~bytes;
+      let deliver_at = Engine.time () +. ep.latency in
+      Engine.schedule ep.engine deliver_at (fun () ->
+          Nic.note_received peer.nic ~bytes;
+          Queue.push (bytes, deliver_at) peer.inbox;
+          notify_watchers peer)
+
+let rec recv_timed ep =
+  match Queue.take_opt ep.inbox with
+  | Some msg -> msg
+  | None ->
+      Engine.suspend (fun w -> ep.watchers <- w :: ep.watchers);
+      recv_timed ep
+
+let recv ep = fst (recv_timed ep)
+let try_recv_timed ep = Queue.take_opt ep.inbox
+let try_recv ep = Option.map fst (try_recv_timed ep)
+let pending ep = Queue.length ep.inbox
+
+module Epoll = struct
+  type t = { mutable endpoints : endpoint list; mutable waiters : unit Engine.waker list }
+
+  let create () = { endpoints = []; waiters = [] }
+
+  (* A connection can be added while a worker is already parked in [wait];
+     the pending waiters must hear about traffic on the new endpoint (or be
+     woken immediately if it is already readable). *)
+  let add t ep =
+    t.endpoints <- ep :: t.endpoints;
+    let live = List.filter (fun w -> not (Engine.is_woken w)) t.waiters in
+    t.waiters <- live;
+    if Queue.is_empty ep.inbox then ep.watchers <- live @ ep.watchers
+    else List.iter (fun w -> Engine.wake w ()) live
+
+  let ready t = List.filter (fun ep -> not (Queue.is_empty ep.inbox)) t.endpoints
+
+  let register t w =
+    t.waiters <- w :: List.filter (fun w' -> not (Engine.is_woken w')) t.waiters;
+    List.iter (fun ep -> ep.watchers <- w :: ep.watchers) t.endpoints
+
+  let rec wait ?timeout t =
+    match ready t with
+    | _ :: _ as rs -> rs
+    | [] -> (
+        match timeout with
+        | None ->
+            Engine.suspend (fun w -> register t w);
+            wait t
+        | Some d -> (
+            match Engine.suspend_timeout d (fun w -> register t w) with
+            | None -> []
+            | Some () -> wait ?timeout t))
+end

@@ -1,0 +1,44 @@
+(** Bidirectional message sockets with epoll-style readiness.
+
+    Messages carry only sizes (no payload — the clone never ships real
+    data). A send serialises through the local NIC, crosses the link
+    latency, then lands in the peer's receive queue and wakes any epoll
+    waiter — giving the I/O-multiplexing server model of §4.3.1 its real
+    blocking structure. *)
+
+type endpoint
+
+val pair :
+  Ditto_sim.Engine.t ->
+  a_nic:Nic.t ->
+  b_nic:Nic.t ->
+  latency:float ->
+  endpoint * endpoint
+(** A connected socket; [latency] is the one-way propagation delay. *)
+
+val send : endpoint -> bytes:int -> unit
+(** Blocking send from within a process (NIC queueing + serialisation). *)
+
+val recv : endpoint -> int
+(** Blocking receive; returns the message size. *)
+
+val recv_timed : endpoint -> int * float
+(** Blocking receive returning (size, delivery time) — the instant the
+    message entered the receive queue, for measuring server-side queueing. *)
+
+val try_recv : endpoint -> int option
+val try_recv_timed : endpoint -> (int * float) option
+val pending : endpoint -> int
+
+(** {1 I/O multiplexing} *)
+
+module Epoll : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> endpoint -> unit
+
+  val wait : ?timeout:float -> t -> endpoint list
+  (** Block until at least one registered endpoint is readable; returns the
+      ready endpoints ([] only on timeout). *)
+end

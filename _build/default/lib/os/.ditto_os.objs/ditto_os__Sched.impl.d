@@ -1,0 +1,1 @@
+lib/os/sched.ml: Array Ditto_sim Engine Float

@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Block Ditto_isa Ditto_util Hashtbl Iform List Printf

@@ -1,0 +1,89 @@
+let page_bytes = 4096
+
+(* Doubly-linked LRU list over page ids, with a hashtable index. *)
+type node = { page : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  capacity : int; (* pages *)
+  index : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recent *)
+  mutable tail : node option; (* least recent *)
+  mutable size : int;
+  mutable lookups : int;
+  mutable misses : int;
+}
+
+let create ~capacity_bytes =
+  {
+    capacity = max 1 (capacity_bytes / page_bytes);
+    index = Hashtbl.create 4096;
+    head = None;
+    tail = None;
+    size = 0;
+    lookups = 0;
+    misses = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.index n.page;
+      t.size <- t.size - 1
+
+let touch_page t page =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.index page with
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      if t.size >= t.capacity then evict_lru t;
+      let n = { page; prev = None; next = None } in
+      Hashtbl.add t.index page n;
+      push_front t n;
+      t.size <- t.size + 1;
+      false
+
+let read t ~offset ~bytes =
+  if bytes <= 0 then 0
+  else begin
+    let first = offset / page_bytes in
+    let last = (offset + bytes - 1) / page_bytes in
+    let missed = ref 0 in
+    for p = first to last do
+      if not (touch_page t p) then incr missed
+    done;
+    !missed * page_bytes
+  end
+
+let lookups t = t.lookups
+let misses t = t.misses
+
+let hit_rate t =
+  if t.lookups = 0 then 0.0 else 1.0 -. (float_of_int t.misses /. float_of_int t.lookups)
+
+let reset_stats t =
+  t.lookups <- 0;
+  t.misses <- 0
+
+let flush t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

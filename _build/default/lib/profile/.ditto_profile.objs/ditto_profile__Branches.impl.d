@@ -1,0 +1,1 @@
+lib/profile/branches.ml: Block Ditto_isa Ditto_util Hashtbl List Option Stream

@@ -1,0 +1,1 @@
+lib/profile/branches.mli: Ditto_util Stream

@@ -1,0 +1,1 @@
+lib/profile/deps.ml: Array Block Ditto_isa Ditto_util Iclass Iform List Stream

@@ -1,0 +1,1 @@
+lib/profile/deps.mli: Ditto_util Stream

@@ -1,0 +1,1 @@
+lib/profile/instmix.ml: Array Block Ditto_isa Ditto_util Iclass Iform List Stream

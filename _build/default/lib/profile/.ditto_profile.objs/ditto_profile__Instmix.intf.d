@@ -1,0 +1,1 @@
+lib/profile/instmix.mli: Ditto_isa Ditto_util Stream

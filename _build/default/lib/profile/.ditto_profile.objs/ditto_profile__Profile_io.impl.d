@@ -1,0 +1,1 @@
+lib/profile/profile_io.ml: Array Branches Deps Ditto_app Ditto_os Ditto_trace Ditto_util Fun Instmix List Printf Skeleton Syscalls Tier_profile Working_set

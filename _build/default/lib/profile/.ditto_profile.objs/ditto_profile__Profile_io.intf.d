@@ -1,0 +1,1 @@
+lib/profile/profile_io.mli: Ditto_util Tier_profile

@@ -1,0 +1,1 @@
+lib/profile/skeleton.ml: Array Ditto_app Ditto_os Ditto_util Fun List Spec

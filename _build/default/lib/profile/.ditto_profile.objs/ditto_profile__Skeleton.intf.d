@@ -1,0 +1,1 @@
+lib/profile/skeleton.mli: Ditto_app Ditto_util

@@ -1,0 +1,1 @@
+lib/profile/stream.ml: Ditto_app Ditto_isa Ditto_util List Spec

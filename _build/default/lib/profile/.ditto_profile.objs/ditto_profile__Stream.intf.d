@@ -1,0 +1,1 @@
+lib/profile/stream.mli: Ditto_app Ditto_isa

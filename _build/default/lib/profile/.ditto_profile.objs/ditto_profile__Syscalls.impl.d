@@ -1,0 +1,1 @@
+lib/profile/syscalls.ml: Ditto_app Ditto_os Hashtbl Spec Stream

@@ -1,0 +1,1 @@
+lib/profile/syscalls.mli: Ditto_os Stream

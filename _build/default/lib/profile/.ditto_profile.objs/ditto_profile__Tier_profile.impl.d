@@ -1,0 +1,1 @@
+lib/profile/tier_profile.ml: Branches Deps Ditto_app Ditto_trace Format Instmix List Skeleton Spec Stream Syscalls Working_set

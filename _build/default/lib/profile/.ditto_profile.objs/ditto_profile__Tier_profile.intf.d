@@ -1,0 +1,1 @@
+lib/profile/tier_profile.mli: Branches Deps Ditto_app Ditto_trace Format Instmix Skeleton Syscalls Working_set

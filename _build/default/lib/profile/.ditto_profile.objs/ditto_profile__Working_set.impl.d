@@ -1,0 +1,1 @@
+lib/profile/working_set.ml: Block Ditto_isa Ditto_uarch Float Hashtbl Iclass Iform List Stream

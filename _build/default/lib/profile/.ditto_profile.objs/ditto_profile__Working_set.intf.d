@@ -1,0 +1,1 @@
+lib/profile/working_set.mli: Stream

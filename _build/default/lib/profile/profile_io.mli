@@ -1,0 +1,21 @@
+(** Profile serialisation — the artefact a provider actually shares.
+
+    Ditto's whole point (§4.1 "Abstraction", §7.2) is that the profile can
+    leave the owner's hands: it contains only statistical distributions
+    (mix clusters, working-set histograms, quantized branch bins, syscall
+    counts, the RPC DAG) and never code, data, or addresses of the original.
+    This module round-trips {!Tier_profile.app} through a stable JSON
+    format, so a consumer can regenerate the clone with
+    {!Ditto_gen.Clone.synth_app} from the file alone. *)
+
+val version : int
+
+val to_json : Tier_profile.app -> Ditto_util.Jsonx.t
+val of_json : Ditto_util.Jsonx.t -> Tier_profile.app
+(** Raises [Ditto_util.Jsonx.Parse_error] on malformed or
+    version-incompatible input. *)
+
+val save : string -> Tier_profile.app -> unit
+(** Write to a file (pretty-printed JSON). *)
+
+val load : string -> Tier_profile.app

@@ -1,0 +1,38 @@
+(** Application-skeleton profiler (§4.3) — the SystemTap analogue for
+    network and thread models.
+
+    Builds per-thread call trees from observed kernel-event sequences
+    (socket waits, reads/writes, timer wakeups, downstream calls), measures
+    pairwise tree-edit distance, and clusters threads agglomeratively —
+    the number of thread classes is unknown in advance, exactly the
+    situation of §4.3.2. Each cluster is classified as long- or
+    short-lived and by trigger (socket-readable vs timer), and the server
+    and client network models are inferred from the blocking syscall
+    pattern. *)
+
+type thread_class = {
+  cluster_size : int;
+  long_lived : bool;
+  trigger : [ `Socket | `Timer ];
+}
+
+type t = {
+  server_model : Ditto_app.Spec.server_model;
+  client_model : Ditto_app.Spec.client_model;
+  worker_threads : int;
+  dynamic_threads : bool;
+  thread_classes : thread_class list;
+  background : (string * float) list;
+  request_bytes : int;
+  response_bytes : int;
+}
+
+val call_tree_of_ops :
+  skeleton:string list -> Ditto_app.Spec.op list -> string Ditto_util.Tree_edit.tree
+(** The observable call tree of one thread activation: skeleton syscalls
+    as the first children, then one child per body operation (labelled by
+    its kernel-visible kind — never by application internals). *)
+
+val detect : Ditto_app.Spec.tier -> samples:int -> seed:int -> t
+
+val clustering_threshold : float

@@ -1,0 +1,25 @@
+open Ditto_app
+
+type observer = {
+  on_event : Ditto_isa.Block.event -> unit;
+  on_op : Spec.op -> unit;
+  on_request_end : unit -> unit;
+}
+
+let null_observer = { on_event = ignore; on_op = ignore; on_request_end = ignore }
+
+let drive ~(tier : Spec.tier) ~requests ~seed observers =
+  let rng = Ditto_util.Rng.create seed in
+  let on_event ev = List.iter (fun o -> o.on_event ev) observers in
+  for req = 0 to requests - 1 do
+    let ops = tier.Spec.handler rng req in
+    List.iter
+      (fun op ->
+        List.iter (fun o -> o.on_op op) observers;
+        match op with
+        | Spec.Compute (block, iterations) ->
+            Ditto_isa.Block.iter_stream ~rng ~iterations block on_event
+        | Spec.Syscall _ | Spec.File_read _ | Spec.File_write _ | Spec.Call _ -> ())
+      ops;
+    List.iter (fun o -> o.on_request_end ()) observers
+  done

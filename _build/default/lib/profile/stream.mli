@@ -1,0 +1,18 @@
+(** Dynamic-instrumentation driver: replays a tier's request streams and
+    feeds every user-space instruction event and every operation to a set
+    of observers in a single pass.
+
+    This is the profiling hook Ditto gets from SDE/Valgrind/SystemTap on a
+    real binary. Kernel streams are deliberately not exposed at assembly
+    level: "assembly-level profiling for kernel-space functions is
+    unnecessary, since they can be cloned by imitating the system calls
+    themselves" (§4.4) — observers see the syscalls as operations instead. *)
+
+type observer = {
+  on_event : Ditto_isa.Block.event -> unit;
+  on_op : Ditto_app.Spec.op -> unit;
+  on_request_end : unit -> unit;
+}
+
+val null_observer : observer
+val drive : tier:Ditto_app.Spec.tier -> requests:int -> seed:int -> observer list -> unit

@@ -1,0 +1,104 @@
+open Ditto_app
+module Syscall = Ditto_os.Syscall
+
+type file_profile = {
+  reads_per_request : float;
+  read_bytes_mean : int;
+  random_ratio : float;
+  offset_span : int;
+  writes_per_request : float;
+  write_bytes_mean : int;
+}
+
+type t = {
+  file : file_profile option;
+  misc : (Syscall.kind * float) list;
+}
+
+type misc_acc = { mutable count : int; mutable bytes : int; mutable seconds : float }
+
+let observer ?(live = ref true) () =
+  let requests = ref 0 in
+  let reads = ref 0 and read_bytes = ref 0 and randoms = ref 0 and span = ref 0 in
+  let writes = ref 0 and write_bytes = ref 0 in
+  let misc : (string, misc_acc) Hashtbl.t = Hashtbl.create 16 in
+  let misc_acc name =
+    match Hashtbl.find_opt misc name with
+    | Some a -> a
+    | None ->
+        let a = { count = 0; bytes = 0; seconds = 0.0 } in
+        Hashtbl.add misc name a;
+        a
+  in
+  let on_op op =
+    if not !live then ()
+    else
+    match op with
+    | Spec.File_read { offset; bytes; random } ->
+        incr reads;
+        read_bytes := !read_bytes + bytes;
+        if random then incr randoms;
+        span := max !span (offset + bytes)
+    | Spec.File_write { bytes } ->
+        incr writes;
+        write_bytes := !write_bytes + bytes
+    | Spec.Syscall k ->
+        let a = misc_acc (Syscall.name k) in
+        a.count <- a.count + 1;
+        a.bytes <- a.bytes + Syscall.payload_bytes k;
+        (match k with
+        | Syscall.Nanosleep { seconds } -> a.seconds <- a.seconds +. seconds
+        | _ -> ())
+    | Spec.Compute _ | Spec.Call _ -> ()
+  in
+  let obs =
+    {
+      Stream.null_observer with
+      Stream.on_op;
+      on_request_end = (fun () -> if !live then incr requests);
+    }
+  in
+  let rebuild name (a : misc_acc) =
+    let mean_bytes = if a.count = 0 then 0 else a.bytes / a.count in
+    match name with
+    | "futex_wait" -> Some Syscall.Futex_wait
+    | "futex_wake" -> Some Syscall.Futex_wake
+    | "mmap" -> Some (Syscall.Mmap { bytes = mean_bytes })
+    | "clone" -> Some Syscall.Clone
+    | "gettime" -> Some Syscall.Gettime
+    | "nanosleep" ->
+        Some (Syscall.Nanosleep { seconds = a.seconds /. float_of_int (max 1 a.count) })
+    | "epoll_wait" -> Some Syscall.Epoll_wait
+    | "accept" -> Some Syscall.Accept
+    | "pread" -> Some (Syscall.Pread { bytes = mean_bytes; random = true })
+    | "pwrite" -> Some (Syscall.Pwrite { bytes = mean_bytes })
+    | "sock_read" -> Some (Syscall.Sock_read { bytes = mean_bytes })
+    | "sock_write" -> Some (Syscall.Sock_write { bytes = mean_bytes })
+    | _ -> None
+  in
+  let finish () =
+    let r = float_of_int (max 1 !requests) in
+    let file =
+      if !reads = 0 && !writes = 0 then None
+      else
+        Some
+          {
+            reads_per_request = float_of_int !reads /. r;
+            read_bytes_mean = (if !reads = 0 then 0 else !read_bytes / !reads);
+            random_ratio = (if !reads = 0 then 0.0 else float_of_int !randoms /. float_of_int !reads);
+            offset_span = !span;
+            writes_per_request = float_of_int !writes /. r;
+            write_bytes_mean = (if !writes = 0 then 0 else !write_bytes / !writes);
+          }
+    in
+    let misc_list =
+      Hashtbl.fold
+        (fun name a acc ->
+          match rebuild name a with
+          | Some kind -> (kind, float_of_int a.count /. r) :: acc
+          | None -> acc)
+        misc []
+    in
+    { file; misc = misc_list }
+  in
+  (obs, finish)

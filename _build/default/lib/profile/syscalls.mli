@@ -1,0 +1,24 @@
+(** System-call profiler (§4.4.1) — the SystemTap analogue.
+
+    Records the distribution of system calls per request including their
+    argument characteristics: byte counts, file-offset span and randomness
+    for preads (which drive disk latency, utilisation and page-cache
+    behaviour), and the per-request frequency of each auxiliary call. RPC
+    sends/receives are excluded — the topology analyzer owns those. *)
+
+type file_profile = {
+  reads_per_request : float;
+  read_bytes_mean : int;
+  random_ratio : float;
+  offset_span : int;  (** observed file footprint (max offset+bytes) *)
+  writes_per_request : float;
+  write_bytes_mean : int;
+}
+
+type t = {
+  file : file_profile option;
+  misc : (Ditto_os.Syscall.kind * float) list;
+      (** reconstructed representative call -> mean invocations/request *)
+}
+
+val observer : ?live:bool ref -> unit -> Stream.observer * (unit -> t)

@@ -1,0 +1,252 @@
+open Effect
+open Effect.Deep
+
+(* Pending events in a binary min-heap ordered by (time, sequence); the
+   sequence number makes same-time events FIFO and the heap total. *)
+type event = { at : float; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable time : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy_event = { at = 0.0; seq = 0; fn = ignore }
+
+let create () =
+  { time = 0.0; heap = Array.make 256 dummy_event; size = 0; next_seq = 0; processed = 0 }
+
+let now t = t.time
+let events_processed t = t.processed
+
+let event_before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let push t at fn =
+  let at = Float.max at t.time in
+  let ev = { at; seq = t.next_seq; fn } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy_event in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- ev;
+  let continue_up = ref true in
+  while !continue_up && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if event_before t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue_up := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy_event;
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue_down = ref true in
+    while !continue_down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && event_before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && event_before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_down := false
+    done;
+    Some top
+  end
+
+let schedule t at fn = push t at fn
+
+type 'a waker = {
+  engine : t;
+  mutable resume : ('a -> unit) option;
+  mutable woken : bool;
+}
+
+type _ Effect.t +=
+  | Wait : float -> unit Effect.t
+  | Suspend : ('a waker -> unit) -> 'a Effect.t
+  | Fork : (unit -> unit) -> unit Effect.t
+  | Now : float Effect.t
+
+let rec exec t f =
+  match_with f ()
+    {
+      retc = ignore;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let d = Float.max 0.0 d in
+                  push t (t.time +. d) (fun () -> continue k ()))
+          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.time)
+          | Fork g ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  push t t.time (fun () -> exec t g);
+                  continue k ())
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let w = { engine = t; resume = None; woken = false } in
+                  w.resume <- Some (fun v -> continue k v);
+                  register w)
+          | _ -> None);
+    }
+
+let spawn t ?at f =
+  let at = match at with Some a -> a | None -> t.time in
+  push t at (fun () -> exec t f)
+
+let run ?until t =
+  let continue_run = ref true in
+  while !continue_run do
+    match pop t with
+    | None -> continue_run := false
+    | Some ev -> (
+        match until with
+        | Some limit when ev.at > limit ->
+            (* Leave the event unprocessed conceptually; the clock stops at
+               the limit. We drop it: runs with [until] are terminal. *)
+            t.time <- limit;
+            continue_run := false
+        | _ ->
+            t.time <- ev.at;
+            t.processed <- t.processed + 1;
+            ev.fn ())
+  done
+
+let time () = perform Now
+let wait d = perform (Wait d)
+
+let wake w v =
+  if not w.woken then begin
+    w.woken <- true;
+    match w.resume with
+    | None -> ()
+    | Some f ->
+        w.resume <- None;
+        push w.engine w.engine.time (fun () -> f v)
+  end
+
+let is_woken w = w.woken
+let suspend register = perform (Suspend register)
+
+let suspend_timeout d register =
+  suspend (fun (outer : 'a option waker) ->
+      let inner =
+        { engine = outer.engine; resume = Some (fun v -> wake outer (Some v)); woken = false }
+      in
+      register inner;
+      push outer.engine (outer.engine.time +. d) (fun () ->
+          if not inner.woken then begin
+            inner.woken <- true;
+            inner.resume <- None;
+            wake outer None
+          end))
+
+let fork f = perform (Fork f)
+
+module Ivar = struct
+  type 'a v = { mutable value : 'a option; mutable readers : 'a waker list }
+
+  let create () = { value = None; readers = [] }
+
+  let fill v x =
+    match v.value with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+        v.value <- Some x;
+        List.iter (fun w -> wake w x) v.readers;
+        v.readers <- []
+
+  let read v =
+    match v.value with
+    | Some x -> x
+    | None -> suspend (fun w -> v.readers <- w :: v.readers)
+
+  let is_filled v = v.value <> None
+end
+
+module Mailbox = struct
+  type 'a m = { q : 'a Queue.t; waiters : 'a waker Queue.t }
+
+  let create () = { q = Queue.create (); waiters = Queue.create () }
+
+  let rec deliver m v =
+    match Queue.take_opt m.waiters with
+    | None -> Queue.push v m.q
+    | Some w -> if is_woken w then deliver m v else wake w v
+
+  let send m v = deliver m v
+
+  let recv m =
+    match Queue.take_opt m.q with
+    | Some v -> v
+    | None -> suspend (fun w -> Queue.push w m.waiters)
+
+  let try_recv m = Queue.take_opt m.q
+
+  let recv_timeout m d =
+    match Queue.take_opt m.q with
+    | Some v -> Some v
+    | None -> suspend_timeout d (fun w -> Queue.push w m.waiters)
+
+  let length m = Queue.length m.q
+end
+
+module Resource = struct
+  type r = { cap : int; mutable in_use : int; waiters : unit waker Queue.t }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Resource.create: capacity must be positive";
+    { cap; in_use = 0; waiters = Queue.create () }
+
+  let capacity r = r.cap
+  let available r = r.cap - r.in_use
+
+  let acquire r =
+    if r.in_use < r.cap then r.in_use <- r.in_use + 1
+    else suspend (fun w -> Queue.push w r.waiters)
+
+  (* On release, hand the slot directly to the next live waiter so [in_use]
+     stays constant across the transfer; otherwise free the slot. *)
+  let rec release r =
+    match Queue.take_opt r.waiters with
+    | None -> r.in_use <- r.in_use - 1
+    | Some w -> if is_woken w then release r else wake w ()
+
+  let with_resource r f =
+    acquire r;
+    match f () with
+    | result ->
+        release r;
+        result
+    | exception e ->
+        release r;
+        raise e
+
+  let queue_length r = Queue.fold (fun acc w -> if is_woken w then acc else acc + 1) 0 r.waiters
+end

@@ -1,0 +1,114 @@
+(** Discrete-event simulation engine with effect-based processes.
+
+    Simulated entities (threads, NICs, disks, load generators) are ordinary
+    OCaml functions that perform blocking operations — [wait], [suspend] —
+    implemented with OCaml 5 effect handlers, so tier logic reads like the
+    straight-line pseudo-code of Fig. 3 in the paper (epoll_wait; read;
+    handle; sendmsg) while the engine interleaves processes in virtual time.
+
+    Time is in seconds (float). All operations must be performed from within
+    a process spawned on the engine. *)
+
+type t
+(** An engine instance: virtual clock plus pending-event queue. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t at f] runs callback [f] at absolute time [at] (clamped to
+    now). Callbacks may spawn processes and wake suspended ones. *)
+
+val spawn : t -> ?at:float -> (unit -> unit) -> unit
+(** Start a new process at absolute time [at] (default: now). *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, advancing the clock; stop early once the clock
+    would exceed [until]. *)
+
+val events_processed : t -> int
+(** Total events executed so far (for engine benchmarking). *)
+
+(** {1 Operations available inside processes} *)
+
+val time : unit -> float
+(** Current virtual time, from within a process. *)
+
+val wait : float -> unit
+(** Block the calling process for a (non-negative) duration. *)
+
+type 'a waker
+(** One-shot resumption handle for a suspended process. *)
+
+val wake : 'a waker -> 'a -> unit
+(** Resume the suspended process with a value, at the engine's current
+    time. Waking an already-woken waker is a no-op. *)
+
+val is_woken : 'a waker -> bool
+
+val suspend : ('a waker -> unit) -> 'a
+(** [suspend register] parks the calling process and hands a waker to
+    [register]; the process resumes when someone calls [wake]. *)
+
+val suspend_timeout : float -> ('a waker -> unit) -> 'a option
+(** Like [suspend], but resumes with [None] after the timeout if not woken
+    earlier. *)
+
+val fork : (unit -> unit) -> unit
+(** Spawn a sibling process on the same engine, starting now. *)
+
+(** {1 Synchronisation primitives} *)
+
+module Ivar : sig
+  (** Write-once cell: readers block until the value is set. *)
+
+  type 'a v
+
+  val create : unit -> 'a v
+  val fill : 'a v -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. *)
+
+  val read : 'a v -> 'a
+  (** Blocks until filled. *)
+
+  val is_filled : 'a v -> bool
+end
+
+module Mailbox : sig
+  (** Unbounded FIFO channel between processes. *)
+
+  type 'a m
+
+  val create : unit -> 'a m
+  val send : 'a m -> 'a -> unit
+  (** Never blocks; wakes one waiting receiver if any. *)
+
+  val recv : 'a m -> 'a
+  (** Blocks until a message is available. *)
+
+  val recv_timeout : 'a m -> float -> 'a option
+  val try_recv : 'a m -> 'a option
+  val length : 'a m -> int
+end
+
+module Resource : sig
+  (** Counted resource (semaphore) with FIFO waiters — models cores, disk
+      channels, NIC transmit slots. *)
+
+  type r
+
+  val create : int -> r
+  (** [create capacity]; capacity must be positive. *)
+
+  val capacity : r -> int
+  val available : r -> int
+  val acquire : r -> unit
+  (** Blocks until a unit is free. *)
+
+  val release : r -> unit
+  val with_resource : r -> (unit -> 'a) -> 'a
+  val queue_length : r -> int
+  (** Number of processes currently blocked in [acquire]. *)
+end

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Ditto_sim Ditto_uarch Engine

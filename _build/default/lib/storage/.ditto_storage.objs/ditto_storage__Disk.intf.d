@@ -1,0 +1,1 @@
+lib/storage/disk.mli: Ditto_sim Ditto_uarch

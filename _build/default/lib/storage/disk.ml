@@ -1,0 +1,45 @@
+open Ditto_sim
+
+type t = {
+  kind : Ditto_uarch.Platform.disk_kind;
+  channels : Engine.Resource.r;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create _engine kind =
+  let channels =
+    match kind with
+    | Ditto_uarch.Platform.Ssd -> Engine.Resource.create 8
+    | Ditto_uarch.Platform.Hdd -> Engine.Resource.create 1
+  in
+  { kind; channels; bytes_read = 0; bytes_written = 0 }
+
+(* Service-time parameters: SSD ~60us random access + 500MB/s streaming;
+   HDD ~4ms seek + ~150MB/s streaming. *)
+let service_time t ~bytes ~random =
+  let b = float_of_int (max 0 bytes) in
+  match t.kind with
+  | Ditto_uarch.Platform.Ssd ->
+      let base = if random then 60e-6 else 20e-6 in
+      base +. (b /. 500e6)
+  | Ditto_uarch.Platform.Hdd ->
+      let base = if random then 4e-3 else 120e-6 in
+      base +. (b /. 150e6)
+
+let read t ~bytes ~random =
+  t.bytes_read <- t.bytes_read + bytes;
+  Engine.Resource.with_resource t.channels (fun () ->
+      Engine.wait (service_time t ~bytes ~random))
+
+let write t ~bytes =
+  t.bytes_written <- t.bytes_written + bytes;
+  Engine.Resource.with_resource t.channels (fun () ->
+      Engine.wait (service_time t ~bytes ~random:false))
+
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+
+let reset_stats t =
+  t.bytes_read <- 0;
+  t.bytes_written <- 0

@@ -1,0 +1,25 @@
+(** Block-device models: SSD and HDD service times with request queueing.
+
+    MongoDB's latency advantage on platform A comes from "the low random
+    access latency of SSDs" (§6.2.2); the two device models reproduce that
+    gap: HDDs pay a multi-millisecond seek on random access and serialise on
+    a single actuator, SSDs serve requests in tens of microseconds across
+    multiple channels. *)
+
+type t
+
+val create : Ditto_sim.Engine.t -> Ditto_uarch.Platform.disk_kind -> t
+
+val read : t -> bytes:int -> random:bool -> unit
+(** Blocking read from within a process: queues on the device, waits the
+    service time. [random] selects seek-dominated vs sequential service. *)
+
+val write : t -> bytes:int -> unit
+(** Blocking write (writes are buffered: sequential-ish service). *)
+
+val service_time : t -> bytes:int -> random:bool -> float
+(** The raw service time model without queueing (exposed for tests). *)
+
+val bytes_read : t -> int
+val bytes_written : t -> int
+val reset_stats : t -> unit

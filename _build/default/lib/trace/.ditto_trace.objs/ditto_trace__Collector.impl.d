@@ -1,0 +1,1 @@
+lib/trace/collector.ml: Array Ditto_app Ditto_util List Span

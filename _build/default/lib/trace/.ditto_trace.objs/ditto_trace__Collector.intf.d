@@ -1,0 +1,1 @@
+lib/trace/collector.mli: Ditto_app Span

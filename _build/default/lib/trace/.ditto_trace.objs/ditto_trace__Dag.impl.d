@@ -1,0 +1,1 @@
+lib/trace/dag.ml: Format Hashtbl List Option Queue Span String

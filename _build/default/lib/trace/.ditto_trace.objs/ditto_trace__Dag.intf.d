@@ -1,0 +1,1 @@
+lib/trace/dag.mli: Format Span

@@ -1,0 +1,1 @@
+lib/trace/span.mli: Format

@@ -1,0 +1,42 @@
+let collect ~entry ~results ~samples ~seed =
+  let rng = Ditto_util.Rng.create seed in
+  let spans = ref [] in
+  let next_span = ref 0 in
+  let rec visit ~trace_id ~parent ~service ~req_bytes ~resp_bytes ~depth =
+    let span_id = !next_span in
+    incr next_span;
+    spans :=
+      {
+        Span.trace_id;
+        span_id;
+        parent_span = parent;
+        service;
+        req_bytes;
+        resp_bytes;
+      }
+      :: !spans;
+    if depth < 16 then begin
+      let r : Ditto_app.Measure.tier_result = results service in
+      let traces = r.Ditto_app.Measure.traces in
+      if Array.length traces > 0 then begin
+        let trace = traces.(Ditto_util.Rng.int rng (Array.length traces)) in
+        List.iter
+          (fun seg ->
+            match seg with
+            | Ditto_app.Measure.Downstream { target; req_bytes; resp_bytes } ->
+                visit ~trace_id ~parent:(Some span_id) ~service:target ~req_bytes
+                  ~resp_bytes ~depth:(depth + 1)
+            | Ditto_app.Measure.Cpu _ | Ditto_app.Measure.Disk_read _
+            | Ditto_app.Measure.Disk_write _ | Ditto_app.Measure.Sleep _ ->
+                ())
+          trace
+      end
+    end
+  in
+  for trace_id = 0 to samples - 1 do
+    let r = results entry in
+    visit ~trace_id ~parent:None ~service:entry
+      ~req_bytes:r.Ditto_app.Measure.tier.Ditto_app.Spec.request_bytes
+      ~resp_bytes:r.Ditto_app.Measure.tier.Ditto_app.Spec.response_bytes ~depth:0
+  done;
+  List.rev !spans

@@ -1,0 +1,16 @@
+(** Trace collection: sample end-to-end request trees from measured tier
+    behaviour, producing the span sets a Jaeger deployment would emit.
+
+    Sampling a bounded number of traces mirrors production practice, where
+    "the performance overhead is negligible if the traces are sampled
+    properly" (§4.2). *)
+
+val collect :
+  entry:string ->
+  results:(string -> Ditto_app.Measure.tier_result) ->
+  samples:int ->
+  seed:int ->
+  Span.t list
+(** Simulate [samples] end-to-end requests starting at [entry], following
+    each tier's measured downstream calls recursively, and emit one span
+    per RPC. *)

@@ -1,0 +1,111 @@
+type edge = {
+  caller : string;
+  callee : string;
+  calls_per_request : float;
+  probability : float;
+  req_bytes : int;
+  resp_bytes : int;
+}
+
+type t = { entry : string; services : string list; edges : edge list }
+
+let of_spans spans =
+  let entry =
+    match List.find_opt Span.root spans with
+    | Some s -> s.Span.service
+    | None -> invalid_arg "Dag.of_spans: no root span"
+  in
+  let services =
+    List.fold_left
+      (fun acc (s : Span.t) -> if List.mem s.Span.service acc then acc else s.Span.service :: acc)
+      [] spans
+    |> List.rev
+  in
+  (* Requests (spans) per service. *)
+  let spans_per_service = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.t) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt spans_per_service s.Span.service) in
+      Hashtbl.replace spans_per_service s.Span.service (c + 1))
+    spans;
+  let span_index = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Span.t) -> Hashtbl.replace span_index (s.Span.trace_id, s.Span.span_id) s)
+    spans;
+  (* Aggregate child spans per (caller, callee). *)
+  let agg : (string * string, int * int * int * (int * int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (s : Span.t) ->
+      match s.Span.parent_span with
+      | None -> ()
+      | Some parent_id -> (
+          match Hashtbl.find_opt span_index (s.Span.trace_id, parent_id) with
+          | None -> ()
+          | Some parent ->
+              let key = (parent.Span.service, s.Span.service) in
+              let calls, req, resp, callers =
+                match Hashtbl.find_opt agg key with
+                | Some v -> v
+                | None -> (0, 0, 0, Hashtbl.create 16)
+              in
+              Hashtbl.replace callers (s.Span.trace_id, parent_id) ();
+              Hashtbl.replace agg key
+                (calls + 1, req + s.Span.req_bytes, resp + s.Span.resp_bytes, callers)))
+    spans;
+  let edges =
+    Hashtbl.fold
+      (fun (caller, callee) (calls, req, resp, callers) acc ->
+        let caller_requests =
+          Option.value ~default:1 (Hashtbl.find_opt spans_per_service caller)
+        in
+        {
+          caller;
+          callee;
+          calls_per_request = float_of_int calls /. float_of_int caller_requests;
+          probability = float_of_int (Hashtbl.length callers) /. float_of_int caller_requests;
+          req_bytes = req / max 1 calls;
+          resp_bytes = resp / max 1 calls;
+        }
+        :: acc)
+      agg []
+    |> List.sort (fun a b -> compare (a.caller, a.callee) (b.caller, b.callee))
+  in
+  { entry; services; edges }
+
+let downstreams t service = List.filter (fun e -> e.caller = service) t.edges
+
+let topo_order t =
+  (* Kahn's algorithm from the entry. *)
+  let in_deg = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace in_deg s 0) t.services;
+  List.iter
+    (fun e ->
+      Hashtbl.replace in_deg e.callee (1 + Option.value ~default:0 (Hashtbl.find_opt in_deg e.callee)))
+    t.edges;
+  let queue = Queue.create () in
+  List.iter (fun s -> if Hashtbl.find in_deg s = 0 then Queue.push s queue) t.services;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    order := s :: !order;
+    List.iter
+      (fun e ->
+        let d = Hashtbl.find in_deg e.callee - 1 in
+        Hashtbl.replace in_deg e.callee d;
+        if d = 0 then Queue.push e.callee queue)
+      (downstreams t s)
+  done;
+  let order = List.rev !order in
+  if List.length order <> List.length t.services then
+    invalid_arg "Dag.topo_order: dependency graph is cyclic";
+  order
+
+let pp fmt t =
+  Format.fprintf fmt "entry=%s services=[%s]@." t.entry (String.concat "; " t.services);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %s -> %s (%.2f calls/req, p=%.2f, %dB/%dB)@." e.caller e.callee
+        e.calls_per_request e.probability e.req_bytes e.resp_bytes)
+    t.edges

@@ -1,0 +1,15 @@
+type t = {
+  trace_id : int;
+  span_id : int;
+  parent_span : int option;
+  service : string;
+  req_bytes : int;
+  resp_bytes : int;
+}
+
+let root t = t.parent_span = None
+
+let pp fmt t =
+  Format.fprintf fmt "[trace %d span %d%s] %s req=%dB resp=%dB" t.trace_id t.span_id
+    (match t.parent_span with Some p -> Printf.sprintf " parent %d" p | None -> " root")
+    t.service t.req_bytes t.resp_bytes

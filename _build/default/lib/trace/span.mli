@@ -1,0 +1,18 @@
+(** Distributed-tracing spans (Jaeger/Dapper-style).
+
+    Each RPC in a request tree produces a span carrying its service, its
+    parent span, and message sizes. Ditto only needs the structural and
+    statistical content of traces — the topology analyzer never sees
+    payloads (§4.2). *)
+
+type t = {
+  trace_id : int;
+  span_id : int;
+  parent_span : int option;  (** [None] for the root span *)
+  service : string;
+  req_bytes : int;
+  resp_bytes : int;
+}
+
+val root : t -> bool
+val pp : Format.formatter -> t -> unit

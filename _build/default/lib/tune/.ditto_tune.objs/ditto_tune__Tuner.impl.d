@@ -1,0 +1,1 @@
+lib/tune/tuner.ml: Counters Ditto_app Ditto_gen Ditto_profile Ditto_uarch Float Hashtbl List Measure Option Runner Service String

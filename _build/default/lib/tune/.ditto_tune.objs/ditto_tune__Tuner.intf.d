@@ -1,0 +1,1 @@
+lib/tune/tuner.mli: Ditto_app Ditto_gen Ditto_profile Ditto_uarch

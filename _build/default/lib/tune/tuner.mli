@@ -1,0 +1,43 @@
+(** Fine tuning (§4.5): feedback calibration of generator knobs.
+
+    Runs the synthetic application, compares PMU-style counters against the
+    original, and adjusts grouped knobs with a linear feedback heuristic —
+    frontend knobs (i-footprint, branch bins) against L1i/branch misses,
+    data knobs (working-set scale) against L1d/L2/LLC misses, and the work
+    knob (instruction scale) against per-request instruction counts.
+    Typically converges within ten iterations to >95% accuracy. *)
+
+type iteration = {
+  iter : int;
+  worst_error : float;  (** max relative error across tuned counters *)
+  errors : (string * float) list;  (** per "tier/metric" *)
+}
+
+type report = {
+  iterations : iteration list;
+  converged : bool;
+  final_params : (string * Ditto_gen.Params.t) list;
+}
+
+val tune :
+  ?max_iterations:int ->
+  ?target_error:float ->
+  ?seed:int ->
+  config:Ditto_app.Runner.config ->
+  load:Ditto_app.Service.load ->
+  reference:Ditto_app.Runner.output ->
+  profile:Ditto_profile.Tier_profile.app ->
+  unit ->
+  Ditto_app.Spec.t * report
+(** [reference] is the original's run at the profiling load. Returns the
+    calibrated synthetic spec and the tuning report. Tuning runs use a
+    shortened load duration — calibration needs counters, not tails. *)
+
+val counter_errors :
+  original:Ditto_uarch.Counters.t ->
+  synthetic:Ditto_uarch.Counters.t ->
+  orig_requests:int ->
+  synth_requests:int ->
+  (string * float) list
+(** Relative errors for ipc / insts-per-request / branch / l1i / l1d / l2 /
+    llc (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/uarch/branch_pred.mli:

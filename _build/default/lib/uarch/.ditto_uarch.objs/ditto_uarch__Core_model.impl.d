@@ -1,0 +1,1 @@
+lib/uarch/core_model.ml: Array Block Branch_pred Cache Counters Ditto_isa Float Iclass Iform Memory Platform

@@ -1,0 +1,1 @@
+lib/uarch/core_model.mli: Counters Ditto_isa Ditto_util Memory Platform

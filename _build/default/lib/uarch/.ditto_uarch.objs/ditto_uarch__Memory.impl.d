@@ -1,0 +1,1 @@
+lib/uarch/memory.ml: Array Cache Counters Hashtbl Platform Prefetcher Tlb

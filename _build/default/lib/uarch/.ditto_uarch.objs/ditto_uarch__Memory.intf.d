@@ -1,0 +1,1 @@
+lib/uarch/memory.mli: Counters Platform

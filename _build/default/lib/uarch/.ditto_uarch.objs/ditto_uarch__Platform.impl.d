@@ -1,0 +1,1 @@
+lib/uarch/platform.ml: Float List Printf

@@ -1,0 +1,144 @@
+type replacement = Lru | Plru
+
+let line_bytes = 64
+
+type t = {
+  replacement : replacement;
+  sets : int;
+  assoc : int;
+  size_bytes : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  stamps : int array; (* LRU timestamps, parallel to [tags] *)
+  plru : int array; (* per-set tree bits *)
+  mutable tick : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(replacement = Lru) ~size_bytes ~assoc () =
+  if assoc <= 0 then invalid_arg "Cache.create: assoc";
+  let sets = pow2_at_least (max 1 (size_bytes / (line_bytes * assoc))) 1 in
+  {
+    replacement;
+    sets;
+    assoc;
+    size_bytes;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    plru = Array.make sets 0;
+    tick = 0;
+  }
+
+let size_bytes t = t.size_bytes
+let assoc t = t.assoc
+let sets t = t.sets
+
+let set_of t addr = (addr / line_bytes) land (t.sets - 1)
+let tag_of addr = addr / line_bytes
+
+let find_way t set tag =
+  let base = set * t.assoc in
+  let rec go w = if w >= t.assoc then -1 else if t.tags.(base + w) = tag then w else go (w + 1) in
+  go 0
+
+(* Tree-PLRU: follow the direction bits down a (log2 assoc)-deep tree to the
+   victim leaf; touching a way repoints the bits on its path away from it. *)
+let plru_touch t set way =
+  let levels = ref 1 and tmp = ref t.assoc in
+  while !tmp > 2 do
+    incr levels;
+    tmp := !tmp / 2
+  done;
+  let bits = ref t.plru.(set) in
+  let node = ref 0 in
+  for level = !levels - 1 downto 0 do
+    let dir = (way lsr level) land 1 in
+    (* Point away from the accessed way. *)
+    if dir = 1 then bits := !bits land lnot (1 lsl !node) else bits := !bits lor (1 lsl !node);
+    node := (2 * !node) + 1 + dir
+  done;
+  t.plru.(set) <- !bits
+
+let plru_victim t set =
+  let levels = ref 1 and tmp = ref t.assoc in
+  while !tmp > 2 do
+    incr levels;
+    tmp := !tmp / 2
+  done;
+  let bits = t.plru.(set) in
+  let node = ref 0 and way = ref 0 in
+  for _ = 1 to !levels do
+    let dir = (bits lsr !node) land 1 in
+    way := (2 * !way) + dir;
+    node := (2 * !node) + 1 + dir
+  done;
+  !way
+
+let lru_victim t set =
+  let base = set * t.assoc in
+  let victim = ref 0 and oldest = ref max_int in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = -1 then begin
+      (* Prefer an invalid way outright. *)
+      if !oldest > -1 then begin
+        oldest := -1;
+        victim := w
+      end
+    end
+    else if !oldest >= 0 && t.stamps.(base + w) < !oldest then begin
+      oldest := t.stamps.(base + w);
+      victim := w
+    end
+  done;
+  !victim
+
+let is_pow2 n = n land (n - 1) = 0
+
+let touch t set way =
+  t.tick <- t.tick + 1;
+  t.stamps.((set * t.assoc) + way) <- t.tick;
+  if t.replacement = Plru && is_pow2 t.assoc && t.assoc >= 2 then plru_touch t set way
+
+let access t addr ~hit =
+  let set = set_of t addr and tag = tag_of addr in
+  let way = find_way t set tag in
+  if way >= 0 then begin
+    hit := true;
+    touch t set way
+  end
+  else begin
+    hit := false;
+    let victim =
+      if t.replacement = Plru && is_pow2 t.assoc && t.assoc >= 2 then begin
+        let base = set * t.assoc in
+        let rec first_invalid w =
+          if w >= t.assoc then plru_victim t set
+          else if t.tags.(base + w) = -1 then w
+          else first_invalid (w + 1)
+        in
+        first_invalid 0
+      end
+      else lru_victim t set
+    in
+    t.tags.((set * t.assoc) + victim) <- tag;
+    touch t set victim
+  end
+
+let probe t addr =
+  let set = set_of t addr and tag = tag_of addr in
+  find_way t set tag >= 0
+
+let invalidate t addr =
+  let set = set_of t addr and tag = tag_of addr in
+  let way = find_way t set tag in
+  if way >= 0 then begin
+    t.tags.((set * t.assoc) + way) <- -1;
+    true
+  end
+  else false
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  Array.fill t.plru 0 (Array.length t.plru) 0;
+  t.tick <- 0

@@ -1,0 +1,227 @@
+open Ditto_isa
+
+type t = {
+  mem : Memory.t;
+  plat : Platform.t;
+  core : int;
+  bp : Branch_pred.t;
+  reg_ready : float array;
+  port_free : float array;
+  rob : float array;
+  mutable rob_pos : int;
+  mshr : float array;
+  mutable next_issue : float;
+  mutable fetch_avail : float;
+  mutable resteer_until : float;
+  mutable max_done : float;
+  mutable last_fetch_line : int;
+  mutable last_lock_done : float;
+  mutable width_factor : float;
+}
+
+let create mem ~core =
+  let plat = Memory.platform mem in
+  {
+    mem;
+    plat;
+    core;
+    bp =
+      Branch_pred.create ~entries:plat.Platform.predictor_entries
+        ~btb_entries:plat.Platform.btb_entries ();
+    reg_ready = Array.make Block.num_regs 0.0;
+    port_free = Array.make Iform.port_count 0.0;
+    rob = Array.make plat.Platform.rob_size 0.0;
+    rob_pos = 0;
+    mshr = Array.make 10 0.0;
+    next_issue = 0.0;
+    fetch_avail = 0.0;
+    resteer_until = 0.0;
+    max_done = 0.0;
+    last_fetch_line = -1;
+    last_lock_done = 0.0;
+    width_factor = 1.0;
+  }
+
+let counters t = Memory.counters t.mem t.core
+let platform t = t.plat
+let set_width_factor t f = t.width_factor <- Float.max 0.1 f
+let now t = Float.max t.next_issue t.max_done
+let drain t = t.next_issue <- now t
+
+let effective_width t = float_of_int t.plat.Platform.issue_width *. t.width_factor
+
+let choose_port t mask =
+  let best = ref 0 and best_t = ref infinity in
+  for p = 0 to Iform.port_count - 1 do
+    if mask land (1 lsl p) <> 0 && t.port_free.(p) < !best_t then begin
+      best_t := t.port_free.(p);
+      best := p
+    end
+  done;
+  !best
+
+(* Off-core misses contend for a finite set of miss-status registers,
+   bounding memory-level parallelism. Returns the adjusted start time. *)
+let mshr_admit t start latency =
+  let best = ref 0 and best_t = ref infinity in
+  for i = 0 to Array.length t.mshr - 1 do
+    if t.mshr.(i) < !best_t then begin
+      best_t := t.mshr.(i);
+      best := i
+    end
+  done;
+  let start = Float.max start !best_t in
+  t.mshr.(!best) <- start +. latency;
+  start
+
+let exec_rep_string t ~width addr shared ~write_only ~count start =
+  let ctr = Memory.counters t.mem t.core in
+  let chunks = max 1 (count / Cache.line_bytes) in
+  let issue = ref start and done_t = ref start in
+  for i = 0 to chunks - 1 do
+    let a = addr + (Cache.line_bytes * i) in
+    let rl =
+      if write_only then 1
+      else Memory.access_data t.mem ~core:t.core ~addr:a ~write:false ~shared
+    in
+    ignore (Memory.access_data t.mem ~core:t.core ~addr:(a + 0x40000) ~write:true ~shared:false);
+    done_t := Float.max !done_t (!issue +. float_of_int rl);
+    issue := !issue +. (2.0 /. width);
+    ctr.Counters.slots_retiring <- ctr.Counters.slots_retiring +. 2.0;
+    ctr.Counters.uops <- ctr.Counters.uops + 2
+  done;
+  (!issue, !done_t)
+
+let exec_block t ~rng (block : Block.t) ~iterations =
+  let width = effective_width t in
+  let plat = t.plat in
+  let ctr = Memory.counters t.mem t.core in
+  let ntemps = Array.length block.Block.temps in
+  let before = now t in
+  for _iteration = 0 to iterations - 1 do
+    for k = 0 to ntemps - 1 do
+      let temp = block.Block.temps.(k) in
+      let iform = temp.Block.iform in
+      let pc = block.Block.addrs.(k) in
+      let base = t.next_issue in
+      (* Instruction fetch: one i-cache access per new line. *)
+      let line = pc land lnot (Cache.line_bytes - 1) in
+      if line <> t.last_fetch_line then begin
+        t.last_fetch_line <- line;
+        let bubble = Memory.access_inst t.mem ~core:t.core ~addr:pc in
+        if bubble > 0 then t.fetch_avail <- Float.max t.fetch_avail base +. float_of_int bubble
+      end;
+      let f = Float.max base t.fetch_avail in
+      (* Attribute the fetch gap: resteer shadow counts as bad speculation. *)
+      let gap = f -. base in
+      if gap > 0.0 then begin
+        let bad = Float.max 0.0 (Float.min f t.resteer_until -. base) in
+        ctr.Counters.slots_bad_spec <- ctr.Counters.slots_bad_spec +. (bad *. width);
+        ctr.Counters.slots_frontend <- ctr.Counters.slots_frontend +. ((gap -. bad) *. width)
+      end;
+      (* Register dependencies. *)
+      let ready = ref f in
+      let srcs = temp.Block.srcs in
+      for s = 0 to Array.length srcs - 1 do
+        let r = srcs.(s) in
+        if r >= 0 && t.reg_ready.(r) > !ready then ready := t.reg_ready.(r)
+      done;
+      (* ROB backpressure: cannot dispatch past the window. *)
+      let rob_head = t.rob.(t.rob_pos) in
+      if rob_head > !ready then ready := rob_head;
+      (* Execution port. *)
+      let port = choose_port t iform.Iform.ports in
+      if t.port_free.(port) > !ready then ready := t.port_free.(port);
+      let start = !ready in
+      ctr.Counters.slots_backend <- ctr.Counters.slots_backend +. ((start -. f) *. width);
+      let klass = iform.Iform.klass in
+      ctr.Counters.insts <- ctr.Counters.insts + 1;
+      let issue_after, done_t =
+        if klass = Iclass.Rep_string then begin
+          let addr, shared = Block.resolve_mem ~rng temp in
+          let addr = if addr < 0 then 0 else addr in
+          let write_only = temp.Block.srcs = [||] in
+          exec_rep_string t ~width addr shared ~write_only
+            ~count:(max Cache.line_bytes temp.Block.rep_count)
+            start
+        end
+        else begin
+          (* Memory operand. *)
+          let mem_lat =
+            match temp.Block.mem with
+            | Block.No_mem -> 0
+            | _ ->
+                let addr, shared = Block.resolve_mem ~rng temp in
+                let write = Iclass.is_memory_write klass && not (Iclass.is_memory_read klass) in
+                let lat = Memory.access_data t.mem ~core:t.core ~addr ~write ~shared in
+                if klass = Iclass.Lock_rmw then
+                  ignore (Memory.access_data t.mem ~core:t.core ~addr ~write:true ~shared)
+                else ();
+                if write then 0 (* store latency hidden by the store buffer *) else lat
+          in
+          let start =
+            if mem_lat > plat.Platform.lat_l2 then mshr_admit t start (float_of_int mem_lat)
+            else start
+          in
+          let start =
+            if klass = Iclass.Lock_rmw then begin
+              let s = Float.max start t.last_lock_done in
+              s
+            end
+            else start
+          in
+          let exec_lat = float_of_int (iform.Iform.latency + mem_lat) in
+          let done_t = start +. Float.max 1.0 exec_lat in
+          if klass = Iclass.Lock_rmw then t.last_lock_done <- done_t;
+          (* Port occupancy: dividers are unpipelined. *)
+          let occupancy =
+            match klass with
+            | Iclass.Int_div | Iclass.Float_div -> float_of_int iform.Iform.latency *. 0.6
+            | _ -> 1.0
+          in
+          t.port_free.(port) <- start +. occupancy;
+          ctr.Counters.uops <- ctr.Counters.uops + iform.Iform.uops;
+          ctr.Counters.slots_retiring <-
+            ctr.Counters.slots_retiring +. float_of_int iform.Iform.uops;
+          (start +. (float_of_int iform.Iform.uops /. width), done_t)
+        end
+      in
+      (* Branch resolution. *)
+      (match temp.Block.branch with
+      | Some spec when klass = Iclass.Branch_cond ->
+          ctr.Counters.branches <- ctr.Counters.branches + 1;
+          let seq = temp.Block.branch_seq in
+          temp.Block.branch_seq <- seq + 1;
+          let outcome =
+            Block.branch_outcome ~m:spec.Block.m ~n:spec.Block.n seq <> spec.Block.invert
+          in
+          (match Branch_pred.predict_and_update t.bp ~pc ~taken:outcome with
+          | `Correct -> ()
+          | `Mispredict ->
+              ctr.Counters.mispredicts <- ctr.Counters.mispredicts + 1;
+              let redirect = done_t +. float_of_int plat.Platform.mispredict_penalty in
+              t.fetch_avail <- Float.max t.fetch_avail redirect;
+              t.resteer_until <- Float.max t.resteer_until redirect
+          | `Btb_miss ->
+              ctr.Counters.btb_misses <- ctr.Counters.btb_misses + 1;
+              let redirect = start +. float_of_int plat.Platform.btb_miss_penalty in
+              t.fetch_avail <- Float.max t.fetch_avail redirect)
+      | Some _ | None ->
+          if Iclass.is_control klass then begin
+            ctr.Counters.branches <- ctr.Counters.branches + 1;
+            match Branch_pred.note_unconditional t.bp ~pc with
+            | `Correct -> ()
+            | `Btb_miss ->
+                ctr.Counters.btb_misses <- ctr.Counters.btb_misses + 1;
+                let redirect = start +. float_of_int plat.Platform.btb_miss_penalty in
+                t.fetch_avail <- Float.max t.fetch_avail redirect
+          end);
+      (* Writeback and retirement bookkeeping. *)
+      if temp.Block.dst >= 0 then t.reg_ready.(temp.Block.dst) <- done_t;
+      t.rob.(t.rob_pos) <- done_t;
+      t.rob_pos <- (t.rob_pos + 1) mod Array.length t.rob;
+      if done_t > t.max_done then t.max_done <- done_t;
+      t.next_issue <- Float.max t.next_issue issue_after
+    done
+  done;
+  ctr.Counters.cycles <- ctr.Counters.cycles +. Float.max 0.0 (now t -. before)

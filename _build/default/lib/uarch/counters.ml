@@ -1,0 +1,166 @@
+type t = {
+  mutable insts : int;
+  mutable uops : int;
+  mutable cycles : float;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable btb_misses : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable l1i_accesses : int;
+  mutable l1i_misses : int;
+  mutable l1d_accesses : int;
+  mutable l1d_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_misses : int;
+  mutable llc_accesses : int;
+  mutable llc_misses : int;
+  mutable coherence_misses : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable slots_retiring : float;
+  mutable slots_frontend : float;
+  mutable slots_bad_spec : float;
+  mutable slots_backend : float;
+}
+
+let create () =
+  {
+    insts = 0;
+    uops = 0;
+    cycles = 0.0;
+    branches = 0;
+    mispredicts = 0;
+    btb_misses = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
+    l1i_accesses = 0;
+    l1i_misses = 0;
+    l1d_accesses = 0;
+    l1d_misses = 0;
+    l2_accesses = 0;
+    l2_misses = 0;
+    llc_accesses = 0;
+    llc_misses = 0;
+    coherence_misses = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    slots_retiring = 0.0;
+    slots_frontend = 0.0;
+    slots_bad_spec = 0.0;
+    slots_backend = 0.0;
+  }
+
+let reset t =
+  t.insts <- 0;
+  t.uops <- 0;
+  t.cycles <- 0.0;
+  t.branches <- 0;
+  t.mispredicts <- 0;
+  t.btb_misses <- 0;
+  t.itlb_misses <- 0;
+  t.dtlb_misses <- 0;
+  t.l1i_accesses <- 0;
+  t.l1i_misses <- 0;
+  t.l1d_accesses <- 0;
+  t.l1d_misses <- 0;
+  t.l2_accesses <- 0;
+  t.l2_misses <- 0;
+  t.llc_accesses <- 0;
+  t.llc_misses <- 0;
+  t.coherence_misses <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.slots_retiring <- 0.0;
+  t.slots_frontend <- 0.0;
+  t.slots_bad_spec <- 0.0;
+  t.slots_backend <- 0.0
+
+let copy t = { t with insts = t.insts }
+
+let sub a b =
+  {
+    insts = a.insts - b.insts;
+    uops = a.uops - b.uops;
+    cycles = a.cycles -. b.cycles;
+    branches = a.branches - b.branches;
+    mispredicts = a.mispredicts - b.mispredicts;
+    btb_misses = a.btb_misses - b.btb_misses;
+    itlb_misses = a.itlb_misses - b.itlb_misses;
+    dtlb_misses = a.dtlb_misses - b.dtlb_misses;
+    l1i_accesses = a.l1i_accesses - b.l1i_accesses;
+    l1i_misses = a.l1i_misses - b.l1i_misses;
+    l1d_accesses = a.l1d_accesses - b.l1d_accesses;
+    l1d_misses = a.l1d_misses - b.l1d_misses;
+    l2_accesses = a.l2_accesses - b.l2_accesses;
+    l2_misses = a.l2_misses - b.l2_misses;
+    llc_accesses = a.llc_accesses - b.llc_accesses;
+    llc_misses = a.llc_misses - b.llc_misses;
+    coherence_misses = a.coherence_misses - b.coherence_misses;
+    bytes_read = a.bytes_read - b.bytes_read;
+    bytes_written = a.bytes_written - b.bytes_written;
+    slots_retiring = a.slots_retiring -. b.slots_retiring;
+    slots_frontend = a.slots_frontend -. b.slots_frontend;
+    slots_bad_spec = a.slots_bad_spec -. b.slots_bad_spec;
+    slots_backend = a.slots_backend -. b.slots_backend;
+  }
+
+let acc into d =
+  into.insts <- into.insts + d.insts;
+  into.uops <- into.uops + d.uops;
+  into.cycles <- into.cycles +. d.cycles;
+  into.branches <- into.branches + d.branches;
+  into.mispredicts <- into.mispredicts + d.mispredicts;
+  into.btb_misses <- into.btb_misses + d.btb_misses;
+  into.itlb_misses <- into.itlb_misses + d.itlb_misses;
+  into.dtlb_misses <- into.dtlb_misses + d.dtlb_misses;
+  into.l1i_accesses <- into.l1i_accesses + d.l1i_accesses;
+  into.l1i_misses <- into.l1i_misses + d.l1i_misses;
+  into.l1d_accesses <- into.l1d_accesses + d.l1d_accesses;
+  into.l1d_misses <- into.l1d_misses + d.l1d_misses;
+  into.l2_accesses <- into.l2_accesses + d.l2_accesses;
+  into.l2_misses <- into.l2_misses + d.l2_misses;
+  into.llc_accesses <- into.llc_accesses + d.llc_accesses;
+  into.llc_misses <- into.llc_misses + d.llc_misses;
+  into.coherence_misses <- into.coherence_misses + d.coherence_misses;
+  into.bytes_read <- into.bytes_read + d.bytes_read;
+  into.bytes_written <- into.bytes_written + d.bytes_written;
+  into.slots_retiring <- into.slots_retiring +. d.slots_retiring;
+  into.slots_frontend <- into.slots_frontend +. d.slots_frontend;
+  into.slots_bad_spec <- into.slots_bad_spec +. d.slots_bad_spec;
+  into.slots_backend <- into.slots_backend +. d.slots_backend
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+let ipc t = if t.cycles = 0.0 then 0.0 else float_of_int t.insts /. t.cycles
+let cpi t = if t.insts = 0 then 0.0 else t.cycles /. float_of_int t.insts
+let branch_mpki t = if t.insts = 0 then 0.0 else 1000.0 *. ratio t.mispredicts t.insts
+let branch_miss_rate t = ratio t.mispredicts t.branches
+let itlb_mpki t = if t.insts = 0 then 0.0 else 1000.0 *. ratio t.itlb_misses t.insts
+let dtlb_mpki t = if t.insts = 0 then 0.0 else 1000.0 *. ratio t.dtlb_misses t.insts
+let l1i_miss_rate t = ratio t.l1i_misses t.l1i_accesses
+let l1d_miss_rate t = ratio t.l1d_misses t.l1d_accesses
+let l2_miss_rate t = ratio t.l2_misses t.l2_accesses
+let llc_miss_rate t = ratio t.llc_misses t.llc_accesses
+
+type topdown = { retiring : float; frontend : float; bad_speculation : float; backend : float }
+
+let topdown t =
+  let total = t.slots_retiring +. t.slots_frontend +. t.slots_bad_spec +. t.slots_backend in
+  if total <= 0.0 then { retiring = 0.; frontend = 0.; bad_speculation = 0.; backend = 0. }
+  else
+    {
+      retiring = t.slots_retiring /. total;
+      frontend = t.slots_frontend /. total;
+      bad_speculation = t.slots_bad_spec /. total;
+      backend = t.slots_backend /. total;
+    }
+
+let topdown_cpi t =
+  let frac = topdown t in
+  let c = cpi t in
+  {
+    retiring = frac.retiring *. c;
+    frontend = frac.frontend *. c;
+    bad_speculation = frac.bad_speculation *. c;
+    backend = frac.backend *. c;
+  }

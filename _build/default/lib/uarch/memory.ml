@@ -1,0 +1,165 @@
+type t = {
+  plat : Platform.t;
+  n : int;
+  l1i : Cache.t array;
+  l1d : Cache.t array;
+  l2 : Cache.t array;
+  llc : Cache.t;
+  prefetchers : Prefetcher.t array;
+  itlbs : Tlb.t array;
+  dtlbs : Tlb.t array;
+  ctrs : Counters.t array;
+  (* Coherence directory for shared lines: line -> (owner core, dirty). *)
+  directory : (int, int * bool) Hashtbl.t;
+  hit_scratch : bool ref;
+}
+
+let create (plat : Platform.t) ~ncores =
+  let mk_l1 bytes = Cache.create ~size_bytes:bytes ~assoc:plat.Platform.l1_assoc () in
+  {
+    plat;
+    n = ncores;
+    l1i = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1i_bytes);
+    l1d = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1d_bytes);
+    l2 =
+      Array.init ncores (fun _ ->
+          Cache.create ~size_bytes:plat.Platform.l2_bytes ~assoc:plat.Platform.l2_assoc ());
+    llc =
+      Cache.create ~replacement:Cache.Plru ~size_bytes:plat.Platform.llc_bytes
+        ~assoc:plat.Platform.llc_assoc ();
+    prefetchers = Array.init ncores (fun _ -> Prefetcher.create ());
+    itlbs = Array.init ncores (fun _ -> Tlb.create ~l1_entries:128 ());
+    dtlbs = Array.init ncores (fun _ -> Tlb.create ());
+    ctrs = Array.init ncores (fun _ -> Counters.create ());
+    directory = Hashtbl.create 4096;
+    hit_scratch = ref false;
+  }
+
+let ncores t = t.n
+let platform t = t.plat
+let counters t core = t.ctrs.(core)
+
+let set_counter t core ctr = t.ctrs.(core) <- ctr
+
+let line_of addr = addr land lnot (Cache.line_bytes - 1)
+
+let prefetch_fill t core addr =
+  if not (Cache.probe t.l2.(core) addr) then begin
+    Cache.access t.llc addr ~hit:t.hit_scratch;
+    Cache.access t.l2.(core) addr ~hit:t.hit_scratch
+  end
+
+(* Invalidate a shared line in every other core's private caches (the
+   directory does not track exact sharers; core counts are small). *)
+let invalidate_others t core addr =
+  for c = 0 to t.n - 1 do
+    if c <> core then begin
+      ignore (Cache.invalidate t.l1d.(c) addr);
+      ignore (Cache.invalidate t.l2.(c) addr)
+    end
+  done
+
+let access_data t ~core ~addr ~write ~shared =
+  let p = t.plat in
+  let ctr = t.ctrs.(core) in
+  let line = line_of addr in
+  (* Coherence: a shared line dirty in another core forces a miss in the
+     requester's private caches (the copy is stale). *)
+  let coherence_steal =
+    shared
+    &&
+    match Hashtbl.find_opt t.directory line with
+    | Some (owner, dirty) -> owner <> core && (dirty || write)
+    | None -> false
+  in
+  if coherence_steal then begin
+    ignore (Cache.invalidate t.l1d.(core) line);
+    ignore (Cache.invalidate t.l2.(core) line)
+  end;
+  ctr.Counters.l1d_accesses <- ctr.Counters.l1d_accesses + 1;
+  if write then ctr.Counters.bytes_written <- ctr.Counters.bytes_written + 8
+  else ctr.Counters.bytes_read <- ctr.Counters.bytes_read + 8;
+  let tlb_lat = Tlb.access t.dtlbs.(core) addr in
+  if tlb_lat >= 30 then ctr.Counters.dtlb_misses <- ctr.Counters.dtlb_misses + 1;
+  let hit = t.hit_scratch in
+  Cache.access t.l1d.(core) line ~hit;
+  let latency =
+    if !hit then p.Platform.lat_l1 + tlb_lat
+    else begin
+      ctr.Counters.l1d_misses <- ctr.Counters.l1d_misses + 1;
+      ctr.Counters.l2_accesses <- ctr.Counters.l2_accesses + 1;
+      Prefetcher.observe t.prefetchers.(core) ~pc:addr ~addr:line (prefetch_fill t core);
+      Cache.access t.l2.(core) line ~hit;
+      if !hit then p.Platform.lat_l2 + tlb_lat
+      else begin
+        ctr.Counters.l2_misses <- ctr.Counters.l2_misses + 1;
+        ctr.Counters.llc_accesses <- ctr.Counters.llc_accesses + 1;
+        Cache.access t.llc line ~hit;
+        if !hit then
+          if coherence_steal then begin
+            ctr.Counters.coherence_misses <- ctr.Counters.coherence_misses + 1;
+            p.Platform.lat_llc + 12 + tlb_lat (* cross-core snoop/transfer *)
+          end
+          else p.Platform.lat_llc + tlb_lat
+        else begin
+          ctr.Counters.llc_misses <- ctr.Counters.llc_misses + 1;
+          p.Platform.lat_mem + tlb_lat
+        end
+      end
+    end
+  in
+  (* Update directory ownership for shared lines. *)
+  if shared then begin
+    if write then begin
+      (match Hashtbl.find_opt t.directory line with
+      | Some (owner, _) when owner <> core -> invalidate_others t core line
+      | Some _ | None -> ());
+      Hashtbl.replace t.directory line (core, true)
+    end
+    else begin
+      match Hashtbl.find_opt t.directory line with
+      | Some (owner, true) when owner <> core ->
+          (* Downgrade: the reader now has a clean copy. *)
+          Hashtbl.replace t.directory line (core, false)
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.directory line (core, false)
+    end
+  end;
+  latency
+
+let access_inst t ~core ~addr =
+  let p = t.plat in
+  let ctr = t.ctrs.(core) in
+  let line = line_of addr in
+  ctr.Counters.l1i_accesses <- ctr.Counters.l1i_accesses + 1;
+  let tlb_lat = Tlb.access t.itlbs.(core) addr in
+  if tlb_lat >= 30 then ctr.Counters.itlb_misses <- ctr.Counters.itlb_misses + 1;
+  let hit = t.hit_scratch in
+  Cache.access t.l1i.(core) line ~hit;
+  if !hit then tlb_lat
+  else begin
+    ctr.Counters.l1i_misses <- ctr.Counters.l1i_misses + 1;
+    ctr.Counters.l2_accesses <- ctr.Counters.l2_accesses + 1;
+    Cache.access t.l2.(core) line ~hit;
+    if !hit then p.Platform.lat_l2 - p.Platform.lat_l1 + tlb_lat
+    else begin
+      ctr.Counters.l2_misses <- ctr.Counters.l2_misses + 1;
+      ctr.Counters.llc_accesses <- ctr.Counters.llc_accesses + 1;
+      Cache.access t.llc line ~hit;
+      if !hit then p.Platform.lat_llc - p.Platform.lat_l1 + tlb_lat
+      else begin
+        ctr.Counters.llc_misses <- ctr.Counters.llc_misses + 1;
+        p.Platform.lat_mem - p.Platform.lat_l1 + tlb_lat
+      end
+    end
+  end
+
+let flush t =
+  Array.iter Cache.flush t.l1i;
+  Array.iter Cache.flush t.l1d;
+  Array.iter Cache.flush t.l2;
+  Cache.flush t.llc;
+  Array.iter Prefetcher.flush t.prefetchers;
+  Array.iter Tlb.flush t.itlbs;
+  Array.iter Tlb.flush t.dtlbs;
+  Hashtbl.reset t.directory

@@ -1,0 +1,34 @@
+(** Multi-level memory hierarchy: per-core L1i/L1d/L2, a shared LLC,
+    stride prefetchers, and directory-style coherence for shared lines.
+
+    Latencies are load-to-use cycle counts from the {!Platform} spec. All
+    accesses are attributed to the requesting core's {!Counters} record —
+    the simulated analogue of per-core PMU events. *)
+
+type t
+
+val create : Platform.t -> ncores:int -> t
+val ncores : t -> int
+val platform : t -> Platform.t
+
+val counters : t -> int -> Counters.t
+(** The per-core counter record (shared with the core model). *)
+
+val set_counter : t -> int -> Counters.t -> unit
+(** Swap the counter record accesses on core [i] are attributed to. The
+    runner points this at the record of whichever tier currently executes
+    on the core, so colocated tiers are measured separately — the simulated
+    analogue of per-process PMU multiplexing. *)
+
+val access_data : t -> core:int -> addr:int -> write:bool -> shared:bool -> int
+(** Demand data access; returns load-to-use latency in cycles and updates
+    hit/miss counters, prefetchers, and (for [shared] lines) the coherence
+    directory. [addr] is a byte address; the access touches one line. *)
+
+val access_inst : t -> core:int -> addr:int -> int
+(** Instruction-fetch access for the line containing [addr]; returns the
+    extra fetch latency in cycles (0 for an L1i hit). *)
+
+val flush : t -> unit
+(** Cold-start all caches, prefetcher state and the directory (counters are
+    preserved). *)

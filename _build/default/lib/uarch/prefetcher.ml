@@ -1,0 +1,39 @@
+type entry = { mutable last_addr : int; mutable stride : int; mutable confidence : int }
+
+type t = { entries : entry array; mask : int; degree : int }
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(table_entries = 64) ?(degree = 2) () =
+  let n = pow2_at_least (max 2 table_entries) 2 in
+  {
+    entries = Array.init n (fun _ -> { last_addr = -1; stride = 0; confidence = 0 });
+    mask = n - 1;
+    degree;
+  }
+
+let observe t ~pc ~addr fill =
+  let e = t.entries.((pc lsr 2) land t.mask) in
+  if e.last_addr >= 0 then begin
+    let stride = addr - e.last_addr in
+    if stride <> 0 && stride = e.stride then begin
+      if e.confidence < 3 then e.confidence <- e.confidence + 1
+    end
+    else begin
+      e.stride <- stride;
+      e.confidence <- 0
+    end;
+    if e.confidence >= 2 && e.stride <> 0 then
+      for k = 1 to t.degree do
+        fill (addr + (k * e.stride))
+      done
+  end;
+  e.last_addr <- addr
+
+let flush t =
+  Array.iter
+    (fun e ->
+      e.last_addr <- -1;
+      e.stride <- 0;
+      e.confidence <- 0)
+    t.entries

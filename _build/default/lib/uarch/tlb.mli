@@ -1,0 +1,27 @@
+(** Translation lookaside buffers.
+
+    The paper's top-down tree (Fig. 2) attributes iTLB misses to the
+    frontend and data-side translation to the backend; services with large
+    code and data footprints pay measurable walk time. Modelled as
+    set-associative page-granular caches with a two-level structure (L1 TLB
+    backed by a shared STLB) and a constant walk cost on full misses. *)
+
+type t
+
+val create : ?l1_entries:int -> ?stlb_entries:int -> ?walk_cycles:int -> unit -> t
+(** Defaults: 64-entry 4-way L1, 1536-entry 12-way STLB, 30-cycle walk
+    (Skylake-like). *)
+
+val page_bytes : int
+(** 4KB pages. *)
+
+val access : t -> int -> int
+(** [access t addr] translates the page containing [addr]; returns the
+    added latency in cycles: 0 (L1 hit), a small STLB penalty, or the full
+    walk cost. Fills on miss. *)
+
+val lookups : t -> int
+val misses : t -> int
+(** Full misses (page walks). *)
+
+val flush : t -> unit

@@ -1,0 +1,1 @@
+lib/util/cluster.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/util/tree_edit.ml: Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/util/tree_edit.mli:

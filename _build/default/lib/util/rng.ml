@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let int t n =
+  assert (n > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit signed int. *)
+  let m = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  m mod n
+
+let float t x =
+  (* 53 random bits scaled to [0,1). *)
+  let b = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  b /. 9007199254740992.0 *. x
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+let range t lo hi = lo + int t (hi - lo)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

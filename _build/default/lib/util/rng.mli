@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic choices in the simulator flow through this module so that
+    experiments are reproducible from a single root seed. The generator is
+    SplitMix64 (Steele et al., OOPSLA'14): fast, 64-bit, and splittable, so
+    independent subsystems can derive independent streams from one root. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; advances [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future draws). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi)]. Requires [lo < hi]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

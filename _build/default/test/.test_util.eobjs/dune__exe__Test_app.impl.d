@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Array Block Ditto_app Ditto_isa Ditto_sim Ditto_uarch Ditto_util Iform Layout List Machine Measure Metrics Runner Service Spec

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Ditto_app Ditto_apps Ditto_gen Ditto_profile Ditto_trace Ditto_uarch Ditto_util Filename Float Lazy List Printf Runner Service Spec String Sys Unix

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ditto_app Ditto_apps Ditto_core Ditto_trace Ditto_tune Ditto_uarch Ditto_util Float Lazy List Metrics Printf Runner Service Spec

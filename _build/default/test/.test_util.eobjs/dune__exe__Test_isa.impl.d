@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Block Ditto_isa Ditto_util Float Hashtbl Iclass Iform List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net_storage.ml: Alcotest Ditto_net Ditto_sim Ditto_storage Ditto_uarch Engine Float List Nic Socket

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Ditto_isa Ditto_os Ditto_sim Engine Float List Page_cache Sched Syscall

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Block Ditto_isa Ditto_profile Ditto_sim Ditto_util Float Gen Iform List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Array Ditto_app Ditto_apps Ditto_core Ditto_trace Ditto_uarch Ditto_util Float List Measure Metrics Queueing Runner Service Spec

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ditto_sim Engine List Option

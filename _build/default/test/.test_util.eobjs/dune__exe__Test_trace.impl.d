@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Collector Dag Ditto_app Ditto_apps Ditto_trace Ditto_uarch Format List Printf Runner Service Span Spec String

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Block Branch_pred Cache Core_model Counters Ditto_isa Ditto_uarch Ditto_util Float Iform List Memory Platform Prefetcher

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cluster Dist Ditto_util Float Fun Gen Histogram List Printf QCheck QCheck_alcotest Rng Stats String Table Tree_edit

@@ -1,0 +1,288 @@
+(* Tests for the extension modules: JSON, profile serialisation, TLBs,
+   KS distance, memory-trace export. *)
+module J = Ditto_util.Jsonx
+module Stats = Ditto_util.Stats
+module Tlb = Ditto_uarch.Tlb
+open Ditto_app
+
+let check_close msg tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %g within %g, got %g" msg expected tolerance actual
+
+(* {1 Jsonx} *)
+
+let roundtrip v = J.of_string (J.to_string v)
+let roundtrip_pretty v = J.of_string (J.to_string ~pretty:true v)
+
+let sample =
+  J.Obj
+    [
+      ("name", J.Str "a \"quoted\" string\nwith newline");
+      ("count", J.int 42);
+      ("pi", J.Num 3.14159);
+      ("neg", J.Num (-2.5e-3));
+      ("flag", J.Bool true);
+      ("nothing", J.Null);
+      ("items", J.List [ J.int 1; J.int 2; J.Str "x" ]);
+      ("nested", J.Obj [ ("inner", J.List []) ]);
+    ]
+
+let test_json_roundtrip () =
+  Alcotest.(check bool) "compact" true (roundtrip sample = sample);
+  Alcotest.(check bool) "pretty" true (roundtrip_pretty sample = sample)
+
+let test_json_accessors () =
+  Alcotest.(check int) "member int" 42 (J.to_int (J.member "count" sample));
+  Alcotest.(check bool) "member bool" true (J.to_bool (J.member "flag" sample));
+  Alcotest.(check bool) "absent is Null" true (J.member "missing" sample = J.Null);
+  Alcotest.(check int) "list length" 3 (List.length (J.to_list (J.member "items" sample)))
+
+let test_json_parse_basics () =
+  Alcotest.(check bool) "null" true (J.of_string "null" = J.Null);
+  Alcotest.(check bool) "spaces" true (J.of_string "  [ 1 , 2 ]  " = J.List [ J.int 1; J.int 2 ]);
+  Alcotest.(check bool) "exp notation" true (J.of_string "1e3" = J.Num 1000.0);
+  Alcotest.(check bool) "escape" true (J.of_string {|"a\nb"|} = J.Str "a\nb")
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match J.of_string bad with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "should reject %S" bad)
+    [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "[1] trailing" ]
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let v = roundtrip (J.Num f) in
+      check_close (Printf.sprintf "float %g" f) (Float.abs f *. 1e-12) f (J.to_float v))
+    [ 0.0; 1.0; -1.5; 3.14159265358979; 1e-9; 12345678.9 ]
+
+(* {1 Profile serialisation} *)
+
+let mongodb_profile =
+  lazy
+    (let app = Ditto_apps.Mongodb.spec () in
+     Ditto_profile.Tier_profile.profile_app ~requests:40 ~seed:5 app)
+
+let test_profile_roundtrip () =
+  let p = Lazy.force mongodb_profile in
+  let json = Ditto_profile.Profile_io.to_json p in
+  let p2 = Ditto_profile.Profile_io.of_json json in
+  (* Serialisation is stable: a second encode of the decoded value is
+     byte-identical (structural equality of the records does not hold for
+     closures, so compare the canonical JSON). *)
+  let json2 = Ditto_profile.Profile_io.to_json p2 in
+  Alcotest.(check string) "canonical JSON stable" (J.to_string json) (J.to_string json2);
+  Alcotest.(check int) "tier count" 1 (List.length p2.Ditto_profile.Tier_profile.tiers);
+  let t1 = List.hd p.Ditto_profile.Tier_profile.tiers in
+  let t2 = List.hd p2.Ditto_profile.Tier_profile.tiers in
+  check_close "insts preserved" 1e-9
+    t1.Ditto_profile.Tier_profile.instmix.Ditto_profile.Instmix.insts_per_request
+    t2.Ditto_profile.Tier_profile.instmix.Ditto_profile.Instmix.insts_per_request;
+  Alcotest.(check bool) "background preserved" true
+    (t2.Ditto_profile.Tier_profile.background <> None)
+
+let test_profile_file_roundtrip () =
+  let p = Lazy.force mongodb_profile in
+  let path = Filename.temp_file "ditto_test" ".json" in
+  Ditto_profile.Profile_io.save path p;
+  let p2 = Ditto_profile.Profile_io.load path in
+  Sys.remove path;
+  Alcotest.(check string) "app name" p.Ditto_profile.Tier_profile.app_name
+    p2.Ditto_profile.Tier_profile.app_name
+
+let test_profile_clone_from_loaded () =
+  let p = Lazy.force mongodb_profile in
+  let path = Filename.temp_file "ditto_test" ".json" in
+  Ditto_profile.Profile_io.save path p;
+  let clone = Ditto_gen.Clone.synth_app (Ditto_profile.Profile_io.load path) in
+  Sys.remove path;
+  Alcotest.(check string) "clone from file" "mongodb_synth" clone.Spec.app_name;
+  (* and it runs *)
+  let load = Service.load ~qps:500.0 ~open_loop:false ~duration:0.3 () in
+  let out = Runner.run (Runner.config Ditto_uarch.Platform.a) ~load clone in
+  Alcotest.(check bool) "serves requests" true
+    (out.Runner.end_to_end.Ditto_util.Stats.count > 50)
+
+let test_profile_version_check () =
+  let p = Lazy.force mongodb_profile in
+  let json = Ditto_profile.Profile_io.to_json p in
+  let doctored =
+    match json with
+    | J.Obj fields ->
+        J.Obj (List.map (fun (k, v) -> if k = "version" then (k, J.int 999) else (k, v)) fields)
+    | _ -> Alcotest.fail "expected object"
+  in
+  (match Ditto_profile.Profile_io.of_json doctored with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "future version must be rejected");
+  match Ditto_profile.Profile_io.of_json (J.Obj [ ("format", J.Str "nope") ]) with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "wrong format must be rejected"
+
+let test_profile_dag_roundtrip () =
+  let app = Ditto_apps.Social_network.spec () in
+  let cfg = Runner.config ~requests:30 ~seed:9 Ditto_uarch.Platform.a in
+  let load = Service.load ~qps:300.0 ~duration:0.3 () in
+  let out = Runner.run cfg ~load app in
+  let results name = List.assoc name out.Runner.measured in
+  let spans = Ditto_trace.Collector.collect ~entry:"frontend" ~results ~samples:64 ~seed:3 in
+  let dag = Ditto_trace.Dag.of_spans spans in
+  let profile =
+    Ditto_profile.Tier_profile.profile_app ~requests:20 ~seed:4 ~dag app
+  in
+  let p2 = Ditto_profile.Profile_io.of_json (Ditto_profile.Profile_io.to_json profile) in
+  match p2.Ditto_profile.Tier_profile.dag with
+  | Some d2 ->
+      Alcotest.(check int) "edges preserved"
+        (List.length dag.Ditto_trace.Dag.edges)
+        (List.length d2.Ditto_trace.Dag.edges)
+  | None -> Alcotest.fail "dag lost in round trip"
+
+(* {1 TLB} *)
+
+let test_tlb_hit_after_fill () =
+  let t = Tlb.create () in
+  Alcotest.(check bool) "first access walks" true (Tlb.access t 0x1000 >= 30);
+  Alcotest.(check int) "second access free" 0 (Tlb.access t 0x1000);
+  Alcotest.(check int) "same page free" 0 (Tlb.access t 0x1fff);
+  Alcotest.(check bool) "different page walks" true (Tlb.access t 0x2000 > 0)
+
+let test_tlb_capacity () =
+  let t = Tlb.create ~l1_entries:4 ~stlb_entries:8 () in
+  (* touch 16 pages: beyond both levels *)
+  for p = 0 to 15 do
+    ignore (Tlb.access t (p * 4096))
+  done;
+  (* revisiting the oldest pages walks again *)
+  Alcotest.(check bool) "oldest evicted" true (Tlb.access t 0 > 0);
+  Alcotest.(check bool) "misses counted" true (Tlb.misses t >= 16);
+  Alcotest.(check int) "lookups counted" 17 (Tlb.lookups t)
+
+let test_tlb_stlb_tier () =
+  let t = Tlb.create ~l1_entries:2 ~stlb_entries:64 ~walk_cycles:30 () in
+  (* fill more pages than L1 but fewer than STLB; revisit -> intermediate cost *)
+  for p = 0 to 7 do
+    ignore (Tlb.access t (p * 4096))
+  done;
+  let c = Tlb.access t 0 in
+  Alcotest.(check bool) "stlb hit costs less than a walk" true (c > 0 && c < 30)
+
+let test_tlb_flush () =
+  let t = Tlb.create () in
+  ignore (Tlb.access t 0);
+  Tlb.flush t;
+  Alcotest.(check bool) "walk after flush" true (Tlb.access t 0 >= 30)
+
+let test_memory_counts_tlb_misses () =
+  let mem = Ditto_uarch.Memory.create Ditto_uarch.Platform.a ~ncores:1 in
+  (* stream 1000 distinct pages *)
+  for p = 0 to 999 do
+    ignore (Ditto_uarch.Memory.access_data mem ~core:0 ~addr:(p * 4096) ~write:false ~shared:false)
+  done;
+  let c = Ditto_uarch.Memory.counters mem 0 in
+  Alcotest.(check bool) "dtlb misses recorded" true (c.Ditto_uarch.Counters.dtlb_misses > 500)
+
+(* {1 KS distance} *)
+
+let test_ks_identical () =
+  let a = Array.init 100 float_of_int in
+  check_close "identical samples" 1e-9 0.0 (Stats.ks_distance a a)
+
+let test_ks_disjoint () =
+  let a = Array.init 50 float_of_int in
+  let b = Array.init 50 (fun i -> float_of_int (i + 1000)) in
+  check_close "disjoint samples" 1e-9 1.0 (Stats.ks_distance a b)
+
+let test_ks_shifted () =
+  let a = Array.init 1000 (fun i -> float_of_int (i mod 100)) in
+  let b = Array.init 1000 (fun i -> float_of_int (i mod 100) +. 20.0) in
+  let d = Stats.ks_distance a b in
+  check_close "20% shift of uniform(0,100)" 0.03 0.2 d
+
+let test_ks_symmetric () =
+  let rng = Ditto_util.Rng.create 3 in
+  let a = Array.init 200 (fun _ -> Ditto_util.Rng.float rng 10.0) in
+  let b = Array.init 300 (fun _ -> Ditto_util.Rng.float rng 12.0) in
+  check_close "symmetry" 1e-9 (Stats.ks_distance a b) (Stats.ks_distance b a)
+
+let test_ks_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.ks_distance: empty") (fun () ->
+      ignore (Stats.ks_distance [||] [| 1.0 |]))
+
+(* {1 Trace export} *)
+
+let test_trace_export () =
+  let app = Ditto_apps.Redis.spec () in
+  let tier = List.hd app.Spec.tiers in
+  let accesses = Ditto_gen.Trace_export.collect ~tier ~requests:10 ~seed:1 ~max_accesses:5000 in
+  Alcotest.(check bool) "accesses collected" true (List.length accesses > 100);
+  Alcotest.(check bool) "bounded" true (List.length accesses <= 5000);
+  let has_write = List.exists (fun a -> a.Ditto_gen.Trace_export.write) accesses in
+  let has_read = List.exists (fun a -> not a.Ditto_gen.Trace_export.write) accesses in
+  Alcotest.(check bool) "reads and writes" true (has_read && has_write);
+  let text = Ditto_gen.Trace_export.to_ramulator accesses in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "one line per access" (List.length accesses) (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line format: %s" line)
+        true
+        (String.length line > 4
+        && String.sub line 0 2 = "0x"
+        && (String.sub line (String.length line - 1) 1 = "R"
+           || String.sub line (String.length line - 1) 1 = "W")))
+    lines
+
+let test_trace_export_file () =
+  let app = Ditto_apps.Redis.spec () in
+  let tier = List.hd app.Spec.tiers in
+  let path = Filename.temp_file "ditto_trace" ".txt" in
+  let n = Ditto_gen.Trace_export.save ~path ~tier ~requests:5 ~seed:2 ~max_accesses:1000 () in
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (n > 0 && size > n * 5)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "float roundtrip" `Quick test_json_float_roundtrip;
+        ] );
+      ( "profile_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_profile_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_profile_file_roundtrip;
+          Alcotest.test_case "clone from file" `Quick test_profile_clone_from_loaded;
+          Alcotest.test_case "version check" `Quick test_profile_version_check;
+          Alcotest.test_case "dag roundtrip" `Slow test_profile_dag_roundtrip;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_tlb_hit_after_fill;
+          Alcotest.test_case "capacity" `Quick test_tlb_capacity;
+          Alcotest.test_case "stlb tier" `Quick test_tlb_stlb_tier;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "memory integration" `Quick test_memory_counts_tlb_misses;
+        ] );
+      ( "ks",
+        [
+          Alcotest.test_case "identical" `Quick test_ks_identical;
+          Alcotest.test_case "disjoint" `Quick test_ks_disjoint;
+          Alcotest.test_case "shifted" `Quick test_ks_shifted;
+          Alcotest.test_case "symmetric" `Quick test_ks_symmetric;
+          Alcotest.test_case "empty" `Quick test_ks_empty_rejected;
+        ] );
+      ( "trace_export",
+        [
+          Alcotest.test_case "collect/format" `Quick test_trace_export;
+          Alcotest.test_case "file" `Quick test_trace_export_file;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the generator, tuner, and user-level baseline. *)
+open Ditto_app
+open Ditto_gen
+module P = Ditto_profile
+module Platform = Ditto_uarch.Platform
+
+let redis_profile =
+  lazy
+    (let app = Ditto_apps.Redis.spec () in
+     P.Tier_profile.profile_app ~requests:80 ~seed:30 app)
+
+let redis_tier_profile () = List.hd (Lazy.force redis_profile).P.Tier_profile.tiers
+
+(* {1 Stages} *)
+
+let test_stage_features_monotone () =
+  (* Each later stage enables a superset of features. *)
+  let as_list (f : Body_gen.features) =
+    [
+      f.Body_gen.f_syscalls; f.Body_gen.f_inst_count; f.Body_gen.f_inst_mix;
+      f.Body_gen.f_branches; f.Body_gen.f_i_mem; f.Body_gen.f_d_mem; f.Body_gen.f_deps;
+    ]
+  in
+  let stages = [ 'A'; 'B'; 'C'; 'D'; 'E'; 'F'; 'G'; 'H' ] in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        let fa = as_list (Body_gen.stage a) and fb = as_list (Body_gen.stage b) in
+        List.iter2
+          (fun x y -> Alcotest.(check bool) (Printf.sprintf "%c <= %c" a b) true ((not x) || y))
+          fa fb;
+        check rest
+    | _ -> ()
+  in
+  check stages;
+  Alcotest.(check bool) "A empty" true (Body_gen.stage 'A' = Body_gen.no_features);
+  Alcotest.(check bool) "H full" true (Body_gen.stage 'H' = Body_gen.all_features)
+
+let test_stage_invalid () =
+  Alcotest.check_raises "bad stage" (Invalid_argument "Body_gen.stage: Z") (fun () ->
+      ignore (Body_gen.stage 'Z'))
+
+(* {1 Generated handlers} *)
+
+let space = Layout.space ~tier_index:0 ~heap_bytes:(160 * 1024 * 1024) ~shared_bytes:(1 lsl 16)
+
+let gen_ops ?(features = Body_gen.all_features) ?(params = Params.default) () =
+  let handler =
+    Body_gen.generate ~profile:(redis_tier_profile ()) ~space ~features ~params ~downstream:[]
+      ~seed:31
+  in
+  handler (Ditto_util.Rng.create 32) 0
+
+let dynamic_insts ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Spec.Compute (b, iters) -> acc + (b.Ditto_isa.Block.static_insts * iters)
+      | _ -> acc)
+    0 ops
+
+let test_generate_stage_a_empty_body () =
+  let ops = gen_ops ~features:(Body_gen.stage 'A') () in
+  Alcotest.(check int) "no work at stage A" 0 (List.length ops)
+
+let test_generate_inst_count_matches_profile () =
+  let profile = redis_tier_profile () in
+  let target = profile.P.Tier_profile.instmix.P.Instmix.insts_per_request in
+  (* average across several requests (probabilistic blocks) *)
+  let handler =
+    Body_gen.generate ~profile ~space ~features:Body_gen.all_features ~params:Params.default
+      ~downstream:[] ~seed:33
+  in
+  let rng = Ditto_util.Rng.create 34 in
+  let total = ref 0 in
+  let n = 50 in
+  for req = 0 to n - 1 do
+    total := !total + dynamic_insts (handler rng req)
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "insts within 25%% (target %.0f, got %.0f)" target mean)
+    true
+    (Float.abs (mean -. target) /. target < 0.25)
+
+let mean_dynamic_insts ?params () =
+  let handler =
+    Body_gen.generate ~profile:(redis_tier_profile ()) ~space ~features:Body_gen.all_features
+      ~params:(Option.value ~default:Params.default params)
+      ~downstream:[] ~seed:31
+  in
+  let rng = Ditto_util.Rng.create 32 in
+  let total = ref 0 in
+  for req = 0 to 49 do
+    total := !total + dynamic_insts (handler rng req)
+  done;
+  float_of_int !total /. 50.0
+
+let test_generate_inst_scale_knob () =
+  let base = mean_dynamic_insts () in
+  let doubled = mean_dynamic_insts ~params:{ Params.default with Params.inst_scale = 2.0 } () in
+  Alcotest.(check bool) "inst_scale doubles work" true (doubled > 1.5 *. base)
+
+let test_generate_distinct_from_original () =
+  (* The synthetic code must not reuse the original's code addresses. *)
+  let app = Ditto_apps.Redis.spec () in
+  let orig_tier = List.hd app.Spec.tiers in
+  let orig_bases = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Spec.Compute (b, _) -> orig_bases := b.Ditto_isa.Block.code_base :: !orig_bases
+      | _ -> ())
+    (orig_tier.Spec.handler (Ditto_util.Rng.create 1) 0);
+  List.iter
+    (fun op ->
+      match op with
+      | Spec.Compute (b, _) ->
+          Alcotest.(check bool) "distinct code addresses" true
+            (not (List.mem b.Ditto_isa.Block.code_base !orig_bases))
+      | _ -> ())
+    (gen_ops ())
+
+let test_generate_downstream_calls () =
+  let edge =
+    {
+      Ditto_trace.Dag.caller = "t";
+      callee = "backend";
+      calls_per_request = 1.0;
+      probability = 1.0;
+      req_bytes = 256;
+      resp_bytes = 512;
+    }
+  in
+  let handler =
+    Body_gen.generate ~profile:(redis_tier_profile ()) ~space ~features:Body_gen.all_features
+      ~params:Params.default ~downstream:[ edge ] ~seed:35
+  in
+  let ops = handler (Ditto_util.Rng.create 36) 0 in
+  let calls =
+    List.filter (function Spec.Call { target = "backend"; _ } -> true | _ -> false) ops
+  in
+  Alcotest.(check int) "one call per request" 1 (List.length calls)
+
+let test_generate_i_footprint_scales () =
+  (* Sum the footprint of all distinct blocks seen across many requests
+     (some blocks execute probabilistically). *)
+  let footprint ?params () =
+    let handler =
+      Body_gen.generate ~profile:(redis_tier_profile ()) ~space
+        ~features:Body_gen.all_features
+        ~params:(Option.value ~default:Params.default params)
+        ~downstream:[] ~seed:31
+    in
+    let rng = Ditto_util.Rng.create 32 in
+    let seen = Hashtbl.create 16 in
+    for req = 0 to 19 do
+      List.iter
+        (fun op ->
+          match op with
+          | Spec.Compute (b, _) ->
+              Hashtbl.replace seen b.Ditto_isa.Block.uid b.Ditto_isa.Block.code_bytes
+          | _ -> ())
+        (handler rng req)
+    done;
+    Hashtbl.fold (fun _ bytes acc -> acc + bytes) seen 0
+  in
+  let base = footprint () in
+  let wide = footprint ~params:{ Params.default with Params.i_ws_scale = 4.0 } () in
+  Alcotest.(check bool) "i_ws_scale grows footprint" true (wide > base)
+
+(* {1 Clone assembly} *)
+
+let test_clone_preserves_skeleton () =
+  let app = Ditto_apps.Mongodb.spec () in
+  let profile = P.Tier_profile.profile_app ~requests:40 ~seed:37 app in
+  let synth = Clone.synth_app profile in
+  Alcotest.(check string) "name suffixed" "mongodb_synth" synth.Spec.app_name;
+  let orig_tier = List.hd app.Spec.tiers and synth_tier = List.hd synth.Spec.tiers in
+  Alcotest.(check bool) "server model preserved" true
+    (synth_tier.Spec.server_model = orig_tier.Spec.server_model);
+  Alcotest.(check int) "workers preserved" orig_tier.Spec.thread_model.Spec.workers
+    synth_tier.Spec.thread_model.Spec.workers;
+  Alcotest.(check bool) "dynamic threads preserved" true
+    (synth_tier.Spec.thread_model.Spec.dynamic_threads
+    = orig_tier.Spec.thread_model.Spec.dynamic_threads);
+  Alcotest.(check int) "response bytes preserved" orig_tier.Spec.response_bytes
+    synth_tier.Spec.response_bytes;
+  Alcotest.(check int) "file footprint preserved" orig_tier.Spec.file_bytes
+    synth_tier.Spec.file_bytes;
+  Alcotest.(check bool) "background thread cloned" true
+    (synth_tier.Spec.background_handler <> None);
+  Alcotest.(check bool) "page cache hint carried" true
+    (synth.Spec.page_cache_hint = app.Spec.page_cache_hint)
+
+let test_clone_deterministic () =
+  let profile = Lazy.force redis_profile in
+  let a = Clone.synth_app ~seed:40 profile and b = Clone.synth_app ~seed:40 profile in
+  let ops spec = (List.hd spec.Spec.tiers).Spec.handler (Ditto_util.Rng.create 1) 0 in
+  Alcotest.(check int) "same op count" (List.length (ops a)) (List.length (ops b))
+
+(* {1 Tuner} *)
+
+let test_counter_errors () =
+  let a = Ditto_uarch.Counters.create () and b = Ditto_uarch.Counters.create () in
+  a.Ditto_uarch.Counters.insts <- 1000;
+  a.Ditto_uarch.Counters.cycles <- 1000.0;
+  b.Ditto_uarch.Counters.insts <- 1000;
+  b.Ditto_uarch.Counters.cycles <- 2000.0;
+  let errs =
+    Ditto_tune.Tuner.counter_errors ~original:a ~synthetic:b ~orig_requests:10
+      ~synth_requests:10
+  in
+  Alcotest.(check (float 1e-9)) "ipc halved = 50% error" 0.5 (List.assoc "ipc" errs);
+  Alcotest.(check (float 1e-9)) "insts exact" 0.0 (List.assoc "insts" errs)
+
+let test_tuner_improves_or_converges () =
+  let app = Ditto_apps.Redis.spec () in
+  let load = Service.load ~qps:20000.0 ~open_loop:false ~duration:0.4 () in
+  let config = Runner.config ~requests:120 ~seed:41 Platform.a in
+  let reference = Runner.run config ~load app in
+  let profile = P.Tier_profile.profile_app ~requests:80 ~seed:42 app in
+  let _synth, report =
+    Ditto_tune.Tuner.tune ~max_iterations:4 ~config ~load ~reference ~profile ()
+  in
+  Alcotest.(check bool) "iterations ran" true (List.length report.Ditto_tune.Tuner.iterations >= 1);
+  let first = List.hd report.Ditto_tune.Tuner.iterations in
+  let best =
+    List.fold_left
+      (fun acc (it : Ditto_tune.Tuner.iteration) -> Float.min acc it.Ditto_tune.Tuner.worst_error)
+      infinity report.Ditto_tune.Tuner.iterations
+  in
+  Alcotest.(check bool) "best iterate no worse than first" true
+    (best <= first.Ditto_tune.Tuner.worst_error +. 1e-9);
+  List.iter
+    (fun (_, (p : Params.t)) ->
+      Alcotest.(check bool) "params within clamps" true
+        (p.Params.inst_scale >= 0.25 && p.Params.inst_scale <= 4.0))
+    report.Ditto_tune.Tuner.final_params
+
+(* {1 Baseline} *)
+
+let test_baseline_categories () =
+  Alcotest.(check int) "alu" 0 (Ditto_baseline.Userlevel_clone.category_of Ditto_isa.Iclass.Int_alu);
+  Alcotest.(check int) "div" 2 (Ditto_baseline.Userlevel_clone.category_of Ditto_isa.Iclass.Int_div);
+  Alcotest.(check int) "load" 5 (Ditto_baseline.Userlevel_clone.category_of Ditto_isa.Iclass.Load);
+  Alcotest.(check int) "branch" 7
+    (Ditto_baseline.Userlevel_clone.category_of Ditto_isa.Iclass.Branch_cond)
+
+let test_baseline_no_syscalls () =
+  let profile = Lazy.force redis_profile in
+  let synth = Ditto_baseline.Userlevel_clone.synth_app profile in
+  Alcotest.(check string) "name" "redis_userlevel" synth.Spec.app_name;
+  let tier = List.hd synth.Spec.tiers in
+  let ops = tier.Spec.handler (Ditto_util.Rng.create 1) 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Spec.Compute _ -> ()
+      | _ -> Alcotest.fail "baseline must be user-level compute only")
+    ops
+
+let test_baseline_misses_kernel_time () =
+  (* The headline claim: a user-level clone undershoots per-request work
+     because it has no kernel component. *)
+  let app = Ditto_apps.Redis.spec () in
+  let cfg = Runner.config ~requests:80 ~seed:43 Platform.a in
+  let load = Service.load ~qps:20000.0 ~open_loop:false ~duration:0.4 () in
+  let orig = Runner.run cfg ~load app in
+  let base = Runner.run cfg ~load (Ditto_baseline.Userlevel_clone.synth_app (Lazy.force redis_profile)) in
+  let insts out = (List.assoc "redis" out.Runner.measured).Measure.counters.Ditto_uarch.Counters.insts in
+  Alcotest.(check bool) "baseline executes fewer instructions than the original" true
+    (insts base < insts orig)
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "stages",
+        [
+          Alcotest.test_case "monotone" `Quick test_stage_features_monotone;
+          Alcotest.test_case "invalid" `Quick test_stage_invalid;
+        ] );
+      ( "body_gen",
+        [
+          Alcotest.test_case "stage A empty" `Quick test_generate_stage_a_empty_body;
+          Alcotest.test_case "inst count" `Quick test_generate_inst_count_matches_profile;
+          Alcotest.test_case "inst scale" `Quick test_generate_inst_scale_knob;
+          Alcotest.test_case "distinct code" `Quick test_generate_distinct_from_original;
+          Alcotest.test_case "downstream calls" `Quick test_generate_downstream_calls;
+          Alcotest.test_case "i footprint" `Quick test_generate_i_footprint_scales;
+        ] );
+      ( "clone",
+        [
+          Alcotest.test_case "skeleton preserved" `Slow test_clone_preserves_skeleton;
+          Alcotest.test_case "deterministic" `Quick test_clone_deterministic;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "counter errors" `Quick test_counter_errors;
+          Alcotest.test_case "improves" `Slow test_tuner_improves_or_converges;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "categories" `Quick test_baseline_categories;
+          Alcotest.test_case "no syscalls" `Quick test_baseline_no_syscalls;
+          Alcotest.test_case "misses kernel time" `Slow test_baseline_misses_kernel_time;
+        ] );
+    ]

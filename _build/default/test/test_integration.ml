@@ -1,0 +1,127 @@
+(* End-to-end integration tests of the cloning pipeline: profile an
+   original service, generate a tuned clone, and validate that the clone's
+   counters, bandwidth and latency land near the original (loose bounds —
+   these are correctness gates, not the accuracy evaluation, which lives in
+   the benchmark harness). *)
+open Ditto_app
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+
+let clone_redis =
+  lazy
+    (let app = Ditto_apps.Redis.spec () in
+     let load = Service.load ~qps:25000.0 ~open_loop:false ~duration:0.8 () in
+     (load, Pipeline.clone ~requests:150 ~profile_requests:100 ~platform:Platform.a ~load app))
+
+let test_clone_produces_synthetic () =
+  let _, r = Lazy.force clone_redis in
+  Alcotest.(check string) "synthetic name" "redis_synth" r.Pipeline.synthetic.Spec.app_name;
+  Alcotest.(check int) "same tier count"
+    (List.length r.Pipeline.original.Spec.tiers)
+    (List.length r.Pipeline.synthetic.Spec.tiers);
+  Alcotest.(check bool) "single tier: no dag" true (r.Pipeline.dag = None);
+  Alcotest.(check bool) "tuning ran" true (r.Pipeline.tuning <> None)
+
+let test_clone_tuning_bounded_iterations () =
+  let _, r = Lazy.force clone_redis in
+  match r.Pipeline.tuning with
+  | Some report ->
+      Alcotest.(check bool) "at most 10 iterations" true
+        (List.length report.Ditto_tune.Tuner.iterations <= 10)
+  | None -> Alcotest.fail "no tuning report"
+
+let test_validation_accuracy () =
+  let load, r = Lazy.force clone_redis in
+  let c = Pipeline.validate ~platform:Platform.a ~load ~label:"medium" r in
+  let errs = List.assoc "redis" (Pipeline.comparison_errors c) in
+  (* Loose gates: the paper reports single-digit average errors with wide
+     per-app variance; these bounds catch regressions without flakiness. *)
+  List.iter
+    (fun (axis, e) ->
+      Alcotest.(check bool) (Printf.sprintf "%s error %.1f%% < 65%%" axis e) true (e < 65.0))
+    errs;
+  let mean = List.fold_left (fun a (_, e) -> a +. e) 0.0 errs /. float_of_int (List.length errs) in
+  Alcotest.(check bool) (Printf.sprintf "mean error %.1f%% < 30%%" mean) true (mean < 30.0);
+  (* IPC, the headline metric, should be tight. *)
+  Alcotest.(check bool) "IPC error < 20%" true (List.assoc "IPC" errs < 20.0)
+
+let test_validation_latency_shape () =
+  let load, r = Lazy.force clone_redis in
+  let c = Pipeline.validate ~platform:Platform.a ~load ~label:"lat" r in
+  let a = c.Pipeline.actual_end_to_end and s = c.Pipeline.synthetic_end_to_end in
+  let rel x y = Float.abs (x -. y) /. x in
+  Alcotest.(check bool) "avg latency within 30%" true
+    (rel a.Ditto_util.Stats.mean s.Ditto_util.Stats.mean < 0.30);
+  Alcotest.(check bool) "p99 within 50%" true
+    (rel a.Ditto_util.Stats.p99 s.Ditto_util.Stats.p99 < 0.50)
+
+let test_portability_platform_b () =
+  (* Profiled on A only; both original and synthetic move to B and should
+     shift the same way (Fig. 7's claim). *)
+  let load, r = Lazy.force clone_redis in
+  let on_a = Pipeline.validate ~platform:Platform.a ~load ~label:"A" r in
+  let on_b = Pipeline.validate ~platform:Platform.b ~load ~label:"B" r in
+  let ipc c tier_list = (List.assoc tier_list c).Metrics.ipc in
+  let a_act = ipc on_a.Pipeline.actual "redis" and b_act = ipc on_b.Pipeline.actual "redis" in
+  let a_syn = ipc on_a.Pipeline.synthetic "redis" and b_syn = ipc on_b.Pipeline.synthetic "redis" in
+  (* Platform B (older, narrower) lowers IPC for both. *)
+  Alcotest.(check bool) "original slower on B" true (b_act < a_act);
+  Alcotest.(check bool) "synthetic tracks the platform change" true (b_syn < a_syn)
+
+let test_clone_multi_tier_social () =
+  let app = Ditto_apps.Social_network.spec () in
+  let load = Service.load ~qps:500.0 ~duration:0.5 () in
+  let r =
+    Pipeline.clone ~tune:false ~requests:60 ~profile_requests:40 ~platform:Platform.a ~load app
+  in
+  (match r.Pipeline.dag with
+  | Some dag ->
+      Alcotest.(check int) "dag covers all tiers" 22
+        (List.length dag.Ditto_trace.Dag.services)
+  | None -> Alcotest.fail "microservice must yield a DAG");
+  Alcotest.(check int) "22 synthetic tiers" 22 (List.length r.Pipeline.synthetic.Spec.tiers);
+  (* The synthetic graph serves traffic end to end. *)
+  let c = Pipeline.validate ~platform:Platform.a ~load ~label:"sn" r in
+  Alcotest.(check bool) "synthetic served requests" true
+    (c.Pipeline.synthetic_end_to_end.Ditto_util.Stats.count > 50);
+  let rel =
+    Float.abs
+      (c.Pipeline.synthetic_end_to_end.Ditto_util.Stats.mean
+      -. c.Pipeline.actual_end_to_end.Ditto_util.Stats.mean)
+    /. c.Pipeline.actual_end_to_end.Ditto_util.Stats.mean
+  in
+  Alcotest.(check bool) "end-to-end mean within 50%" true (rel < 0.5)
+
+let test_interference_direction () =
+  (* Under cache interference both original and synthetic lose IPC
+     (Fig. 10): an L1d antagonist on the sibling hyperthread evicts the hot
+     working set of whatever runs there. *)
+  let load, r = Lazy.force clone_redis in
+  let quiet = Pipeline.validate ~platform:Platform.a ~load ~label:"quiet" r in
+  let noisy =
+    Pipeline.validate
+      ~config_of:(fun p ->
+        Runner.config ~stressor:(Ditto_apps.Stressors.by_name "L1d")
+          ~stressor_placement:`Same_core ~smt_pressure:0.6 p)
+      ~platform:Platform.a ~load ~label:"noisy" r
+  in
+  let ipc c = (List.assoc "redis" c).Metrics.ipc in
+  Alcotest.(check bool) "original hurt by LLC stress" true
+    (ipc noisy.Pipeline.actual < ipc quiet.Pipeline.actual);
+  Alcotest.(check bool) "synthetic hurt too" true
+    (ipc noisy.Pipeline.synthetic < ipc quiet.Pipeline.synthetic)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "clone produced" `Slow test_clone_produces_synthetic;
+          Alcotest.test_case "tuning bounded" `Slow test_clone_tuning_bounded_iterations;
+          Alcotest.test_case "validation accuracy" `Slow test_validation_accuracy;
+          Alcotest.test_case "latency shape" `Slow test_validation_latency_shape;
+          Alcotest.test_case "portability to B" `Slow test_portability_platform_b;
+          Alcotest.test_case "multi-tier social" `Slow test_clone_multi_tier_social;
+          Alcotest.test_case "interference direction" `Slow test_interference_direction;
+        ] );
+    ]

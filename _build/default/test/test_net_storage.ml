@@ -1,0 +1,243 @@
+(* Tests for the network and storage device models. *)
+open Ditto_sim
+open Ditto_net
+module Disk = Ditto_storage.Disk
+module Platform = Ditto_uarch.Platform
+
+let check_close msg tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %g within %g, got %g" msg expected tolerance actual
+
+(* {1 Disk} *)
+
+let test_disk_service_times () =
+  let engine = Engine.create () in
+  let ssd = Disk.create engine Platform.Ssd and hdd = Disk.create engine Platform.Hdd in
+  Alcotest.(check bool) "HDD random >> SSD random" true
+    (Disk.service_time hdd ~bytes:4096 ~random:true
+    > 10.0 *. Disk.service_time ssd ~bytes:4096 ~random:true);
+  Alcotest.(check bool) "sequential cheaper than random" true
+    (Disk.service_time hdd ~bytes:4096 ~random:false
+    < Disk.service_time hdd ~bytes:4096 ~random:true);
+  Alcotest.(check bool) "bigger transfers cost more" true
+    (Disk.service_time ssd ~bytes:(1 lsl 20) ~random:false
+    > Disk.service_time ssd ~bytes:4096 ~random:false)
+
+let test_disk_hdd_queueing () =
+  (* One actuator: two concurrent random reads serialise. *)
+  let engine = Engine.create () in
+  let hdd = Disk.create engine Platform.Hdd in
+  let finish = ref [] in
+  for _ = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        Disk.read hdd ~bytes:4096 ~random:true;
+        finish := Engine.time () :: !finish)
+  done;
+  Engine.run engine;
+  let t1 = Disk.service_time hdd ~bytes:4096 ~random:true in
+  let latest = List.fold_left Float.max 0.0 !finish in
+  check_close "second waits for first" 1e-6 (2.0 *. t1) latest
+
+let test_disk_ssd_parallel_channels () =
+  let engine = Engine.create () in
+  let ssd = Disk.create engine Platform.Ssd in
+  let finish = ref [] in
+  for _ = 1 to 4 do
+    Engine.spawn engine (fun () ->
+        Disk.read ssd ~bytes:4096 ~random:true;
+        finish := Engine.time () :: !finish)
+  done;
+  Engine.run engine;
+  let t1 = Disk.service_time ssd ~bytes:4096 ~random:true in
+  List.iter (fun t -> check_close "parallel channels" 1e-6 t1 t) !finish
+
+let test_disk_stats () =
+  let engine = Engine.create () in
+  let d = Disk.create engine Platform.Ssd in
+  Engine.spawn engine (fun () ->
+      Disk.read d ~bytes:1000 ~random:false;
+      Disk.write d ~bytes:500);
+  Engine.run engine;
+  Alcotest.(check int) "read bytes" 1000 (Disk.bytes_read d);
+  Alcotest.(check int) "written bytes" 500 (Disk.bytes_written d);
+  Disk.reset_stats d;
+  Alcotest.(check int) "reset" 0 (Disk.bytes_read d)
+
+(* {1 NIC} *)
+
+let test_nic_serialisation_time () =
+  let engine = Engine.create () in
+  let nic = Nic.create engine ~gbps:1.0 in
+  let t = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      Nic.transmit nic ~bytes:125_000;
+      (* 1ms at 1Gbps *)
+      t := Engine.time ());
+  Engine.run engine;
+  Alcotest.(check bool) "roughly 1ms (plus framing)" true (!t >= 1e-3 && !t < 1.2e-3)
+
+let test_nic_queueing () =
+  let engine = Engine.create () in
+  let nic = Nic.create engine ~gbps:1.0 in
+  let finish = ref [] in
+  for _ = 1 to 3 do
+    Engine.spawn engine (fun () ->
+        Nic.transmit nic ~bytes:125_000;
+        finish := Engine.time () :: !finish)
+  done;
+  Engine.run engine;
+  let latest = List.fold_left Float.max 0.0 !finish in
+  Alcotest.(check bool) "three messages serialise" true (latest >= 3e-3)
+
+let test_nic_stats () =
+  let engine = Engine.create () in
+  let nic = Nic.create engine ~gbps:10.0 in
+  Engine.spawn engine (fun () -> Nic.transmit nic ~bytes:100);
+  Engine.run engine;
+  Nic.note_received nic ~bytes:50;
+  Alcotest.(check int) "sent" 100 (Nic.bytes_sent nic);
+  Alcotest.(check int) "received" 50 (Nic.bytes_received nic);
+  Alcotest.(check (float 1e-9)) "gbps" 10.0 (Nic.gbps nic)
+
+(* {1 Socket} *)
+
+let make_pair engine =
+  let a_nic = Nic.create engine ~gbps:10.0 and b_nic = Nic.create engine ~gbps:10.0 in
+  Socket.pair engine ~a_nic ~b_nic ~latency:1e-4
+
+let test_socket_delivery () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let got = ref 0 and at = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      got := Socket.recv b;
+      at := Engine.time ());
+  Engine.spawn engine (fun () -> Socket.send a ~bytes:1500);
+  Engine.run engine;
+  Alcotest.(check int) "size delivered" 1500 !got;
+  Alcotest.(check bool) "after link latency" true (!at >= 1e-4)
+
+let test_socket_bidirectional () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let reply = ref 0 in
+  Engine.spawn engine (fun () ->
+      let req = Socket.recv b in
+      Socket.send b ~bytes:(req * 2));
+  Engine.spawn engine (fun () ->
+      Socket.send a ~bytes:21;
+      reply := Socket.recv a);
+  Engine.run engine;
+  Alcotest.(check int) "request/response" 42 !reply
+
+let test_socket_recv_timed () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let arrived = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      let _, t = Socket.recv_timed b in
+      arrived := t);
+  Engine.spawn engine (fun () ->
+      Engine.wait 0.5;
+      Socket.send a ~bytes:10);
+  Engine.run engine;
+  Alcotest.(check bool) "delivery timestamp carried" true (!arrived >= 0.5)
+
+let test_socket_try_recv_and_pending () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  Engine.spawn engine (fun () ->
+      Socket.send a ~bytes:7;
+      Engine.wait 1.0;
+      Alcotest.(check int) "pending" 1 (Socket.pending b);
+      Alcotest.(check (option int)) "try_recv" (Some 7) (Socket.try_recv b);
+      Alcotest.(check (option int)) "empty" None (Socket.try_recv b));
+  Engine.run engine
+
+(* {1 Epoll} *)
+
+let test_epoll_ready_and_wait () =
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let ep = Socket.Epoll.create () in
+  Socket.Epoll.add ep b;
+  let woke = ref [] in
+  Engine.spawn engine (fun () -> woke := Socket.Epoll.wait ep);
+  Engine.spawn engine (fun () -> Socket.send a ~bytes:5);
+  Engine.run engine;
+  Alcotest.(check int) "one ready endpoint" 1 (List.length !woke)
+
+let test_epoll_timeout () =
+  let engine = Engine.create () in
+  let _, b = make_pair engine in
+  let ep = Socket.Epoll.create () in
+  Socket.Epoll.add ep b;
+  let result = ref [ b ] in
+  Engine.spawn engine (fun () -> result := Socket.Epoll.wait ~timeout:0.01 ep);
+  Engine.run engine;
+  Alcotest.(check int) "timeout returns empty" 0 (List.length !result)
+
+let test_epoll_add_while_waiting () =
+  (* Regression: a connection attached after the worker parked in wait must
+     still wake it (without this, first requests stall a full timeout). *)
+  let engine = Engine.create () in
+  let ep = Socket.Epoll.create () in
+  let woke_at = ref infinity in
+  Engine.spawn engine (fun () ->
+      ignore (Socket.Epoll.wait ~timeout:10.0 ep);
+      woke_at := Engine.time ());
+  Engine.spawn engine (fun () ->
+      Engine.wait 0.1;
+      let a, b = make_pair engine in
+      Socket.Epoll.add ep b;
+      Socket.send a ~bytes:9);
+  Engine.run engine;
+  Alcotest.(check bool) "woken promptly, not at timeout" true (!woke_at < 1.0)
+
+let test_epoll_multiple_endpoints () =
+  let engine = Engine.create () in
+  let pairs = List.init 4 (fun _ -> make_pair engine) in
+  let ep = Socket.Epoll.create () in
+  List.iter (fun (_, b) -> Socket.Epoll.add ep b) pairs;
+  let ready_count = ref 0 in
+  Engine.spawn engine (fun () ->
+      let ready = Socket.Epoll.wait ep in
+      ready_count := List.length ready);
+  Engine.spawn engine (fun () ->
+      let a1, _ = List.nth pairs 1 and a3, _ = List.nth pairs 3 in
+      Socket.send a1 ~bytes:1;
+      Socket.send a3 ~bytes:1);
+  Engine.run engine;
+  Alcotest.(check bool) "at least one ready" true (!ready_count >= 1)
+
+let () =
+  Alcotest.run "net_storage"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "service times" `Quick test_disk_service_times;
+          Alcotest.test_case "hdd queueing" `Quick test_disk_hdd_queueing;
+          Alcotest.test_case "ssd channels" `Quick test_disk_ssd_parallel_channels;
+          Alcotest.test_case "stats" `Quick test_disk_stats;
+        ] );
+      ( "nic",
+        [
+          Alcotest.test_case "serialisation" `Quick test_nic_serialisation_time;
+          Alcotest.test_case "queueing" `Quick test_nic_queueing;
+          Alcotest.test_case "stats" `Quick test_nic_stats;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "delivery" `Quick test_socket_delivery;
+          Alcotest.test_case "bidirectional" `Quick test_socket_bidirectional;
+          Alcotest.test_case "recv timed" `Quick test_socket_recv_timed;
+          Alcotest.test_case "try_recv/pending" `Quick test_socket_try_recv_and_pending;
+        ] );
+      ( "epoll",
+        [
+          Alcotest.test_case "ready and wait" `Quick test_epoll_ready_and_wait;
+          Alcotest.test_case "timeout" `Quick test_epoll_timeout;
+          Alcotest.test_case "add while waiting" `Quick test_epoll_add_while_waiting;
+          Alcotest.test_case "multiple endpoints" `Quick test_epoll_multiple_endpoints;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the OS layer: syscall kernel streams, page cache, scheduler. *)
+open Ditto_os
+open Ditto_sim
+
+let check_close msg tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %g within %g, got %g" msg expected tolerance actual
+
+(* {1 Syscall} *)
+
+let test_syscall_names_unique () =
+  let kinds =
+    [
+      Syscall.Pread { bytes = 1; random = true };
+      Syscall.Pwrite { bytes = 1 };
+      Syscall.Sock_read { bytes = 1 };
+      Syscall.Sock_write { bytes = 1 };
+      Syscall.Epoll_wait;
+      Syscall.Accept;
+      Syscall.Futex_wait;
+      Syscall.Futex_wake;
+      Syscall.Mmap { bytes = 1 };
+      Syscall.Clone;
+      Syscall.Nanosleep { seconds = 1.0 };
+      Syscall.Gettime;
+    ]
+  in
+  let names = List.map Syscall.name kinds in
+  Alcotest.(check int) "unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_syscall_blocking_classification () =
+  Alcotest.(check bool) "epoll blocks" true (Syscall.is_blocking Syscall.Epoll_wait);
+  Alcotest.(check bool) "pread does not" false
+    (Syscall.is_blocking (Syscall.Pread { bytes = 4096; random = true }))
+
+let test_syscall_path_lengths_ordered () =
+  Alcotest.(check bool) "sendmsg > gettime" true
+    (Syscall.path_insts (Syscall.Sock_write { bytes = 100 }) > Syscall.path_insts Syscall.Gettime)
+
+let test_kernel_streams_structure () =
+  let streams = Syscall.Kernel.streams ~scale:0.25 (Syscall.Sock_read { bytes = 4096 }) in
+  Alcotest.(check bool) "path + copy" true (List.length streams = 2);
+  let path, iters = List.hd streams in
+  Alcotest.(check bool) "path has templates" true (path.Ditto_isa.Block.static_insts > 0);
+  Alcotest.(check bool) "iterations positive" true (iters > 0)
+
+let test_kernel_streams_memoised () =
+  let a = Syscall.Kernel.streams ~scale:0.25 Syscall.Epoll_wait in
+  let b = Syscall.Kernel.streams ~scale:0.25 Syscall.Epoll_wait in
+  Alcotest.(check bool) "same physical value" true (a == b)
+
+let test_kernel_scale_shrinks () =
+  let big = Syscall.Kernel.streams ~scale:1.0 Syscall.Clone in
+  let small = Syscall.Kernel.streams ~scale:0.1 Syscall.Clone in
+  let insts s =
+    List.fold_left (fun a (b, i) -> a + (b.Ditto_isa.Block.static_insts * i)) 0 s
+  in
+  Alcotest.(check bool) "scaled path shorter" true (insts small < insts big)
+
+let test_kernel_distinct_code_windows () =
+  let a, _ = List.hd (Syscall.Kernel.streams Syscall.Epoll_wait) in
+  let b, _ = List.hd (Syscall.Kernel.streams (Syscall.Sock_write { bytes = 64 })) in
+  Alcotest.(check bool) "different kernel text regions" true
+    (a.Ditto_isa.Block.code_base <> b.Ditto_isa.Block.code_base)
+
+let test_housekeeping () =
+  let block, iters = Syscall.Kernel.housekeeping ~scale:0.25 () in
+  Alcotest.(check bool) "nonempty" true (block.Ditto_isa.Block.static_insts > 0 && iters >= 1)
+
+(* {1 Page cache} *)
+
+let test_page_cache_miss_then_hit () =
+  let pc = Page_cache.create ~capacity_bytes:(1 lsl 20) in
+  let missed = Page_cache.read pc ~offset:0 ~bytes:8192 in
+  Alcotest.(check int) "cold read misses both pages" 8192 missed;
+  let again = Page_cache.read pc ~offset:0 ~bytes:8192 in
+  Alcotest.(check int) "warm read free" 0 again
+
+let test_page_cache_partial () =
+  let pc = Page_cache.create ~capacity_bytes:(1 lsl 20) in
+  ignore (Page_cache.read pc ~offset:0 ~bytes:4096);
+  let missed = Page_cache.read pc ~offset:0 ~bytes:8192 in
+  Alcotest.(check int) "only the second page fetched" 4096 missed
+
+let test_page_cache_lru_eviction () =
+  let pc = Page_cache.create ~capacity_bytes:(4 * 4096) in
+  ignore (Page_cache.read pc ~offset:0 ~bytes:(4 * 4096));
+  (* Touch page 0 so page 1 is LRU, then insert a new page. *)
+  ignore (Page_cache.read pc ~offset:0 ~bytes:1);
+  ignore (Page_cache.read pc ~offset:(4 * 4096) ~bytes:1);
+  Alcotest.(check int) "page 0 still resident" 0 (Page_cache.read pc ~offset:0 ~bytes:1);
+  Alcotest.(check int) "page 1 evicted" 4096 (Page_cache.read pc ~offset:4096 ~bytes:1)
+
+let test_page_cache_stats () =
+  let pc = Page_cache.create ~capacity_bytes:(1 lsl 20) in
+  ignore (Page_cache.read pc ~offset:0 ~bytes:4096);
+  ignore (Page_cache.read pc ~offset:0 ~bytes:4096);
+  Alcotest.(check int) "lookups" 2 (Page_cache.lookups pc);
+  Alcotest.(check int) "misses" 1 (Page_cache.misses pc);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Page_cache.hit_rate pc);
+  Page_cache.reset_stats pc;
+  Alcotest.(check int) "stats reset" 0 (Page_cache.lookups pc)
+
+let test_page_cache_flush () =
+  let pc = Page_cache.create ~capacity_bytes:(1 lsl 20) in
+  ignore (Page_cache.read pc ~offset:0 ~bytes:4096);
+  Page_cache.flush pc;
+  Alcotest.(check int) "cold after flush" 4096 (Page_cache.read pc ~offset:0 ~bytes:4096)
+
+let test_page_cache_zero_bytes () =
+  let pc = Page_cache.create ~capacity_bytes:4096 in
+  Alcotest.(check int) "empty read" 0 (Page_cache.read pc ~offset:0 ~bytes:0)
+
+(* {1 Scheduler} *)
+
+let test_sched_single_thread_timing () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine ~ncores:2 () in
+  let finished = ref 0.0 in
+  Engine.spawn engine (fun () ->
+      Sched.run_oncpu sched ~thread:1 0.0105;
+      finished := Engine.time ());
+  Engine.run engine;
+  (* 10.5ms of work plus one context switch. *)
+  check_close "duration" 1e-4 0.0105 !finished
+
+let test_sched_contention () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine ~ncores:1 ~ctx_switch_cost:0.0 () in
+  let finish = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        Sched.run_oncpu sched ~thread:i 0.010;
+        finish := Engine.time () :: !finish)
+  done;
+  Engine.run engine;
+  let latest = List.fold_left Float.max 0.0 !finish in
+  check_close "two 10ms jobs on one core" 1e-4 0.020 latest
+
+let test_sched_parallel_cores () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine ~ncores:2 ~ctx_switch_cost:0.0 () in
+  let finish = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn engine (fun () ->
+        Sched.run_oncpu sched ~thread:i 0.010;
+        finish := Engine.time () :: !finish)
+  done;
+  Engine.run engine;
+  List.iter (fun t -> check_close "parallel" 1e-4 0.010 t) !finish
+
+let test_sched_fair_slicing () =
+  (* With quantum slicing, a short job submitted alongside a long one
+     should not wait for the long job to finish completely. *)
+  let engine = Engine.create () in
+  let sched = Sched.create engine ~ncores:1 ~quantum:1e-3 ~ctx_switch_cost:0.0 () in
+  let short_done = ref infinity in
+  Engine.spawn engine (fun () -> Sched.run_oncpu sched ~thread:1 0.050);
+  Engine.spawn engine (fun () ->
+      Sched.run_oncpu sched ~thread:2 0.001;
+      short_done := Engine.time ());
+  Engine.run engine;
+  Alcotest.(check bool) "short job preempts long one" true (!short_done < 0.010)
+
+let test_sched_stats () =
+  let engine = Engine.create () in
+  let sched = Sched.create engine ~ncores:1 () in
+  Engine.spawn engine (fun () -> Sched.run_oncpu sched ~thread:1 0.002);
+  Engine.spawn engine (fun () -> Sched.run_oncpu sched ~thread:2 0.002);
+  Engine.run engine;
+  Alcotest.(check bool) "context switches counted" true (Sched.context_switches sched >= 2);
+  Alcotest.(check bool) "busy time accumulated" true (Sched.busy_seconds sched >= 0.004);
+  Alcotest.(check int) "ncores" 1 (Sched.ncores sched)
+
+let () =
+  Alcotest.run "os"
+    [
+      ( "syscall",
+        [
+          Alcotest.test_case "unique names" `Quick test_syscall_names_unique;
+          Alcotest.test_case "blocking classes" `Quick test_syscall_blocking_classification;
+          Alcotest.test_case "path ordering" `Quick test_syscall_path_lengths_ordered;
+          Alcotest.test_case "stream structure" `Quick test_kernel_streams_structure;
+          Alcotest.test_case "memoised" `Quick test_kernel_streams_memoised;
+          Alcotest.test_case "scale" `Quick test_kernel_scale_shrinks;
+          Alcotest.test_case "distinct windows" `Quick test_kernel_distinct_code_windows;
+          Alcotest.test_case "housekeeping" `Quick test_housekeeping;
+        ] );
+      ( "page_cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_page_cache_miss_then_hit;
+          Alcotest.test_case "partial" `Quick test_page_cache_partial;
+          Alcotest.test_case "lru eviction" `Quick test_page_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_page_cache_stats;
+          Alcotest.test_case "flush" `Quick test_page_cache_flush;
+          Alcotest.test_case "zero bytes" `Quick test_page_cache_zero_bytes;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "single thread" `Quick test_sched_single_thread_timing;
+          Alcotest.test_case "contention" `Quick test_sched_contention;
+          Alcotest.test_case "parallel cores" `Quick test_sched_parallel_cores;
+          Alcotest.test_case "fair slicing" `Quick test_sched_fair_slicing;
+          Alcotest.test_case "stats" `Quick test_sched_stats;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for the analytical queueing estimator and the extra application
+   topologies (pipeline-generality checks). *)
+open Ditto_app
+module Q = Queueing
+module Platform = Ditto_uarch.Platform
+
+let check_close msg tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %g within %g, got %g" msg expected tolerance actual
+
+(* {1 Queueing model on known distributions} *)
+
+let deterministic_model ~servers ~service =
+  Q.of_samples ~servers (Array.make 1000 service)
+
+let test_q_basics () =
+  let m = deterministic_model ~servers:2 ~service:1e-3 in
+  check_close "mean" 1e-12 1e-3 (Q.service_mean m);
+  check_close "scv of constant is 0" 1e-9 0.0 (Q.service_scv m);
+  check_close "capacity 2 servers" 1e-6 2000.0 (Q.capacity m);
+  check_close "utilization" 1e-9 0.5 (Q.utilization m ~qps:1000.0)
+
+let test_q_wait_grows_with_load () =
+  let m = deterministic_model ~servers:1 ~service:1e-3 in
+  let w20 = Q.mean_wait m ~qps:200.0 in
+  let w80 = Q.mean_wait m ~qps:800.0 in
+  let w95 = Q.mean_wait m ~qps:950.0 in
+  Alcotest.(check bool) "monotone in load" true (w20 < w80 && w80 < w95);
+  Alcotest.(check bool) "unstable beyond capacity" true
+    (Q.mean_wait m ~qps:1100.0 = infinity)
+
+let test_q_md1_exact () =
+  (* M/D/1: Wq = rho/(2 mu (1-rho)); Allen-Cunneen is exact here. *)
+  let m = deterministic_model ~servers:1 ~service:1e-3 in
+  let rho = 0.5 in
+  let expected = rho /. (2.0 *. 1000.0 *. (1.0 -. rho)) in
+  check_close "M/D/1 wait" 1e-7 expected (Q.mean_wait m ~qps:500.0)
+
+let test_q_mm1_exact () =
+  (* Exponential service: scv = 1, Wq = rho/(mu - lambda). *)
+  let rng = Ditto_util.Rng.create 5 in
+  let samples = Array.init 200_000 (fun _ -> Ditto_util.Dist.exponential rng ~mean:1e-3) in
+  let m = Q.of_samples ~servers:1 samples in
+  check_close "scv ~ 1" 0.05 1.0 (Q.service_scv m);
+  let lambda = 600.0 in
+  let mu = 1.0 /. Q.service_mean m in
+  let expected = lambda /. (mu *. (mu -. lambda)) in
+  check_close "M/M/1 wait" (expected *. 0.08) expected (Q.mean_wait m ~qps:lambda)
+
+let test_q_more_servers_less_wait () =
+  let m1 = deterministic_model ~servers:1 ~service:1e-3 in
+  let m4 = deterministic_model ~servers:4 ~service:1e-3 in
+  Alcotest.(check bool) "4 servers wait less at same load" true
+    (Q.mean_wait m4 ~qps:900.0 < Q.mean_wait m1 ~qps:900.0)
+
+let test_q_percentiles () =
+  let m = deterministic_model ~servers:1 ~service:1e-3 in
+  let p50 = Q.percentile_latency m ~qps:800.0 50.0 in
+  let p99 = Q.percentile_latency m ~qps:800.0 99.0 in
+  Alcotest.(check bool) "p99 > p50 >= service" true (p99 > p50 && p50 >= 1e-3)
+
+let test_q_saturation_search () =
+  let m = deterministic_model ~servers:1 ~service:1e-3 in
+  let q = Q.saturation_qps m ~target_latency:2e-3 in
+  check_close "latency at found qps meets target" 1e-4 2e-3 (Q.mean_latency m ~qps:q);
+  check_close "unreachable target" 1e-9 0.0 (Q.saturation_qps m ~target_latency:1e-4)
+
+let test_q_cross_checks_des () =
+  (* The analytical estimate should land in the same regime as the DES for
+     a single-worker service below saturation. *)
+  let app = Ditto_apps.Redis.spec () in
+  let cfg = Runner.config ~requests:100 ~seed:3 Platform.a in
+  let qps = 20_000.0 in
+  let load = Service.load ~qps ~open_loop:false ~duration:0.5 () in
+  let out = Runner.run cfg ~load app in
+  let m = Q.of_measure ~servers:1 (List.assoc "redis" out.Runner.measured) in
+  Alcotest.(check bool) "stable at offered load" true (Q.utilization m ~qps < 1.0);
+  let analytic = Q.mean_latency m ~qps in
+  let des_service_part = (List.assoc "redis" out.Runner.measured).Measure.cpu_mean in
+  Alcotest.(check bool) "analytic within 5x of service scale" true
+    (analytic > des_service_part /. 5.0 && analytic < des_service_part *. 5.0)
+
+let test_q_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Queueing.of_samples: empty") (fun () ->
+      ignore (Q.of_samples ~servers:1 [||]))
+
+(* {1 Hotel Reservation topology} *)
+
+let test_hotel_runs () =
+  let entry = Ditto_apps.Registry.by_name "hotel_reservation" in
+  let app = entry.Ditto_apps.Registry.spec () in
+  Alcotest.(check int) "eleven services" 11 (List.length app.Spec.tiers);
+  let cfg = Runner.config ~requests:50 ~seed:7 Platform.a in
+  let load = Service.load ~qps:1000.0 ~duration:0.4 () in
+  let out = Runner.run cfg ~load app in
+  Alcotest.(check bool) "serves traffic" true
+    (out.Runner.end_to_end.Ditto_util.Stats.count > 100);
+  (* disk-backed stores actually hit the disk *)
+  let m = Runner.tier_metrics out "ProfileDB" in
+  Alcotest.(check bool) "stores use the disk" true (m.Metrics.disk_mbps > 0.0)
+
+let test_hotel_dag () =
+  let entry = Ditto_apps.Registry.by_name "hotel_reservation" in
+  let app = entry.Ditto_apps.Registry.spec () in
+  let cfg = Runner.config ~requests:40 ~seed:8 Platform.a in
+  let load = Service.load ~qps:800.0 ~duration:0.4 () in
+  let out = Runner.run cfg ~load app in
+  let results name = List.assoc name out.Runner.measured in
+  let spans = Ditto_trace.Collector.collect ~entry:"frontend" ~results ~samples:150 ~seed:9 in
+  let dag = Ditto_trace.Dag.of_spans spans in
+  Alcotest.(check int) "all services traced" 11
+    (List.length dag.Ditto_trace.Dag.services);
+  let search = Ditto_trace.Dag.downstreams dag "SearchService" in
+  Alcotest.(check int) "search fans out to geo and rate" 2 (List.length search);
+  Alcotest.(check int) "acyclic" 11 (List.length (Ditto_trace.Dag.topo_order dag))
+
+let test_hotel_clones () =
+  let entry = Ditto_apps.Registry.by_name "hotel_reservation" in
+  let app = entry.Ditto_apps.Registry.spec () in
+  let load = Service.load ~qps:1200.0 ~duration:0.4 () in
+  let r =
+    Ditto_core.Pipeline.clone ~tune:false ~requests:50 ~profile_requests:40
+      ~platform:Platform.a ~load app
+  in
+  let c = Ditto_core.Pipeline.validate ~platform:Platform.a ~load ~label:"hr" r in
+  let rel =
+    Float.abs
+      (c.Ditto_core.Pipeline.synthetic_end_to_end.Ditto_util.Stats.mean
+      -. c.Ditto_core.Pipeline.actual_end_to_end.Ditto_util.Stats.mean)
+    /. c.Ditto_core.Pipeline.actual_end_to_end.Ditto_util.Stats.mean
+  in
+  Alcotest.(check bool) "end-to-end mean within 60%" true (rel < 0.6)
+
+(* {1 Memcached multiget variant} *)
+
+let test_multiget_heavier () =
+  let light = Ditto_apps.Memcached.spec () in
+  let heavy = Ditto_apps.Memcached.spec_multiget ~keys:12 ~value_bytes:512 () in
+  let cfg = Runner.config ~requests:60 ~seed:11 Platform.a in
+  let load = Service.load ~qps:20_000.0 ~connections:96 ~duration:0.3 () in
+  let cpu spec =
+    let out = Runner.run cfg ~load spec in
+    (List.assoc "memcached" out.Runner.measured).Measure.cpu_mean
+  in
+  Alcotest.(check bool) "multiget costs more CPU per request" true
+    (cpu heavy > 2.0 *. cpu light)
+
+let () =
+  Alcotest.run "queueing_and_extras"
+    [
+      ( "queueing",
+        [
+          Alcotest.test_case "basics" `Quick test_q_basics;
+          Alcotest.test_case "wait grows" `Quick test_q_wait_grows_with_load;
+          Alcotest.test_case "M/D/1" `Quick test_q_md1_exact;
+          Alcotest.test_case "M/M/1" `Quick test_q_mm1_exact;
+          Alcotest.test_case "multi-server" `Quick test_q_more_servers_less_wait;
+          Alcotest.test_case "percentiles" `Quick test_q_percentiles;
+          Alcotest.test_case "saturation search" `Quick test_q_saturation_search;
+          Alcotest.test_case "cross-check DES" `Slow test_q_cross_checks_des;
+          Alcotest.test_case "empty" `Quick test_q_empty_rejected;
+        ] );
+      ( "hotel_reservation",
+        [
+          Alcotest.test_case "runs" `Slow test_hotel_runs;
+          Alcotest.test_case "dag" `Slow test_hotel_dag;
+          Alcotest.test_case "clones" `Slow test_hotel_clones;
+        ] );
+      ( "media_service",
+        [
+          Alcotest.test_case "runs and clones" `Slow
+            (fun () ->
+              let entry = Ditto_apps.Registry.by_name "media_service" in
+              let app = entry.Ditto_apps.Registry.spec () in
+              Alcotest.(check int) "ten services" 10 (List.length app.Spec.tiers);
+              let load = Service.load ~qps:800.0 ~duration:0.4 () in
+              let r =
+                Ditto_core.Pipeline.clone ~tune:false ~requests:50 ~profile_requests:40
+                  ~platform:Platform.a ~load app
+              in
+              (match r.Ditto_core.Pipeline.dag with
+              | Some dag ->
+                  Alcotest.(check int) "dag covers all" 10
+                    (List.length dag.Ditto_trace.Dag.services)
+              | None -> Alcotest.fail "expected dag");
+              let c = Ditto_core.Pipeline.validate ~platform:Platform.a ~load ~label:"ms" r in
+              Alcotest.(check bool) "clone serves" true
+                (c.Ditto_core.Pipeline.synthetic_end_to_end.Ditto_util.Stats.count > 50));
+        ] );
+      ( "memcached_variants",
+        [ Alcotest.test_case "multiget heavier" `Slow test_multiget_heavier ] );
+    ]
