@@ -8,7 +8,13 @@
      dune exec bench/main.exe micro      # Bechamel only
 
    The experiment -> module mapping is documented in DESIGN.md; measured
-   results are recorded against the paper in EXPERIMENTS.md. *)
+   results are recorded against the paper in EXPERIMENTS.md.
+
+   The harness is multicore: apps are profiled and cloned concurrently on a
+   Ditto_util.Pool (DITTO_DOMAINS domains; DITTO_DOMAINS=1 pins the
+   sequential schedule, with identical output). `--json FILE` additionally
+   records per-experiment wall-clock and the error summary for tracking the
+   performance trajectory across PRs. *)
 
 open Ditto_app
 module Pipeline = Ditto_core.Pipeline
@@ -28,34 +34,65 @@ let banner title = Printf.printf "\n================ %s ================\n%!" ti
 let duration = 0.6
 let wall = Unix.gettimeofday
 
-(* {1 Clone cache: each app is profiled and cloned once, at medium load} *)
+(* {1 Clone cache: each app is profiled and cloned once, at medium load}
+
+   Cloning the registry is the dominant cost of the harness and every app
+   is independent, so [preclone] builds all requested clones concurrently
+   on the shared domain pool (the pool also parallelises each clone's
+   speculative tuning candidates internally). [get_clone] stays as the
+   sequential fallback for names cloned outside a preclone pass. *)
+
+let pool = Ditto_util.Pool.default ()
 
 let clones : (string, Service.load * Pipeline.clone_result) Hashtbl.t = Hashtbl.create 8
+let clone_secs : (string * float) list ref = ref []
+
+let clone_one name =
+  let entry = Registry.by_name name in
+  let _, med, _ = entry.Registry.loads in
+  let load =
+    Ditto_loadgen.Workload.to_load entry.Registry.workload ~qps:med ~duration ()
+  in
+  let t0 = wall () in
+  let result = Pipeline.clone ~pool ~platform:Platform.a ~load (entry.Registry.spec ()) in
+  (name, load, result, wall () -. t0)
+
+let report_clone (name, _load, result, secs) =
+  clone_secs := (name, secs) :: !clone_secs;
+  Printf.printf "[clone] %s profiled+generated+tuned in %.1fs%s\n%!" name secs
+    (match result.Pipeline.tuning with
+    | Some r ->
+        fmt " (tuning: %d iters, K=%d, best worst-error %.1f%%)"
+          (List.length r.Ditto_tune.Tuner.iterations)
+          r.Ditto_tune.Tuner.speculation
+          (100.
+          *. List.fold_left
+               (fun a (i : Ditto_tune.Tuner.iteration) ->
+                 Float.min a i.Ditto_tune.Tuner.worst_error)
+               infinity r.Ditto_tune.Tuner.iterations)
+    | None -> "")
 
 let get_clone name =
   match Hashtbl.find_opt clones name with
   | Some (load, result) -> (load, result)
   | None ->
-      let entry = Registry.by_name name in
-      let _, med, _ = entry.Registry.loads in
-      let load =
-        Ditto_loadgen.Workload.to_load entry.Registry.workload ~qps:med ~duration ()
-      in
-      let t0 = wall () in
-      let result = Pipeline.clone ~platform:Platform.a ~load (entry.Registry.spec ()) in
-      Printf.printf "[clone] %s profiled+generated+tuned in %.1fs%s\n%!" name (wall () -. t0)
-        (match result.Pipeline.tuning with
-        | Some r ->
-            fmt " (tuning: %d iters, best worst-error %.1f%%)"
-              (List.length r.Ditto_tune.Tuner.iterations)
-              (100.
-              *. List.fold_left
-                   (fun a (i : Ditto_tune.Tuner.iteration) ->
-                     Float.min a i.Ditto_tune.Tuner.worst_error)
-                   infinity r.Ditto_tune.Tuner.iterations)
-        | None -> "");
+      let ((_, load, result, _) as timed) = clone_one name in
+      report_clone timed;
       Hashtbl.add clones name (load, result);
       (load, result)
+
+let preclone names =
+  let names = List.filter (fun n -> not (Hashtbl.mem clones n)) names in
+  if names <> [] then begin
+    Printf.printf "[clone] cloning %d app(s) on %d domain(s)...\n%!" (List.length names)
+      (Ditto_util.Pool.size pool);
+    let results = Ditto_util.Pool.map pool clone_one names in
+    List.iter
+      (fun ((name, load, result, _) as timed) ->
+        report_clone timed;
+        Hashtbl.add clones name (load, result))
+      results
+  end
 
 (* {1 E1 error accumulator (fed by fig5)} *)
 
@@ -600,11 +637,30 @@ let all_experiments =
     ("micro", micro);
   ]
 
+(* Which registry clones an experiment consumes, so the preclone pass can
+   build exactly those concurrently before the (ordered, printing)
+   experiment loop starts. fig11 and micro build their own specs. *)
+let clone_needs = function
+  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" ->
+      List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.all
+  | "fig6" -> [ "social_network" ]
+  | "fig9" -> [ "mongodb" ]
+  | "fig10" -> [ "nginx" ]
+  | _ -> []
+
 let () =
   let t0 = wall () in
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_args acc json = function
+    | [] -> (List.rev acc, json)
+    | "--json" :: file :: rest -> parse_args acc (Some file) rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> parse_args (a :: acc) json rest
+  in
+  let names, json_file = parse_args [] None (List.tl (Array.to_list Sys.argv)) in
   let selected =
-    match args with
+    match names with
     | [] -> all_experiments
     | names ->
         List.map
@@ -612,10 +668,49 @@ let () =
             match List.assoc_opt n all_experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %S (have: %s)\n" n
+                Printf.eprintf "unknown experiment %S (have: %s; flags: --json FILE)\n" n
                   (String.concat ", " (List.map fst all_experiments));
                 exit 2)
           names
   in
-  List.iter (fun (_, f) -> f ()) selected;
-  Printf.printf "\n[bench] total wall time %.1fs\n" (wall () -. t0)
+  preclone
+    (List.sort_uniq compare (List.concat_map (fun (n, _) -> clone_needs n) selected));
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let te0 = wall () in
+        f ();
+        (name, wall () -. te0))
+      selected
+  in
+  let total = wall () -. t0 in
+  Printf.printf "\n[bench] total wall time %.1fs (%d domain(s))\n" total
+    (Ditto_util.Pool.size pool);
+  match json_file with
+  | None -> ()
+  | Some path ->
+      let module J = Ditto_util.Jsonx in
+      let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
+      let errors_json =
+        Hashtbl.fold (fun axis values acc -> (axis, J.Num (mean !values)) :: acc) error_acc []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let json =
+        J.Obj
+          [
+            ("domains", J.int (Ditto_util.Pool.size pool));
+            ("total_seconds", J.Num total);
+            ( "experiments",
+              J.List
+                (List.map
+                   (fun (n, s) -> J.Obj [ ("name", J.Str n); ("seconds", J.Num s) ])
+                   timings) );
+            ("clone_seconds", J.Obj (List.rev_map (fun (n, s) -> (n, J.Num s)) !clone_secs));
+            ("mean_error_pct", J.Obj errors_json);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_string ~pretty:true json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[bench] wrote %s\n" path

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: full build, the 15 test suites, and a benchmark smoke run.
+# Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (micro kernels) =="
+dune exec bench/main.exe -- micro
+
+echo "ci: OK"

@@ -63,12 +63,18 @@ let housekeeping_rate = 2000.0
 (* Blocks carry mutable stream cursors; reset each block the first time a
    measurement run touches it so that runs are reproducible even for blocks
    shared across runs (memoised kernel paths, reused specs). The table is
-   reinitialised at every [run] (measurement is single-threaded). *)
-let touched : (int, unit) Hashtbl.t ref = ref (Hashtbl.create 64)
+   reinitialised at every [run]. It is domain-local: a run executes
+   entirely on one domain (Ditto_util.Pool parallelism is across runs,
+   never inside one), and each domain runs at most one measurement at a
+   time, so per-domain state keeps concurrent runs from clobbering each
+   other's touch marks. *)
+let touched_key : (int, unit) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let exec_block core ~rng block ~iterations =
-  if not (Hashtbl.mem !touched block.Ditto_isa.Block.uid) then begin
-    Hashtbl.add !touched block.Ditto_isa.Block.uid ();
+  let touched = Domain.DLS.get touched_key in
+  if not (Hashtbl.mem touched block.Ditto_isa.Block.uid) then begin
+    Hashtbl.add touched block.Ditto_isa.Block.uid ();
     Ditto_isa.Block.reset_state block
   end;
   Core_model.exec_block core ~rng block ~iterations
@@ -238,7 +244,7 @@ let measure_background cfg machine stream =
       Some (List.rev !segs)
 
 let run ?(config = default_config) ~(machine : Machine.t) ~seed ~requests tiers =
-  touched := Hashtbl.create 256;
+  Domain.DLS.set touched_key (Hashtbl.create 256);
   let cfg = config in
   let ncores = Machine.ncores machine in
   let ntiers = List.length tiers in

@@ -32,26 +32,41 @@ let sweep_block ~label ~bytes ~insts =
   in
   Block.make ~label ~code_base:stress_code temps
 
-let spin_block =
-  lazy
-    (let temps =
-       List.init 64 (fun i ->
-           Block.temp (Iform.by_name "IMUL_GPR64_GPR64") ~dst:(Block.gp (i mod 10))
-             ~srcs:[| Block.gp (i mod 10); Block.gp ((i + 3) mod 10) |])
-     in
-     Block.make ~label:"stress_cpu" ~code_base:stress_code temps)
+let spin_block () =
+  let temps =
+    List.init 64 (fun i ->
+        Block.temp (Iform.by_name "IMUL_GPR64_GPR64") ~dst:(Block.gp (i mod 10))
+          ~srcs:[| Block.gp (i mod 10); Block.gp ((i + 3) mod 10) |])
+  in
+  Block.make ~label:"stress_cpu" ~code_base:stress_code temps
 
-let l1d_block = lazy (sweep_block ~label:"stress_l1d" ~bytes:(32 * 1024) ~insts:256)
-let l2_block = lazy (sweep_block ~label:"stress_l2" ~bytes:(768 * 1024) ~insts:256)
-let llc_block = lazy (sweep_block ~label:"stress_llc" ~bytes:(64 * 1024 * 1024) ~insts:256)
+(* Stressor blocks carry mutable stream cursors, so they are memoised
+   per-domain rather than in a shared [lazy]: parallel actual/synthetic
+   validation runs (Ditto_util.Pool) would otherwise race on the cursors of
+   one shared block. Each domain builds identical copies deterministically. *)
+let block_memo_key : (string, Block.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let memo_block name build =
+  let memo = Domain.DLS.get block_memo_key in
+  match Hashtbl.find_opt memo name with
+  | Some b -> b
+  | None ->
+      let b = build () in
+      Hashtbl.add memo name b;
+      b
+
+let l1d_block () = sweep_block ~label:"stress_l1d" ~bytes:(32 * 1024) ~insts:256
+let l2_block () = sweep_block ~label:"stress_l2" ~bytes:(768 * 1024) ~insts:256
+let llc_block () = sweep_block ~label:"stress_llc" ~bytes:(64 * 1024 * 1024) ~insts:256
 
 (* Iteration counts size each turn's distinct-line footprint: L1d turns
    cover ~2x a 32KB L1d, L2 turns ~1.5x a 1MB L2, LLC turns roughly half of
    a 30MB LLC (an iBench-grade antagonist streaming flat out). *)
-let cpu_spin _rng _seq = [ Spec.Compute (Lazy.force spin_block, 24) ]
-let l1d _rng _seq = [ Spec.Compute (Lazy.force l1d_block, 6) ]
-let l2 _rng _seq = [ Spec.Compute (Lazy.force l2_block, 128) ]
-let llc _rng _seq = [ Spec.Compute (Lazy.force llc_block, 1200) ]
+let cpu_spin _rng _seq = [ Spec.Compute (memo_block "cpu" spin_block, 24) ]
+let l1d _rng _seq = [ Spec.Compute (memo_block "l1d" l1d_block, 6) ]
+let l2 _rng _seq = [ Spec.Compute (memo_block "l2" l2_block, 128) ]
+let llc _rng _seq = [ Spec.Compute (memo_block "llc" llc_block, 1200) ]
 
 let by_name = function
   | "HT" -> cpu_spin

@@ -10,8 +10,9 @@ type clone_result = {
   tuning : Ditto_tune.Tuner.report option;
 }
 
-let clone ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(seed = 42) ~platform
-    ~load (original : Spec.t) =
+let clone ?pool ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(seed = 42)
+    ~platform ~load (original : Spec.t) =
+  let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
   let config = Runner.config ~requests ~seed platform in
   (* Step 1: run the original at the profiling load; this run provides the
      counter reference for tuning and the measured traces the distributed
@@ -34,7 +35,7 @@ let clone ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(seed = 42
   (* Step 4: generate; Step 5: fine-tune. *)
   if tune then begin
     let synthetic, report =
-      Ditto_tune.Tuner.tune ~seed:(seed + 11) ~config ~load ~reference ~profile ()
+      Ditto_tune.Tuner.tune ~seed:(seed + 11) ~pool ~config ~load ~reference ~profile ()
     in
     { original; reference; dag; profile; synthetic; tuning = Some report }
   end
@@ -53,12 +54,18 @@ type comparison = {
   synthetic_raw : float array;
 }
 
-let validate ?config_of ~platform ~load ~label result =
+let validate ?pool ?config_of ~platform ~load ~label result =
+  let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
   let config =
     match config_of with Some f -> f platform | None -> Runner.config platform
   in
-  let actual_out = Runner.run config ~load result.original in
-  let synth_out = Runner.run config ~load result.synthetic in
+  (* The actual and the synthetic runs are independent (each builds its own
+     engine and hardware state), so they ride two pool domains. *)
+  let actual_out, synth_out =
+    Ditto_util.Pool.both pool
+      (fun () -> Runner.run config ~load result.original)
+      (fun () -> Runner.run config ~load result.synthetic)
+  in
   {
     label;
     actual = actual_out.Runner.per_tier;

@@ -13,6 +13,7 @@ type clone_result = {
 }
 
 val clone :
+  ?pool:Ditto_util.Pool.t ->
   ?tune:bool ->
   ?requests:int ->
   ?profile_requests:int ->
@@ -23,7 +24,9 @@ val clone :
   clone_result
 (** Profile at [load] (the paper profiles only at medium load) on
     [platform] and produce the clone. [tune] (default true) runs the §4.5
-    calibration loop. *)
+    calibration loop. [pool] (default {!Ditto_util.Pool.default}) carries
+    the speculative tuning candidates; results are bit-identical for any
+    pool size with the same seed. *)
 
 type comparison = {
   label : string;
@@ -36,6 +39,7 @@ type comparison = {
 }
 
 val validate :
+  ?pool:Ditto_util.Pool.t ->
   ?config_of:(Ditto_uarch.Platform.t -> Ditto_app.Runner.config) ->
   platform:Ditto_uarch.Platform.t ->
   load:Ditto_app.Service.load ->
@@ -43,8 +47,10 @@ val validate :
   clone_result ->
   comparison
 (** Run original and synthetic under identical fresh environments and
-    collect both metric sets. [config_of] customises the runner config
-    (interference, core counts, ...). *)
+    collect both metric sets — on two pool domains when the pool has
+    capacity (each run builds its own engine, so the pair is domain-safe
+    and the outputs match the sequential schedule exactly). [config_of]
+    customises the runner config (interference, core counts, ...). *)
 
 val comparison_errors : comparison -> (string * (string * float) list) list
 (** Per tier: the radar-axis error percentages. *)

@@ -71,7 +71,10 @@ type t = {
   static_insts : int;
 }
 
-let next_uid = ref 0
+(* Atomic: blocks are built concurrently by parallel clone/tune runs
+   (Ditto_util.Pool); uids are identity keys only, so allocation order does
+   not affect results, but duplicates would alias distinct blocks. *)
+let next_uid = Atomic.make 0
 
 let make ~label ~code_base temps =
   let temps = Array.of_list temps in
@@ -83,9 +86,8 @@ let make ~label ~code_base temps =
       addrs.(i) <- !pc;
       pc := !pc + t.iform.Iform.bytes)
     temps;
-  incr next_uid;
   {
-    uid = !next_uid;
+    uid = Atomic.fetch_and_add next_uid 1;
     label;
     code_base;
     temps;

@@ -133,9 +133,16 @@ module Kernel = struct
 
   let bucket bytes = if bytes <= 0 then 0 else Ditto_util.Histogram.log2_bin bytes
 
-  let memo : (string, (Block.t * int) list) Hashtbl.t = Hashtbl.create 64
+  (* Kernel path blocks carry mutable stream cursors, so the memo tables
+     are domain-local: each domain builds (deterministically) and mutates
+     its own copies, keeping parallel runs (Ditto_util.Pool) from racing on
+     shared cursor state. Within a domain the usual touch-reset in
+     Measure keeps sequential runs reproducible. *)
+  let memo_key : (string, (Block.t * int) list) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
   let streams ?(scale = 0.25) kind =
+    let memo = Domain.DLS.get memo_key in
     let idx, insts, footprint = profile kind in
     let bytes = payload_bytes kind in
     let key = Printf.sprintf "%s/%d/%d" (name kind) (bucket bytes) (int_of_float (scale *. 1000.)) in
@@ -152,9 +159,11 @@ module Kernel = struct
         Hashtbl.add memo key s;
         s
 
-  let housekeeping_memo : (int, Block.t * int) Hashtbl.t = Hashtbl.create 4
+  let housekeeping_memo_key : (int, Block.t * int) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
   let housekeeping ?(scale = 0.25) () =
+    let housekeeping_memo = Domain.DLS.get housekeeping_memo_key in
     let key = int_of_float (scale *. 1000.) in
     match Hashtbl.find_opt housekeeping_memo key with
     | Some b -> b

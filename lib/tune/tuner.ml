@@ -13,6 +13,7 @@ type report = {
   iterations : iteration list;
   converged : bool;
   final_params : (string * Params.t) list;
+  speculation : int;
 }
 
 let rel_err actual synth = if actual = 0.0 then 0.0 else Float.abs (synth -. actual) /. actual
@@ -85,30 +86,49 @@ let adjust (p : Params.t) ~(orig : Counters.t) ~(synth : Counters.t) ~orig_reque
     chase_scale = clamp 0.0 4.0 (p.Params.chase_scale *. damp ~k:0.7 cpi_ratio);
   }
 
-let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ~config ~load ~reference
-    ~(profile : P.Tier_profile.app) () =
+(* One evaluated knob assignment: the generated spec, its calibration run,
+   and the derived error terms. Candidates are evaluated on pool domains,
+   so everything here is built inside the evaluation (fresh spec, fresh
+   engine) — no state is shared between concurrent evaluations. *)
+type evaluation = {
+  e_params : (string * Params.t) list;
+  e_synth : Spec.t;
+  e_out : Runner.output;
+  e_errors : (string * float) list;
+  e_worst : float;
+  e_objective : float;
+}
+
+(* Objective for ranking candidates and keeping the best iterate: mean
+   error with IPC counted twice (the headline metric); the convergence
+   check stays on the worst single counter, per the paper's ">95%
+   accuracy". Keys are "tier/metric", so match the "/ipc" suffix exactly —
+   a bare suffix check on "ipc" would also double-weight any tier metric
+   merely ending in those letters. *)
+let objective_of errors =
+  let sum, n =
+    List.fold_left
+      (fun (s, n) (key, e) ->
+        let w = if String.ends_with ~suffix:"/ipc" key then 2.0 else 1.0 in
+        (s +. (w *. e), n +. w))
+      (0.0, 0.0) errors
+  in
+  sum /. Float.max 1.0 n
+
+let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculation = 2)
+    ?pool ~config ~load ~reference ~(profile : P.Tier_profile.app) () =
+  let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
+  let speculation = max 0 speculation in
   (* Counter calibration only needs a short run. *)
   let tune_load = { load with Service.duration = Float.min load.Service.duration 0.4 } in
-  let params : (string, Params.t) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (tp : P.Tier_profile.t) ->
-      Hashtbl.replace params tp.P.Tier_profile.tier_name Params.default)
-    profile.P.Tier_profile.tiers;
-  let param_fn name =
-    Option.value ~default:Params.default (Hashtbl.find_opt params name)
-  in
+  let tiers = profile.P.Tier_profile.tiers in
   let orig_measured name = List.assoc name reference.Runner.measured in
-  let iterations = ref [] in
-  let converged = ref false in
-  let iter = ref 0 in
-  let best = ref (infinity, [], None) in
-  let snapshot_params () =
-    Hashtbl.fold (fun name p acc -> (name, p) :: acc) params []
-  in
-  let synth = ref (Ditto_gen.Clone.synth_app ~params:param_fn ~seed profile) in
-  while (not !converged) && !iter < max_iterations do
-    incr iter;
-    let out = Runner.run config ~load:tune_load !synth in
+  let evaluate params =
+    let param_fn name =
+      Option.value ~default:Params.default (List.assoc_opt name params)
+    in
+    let synth = Ditto_gen.Clone.synth_app ~params:param_fn ~seed profile in
+    let out = Runner.run config ~load:tune_load synth in
     let errors =
       List.concat_map
         (fun (tp : P.Tier_profile.t) ->
@@ -118,47 +138,81 @@ let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ~config ~l
             ~orig_requests:o.Measure.requests_measured
             ~synth_requests:s.Measure.requests_measured
           |> List.map (fun (metric, e) -> (name ^ "/" ^ metric, e)))
-        profile.P.Tier_profile.tiers
+        tiers
     in
     let worst = List.fold_left (fun acc (_, e) -> Float.max acc e) 0.0 errors in
-    iterations := { iter = !iter; worst_error = worst; errors } :: !iterations;
-    (* Objective for keeping the best iterate: mean error with IPC counted
-       twice (the headline metric); the convergence check stays on the
-       worst single counter, per the paper's ">95% accuracy". *)
-    let objective =
-      let sum, n =
-        List.fold_left
-          (fun (s, n) (key, e) ->
-            let w =
-              if String.length key > 4 && String.sub key (String.length key - 3) 3 = "ipc"
-              then 2.0
-              else 1.0
-            in
-            (s +. (w *. e), n +. w))
-          (0.0, 0.0) errors
-      in
-      sum /. Float.max 1.0 n
+    { e_params = params; e_synth = synth; e_out = out; e_errors = errors; e_worst = worst;
+      e_objective = objective_of errors }
+  in
+  let adjust_all (ev : evaluation) =
+    List.map
+      (fun (tp : P.Tier_profile.t) ->
+        let name = tp.P.Tier_profile.tier_name in
+        let o = orig_measured name and s = List.assoc name ev.e_out.Runner.measured in
+        let p = Option.value ~default:Params.default (List.assoc_opt name ev.e_params) in
+        ( name,
+          adjust p ~orig:o.Measure.counters ~synth:s.Measure.counters
+            ~orig_requests:o.Measure.requests_measured
+            ~synth_requests:s.Measure.requests_measured ))
+      tiers
+  in
+  (* Speculative candidates: multiplicative jitter around the damped
+     adjustment, from an RNG keyed on (seed, iteration, candidate) so the
+     candidate set — and hence the whole search trajectory — is identical
+     whatever the pool size. *)
+  let perturb ~iter ~k params =
+    let rng = Ditto_util.Rng.create (seed lxor ((iter * 73856093) + ((k + 1) * 19349663))) in
+    let jitter () = 2.0 ** (Ditto_util.Rng.float rng 0.5 -. 0.25) in
+    List.map
+      (fun (name, (p : Params.t)) ->
+        let m_shift =
+          if Ditto_util.Rng.int rng 4 = 0 then
+            p.Params.branch_m_shift + (if Ditto_util.Rng.bool rng then 1 else -1)
+          else p.Params.branch_m_shift
+        in
+        ( name,
+          {
+            p with
+            Params.inst_scale = clamp 0.25 4.0 (p.Params.inst_scale *. jitter ());
+            i_ws_scale = clamp 0.25 64.0 (p.Params.i_ws_scale *. jitter ());
+            d_ws_scale = clamp 0.25 16.0 (p.Params.d_ws_scale *. jitter ());
+            big_mass_scale = clamp 0.1 8.0 (p.Params.big_mass_scale *. jitter ());
+            branch_m_shift = max (-4) (min 4 m_shift);
+            chase_scale = clamp 0.0 4.0 (p.Params.chase_scale *. jitter ());
+          } ))
+      params
+  in
+  let initial =
+    List.map (fun (tp : P.Tier_profile.t) -> (tp.P.Tier_profile.tier_name, Params.default)) tiers
+  in
+  let current = ref (evaluate initial) in
+  let iterations =
+    ref [ { iter = 1; worst_error = !current.e_worst; errors = !current.e_errors } ]
+  in
+  let best = ref !current in
+  let converged = ref (!current.e_worst <= target_error) in
+  let iter = ref 1 in
+  while (not !converged) && !iter < max_iterations do
+    incr iter;
+    let base = adjust_all !current in
+    let candidates = base :: List.init speculation (fun k -> perturb ~iter:!iter ~k base) in
+    let evals = Ditto_util.Pool.map pool evaluate candidates in
+    (* Keep the candidate with the lowest objective; ties break toward the
+       damped adjustment (list head), so speculation only ever helps. *)
+    let chosen =
+      List.fold_left
+        (fun acc ev -> if ev.e_objective < acc.e_objective then ev else acc)
+        (List.hd evals) (List.tl evals)
     in
-    (let b, _, _ = !best in
-     if objective < b then best := (objective, snapshot_params (), Some !synth));
-    if worst <= target_error then converged := true
-    else begin
-      List.iter
-        (fun (tp : P.Tier_profile.t) ->
-          let name = tp.P.Tier_profile.tier_name in
-          let o = orig_measured name and s = List.assoc name out.Runner.measured in
-          let p = param_fn name in
-          Hashtbl.replace params name
-            (adjust p ~orig:o.Measure.counters ~synth:s.Measure.counters
-               ~orig_requests:o.Measure.requests_measured
-               ~synth_requests:s.Measure.requests_measured))
-        profile.P.Tier_profile.tiers;
-      synth := Ditto_gen.Clone.synth_app ~params:param_fn ~seed profile
-    end
+    current := chosen;
+    iterations := { iter = !iter; worst_error = chosen.e_worst; errors = chosen.e_errors }
+                  :: !iterations;
+    if chosen.e_objective < !best.e_objective then best := chosen;
+    if chosen.e_worst <= target_error then converged := true
   done;
   (* The response surface is not perfectly monotonic (set conflicts flip
      L1i behaviour at capacity edges); keep the best iterate, not the last. *)
-  let _, best_params, best_synth = !best in
-  let final_params = List.sort (fun (a, _) (b, _) -> compare a b) best_params in
-  let synth = match best_synth with Some s -> s | None -> !synth in
-  (synth, { iterations = List.rev !iterations; converged = !converged; final_params })
+  let final = if !best.e_objective <= !current.e_objective then !best else !current in
+  let final_params = List.sort (fun (a, _) (b, _) -> compare a b) final.e_params in
+  ( final.e_synth,
+    { iterations = List.rev !iterations; converged = !converged; final_params; speculation } )

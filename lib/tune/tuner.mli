@@ -5,7 +5,13 @@
     frontend knobs (i-footprint, branch bins) against L1i/branch misses,
     data knobs (working-set scale) against L1d/L2/LLC misses, and the work
     knob (instruction scale) against per-request instruction counts.
-    Typically converges within ten iterations to >95% accuracy. *)
+    Typically converges within ten iterations to >95% accuracy.
+
+    Tuning is {e speculative}: each iteration evaluates the damped
+    adjustment plus [speculation] jittered knob vectors — independent runs
+    dispatched on a {!Ditto_util.Pool} — and keeps the best objective. The
+    candidate set is derived from the seed alone, so the search trajectory
+    (and the returned clone) is bit-identical whatever the pool size. *)
 
 type iteration = {
   iter : int;
@@ -17,12 +23,15 @@ type report = {
   iterations : iteration list;
   converged : bool;
   final_params : (string * Ditto_gen.Params.t) list;
+  speculation : int;  (** extra candidate vectors evaluated per iteration *)
 }
 
 val tune :
   ?max_iterations:int ->
   ?target_error:float ->
   ?seed:int ->
+  ?speculation:int ->
+  ?pool:Ditto_util.Pool.t ->
   config:Ditto_app.Runner.config ->
   load:Ditto_app.Service.load ->
   reference:Ditto_app.Runner.output ->
@@ -31,7 +40,13 @@ val tune :
   Ditto_app.Spec.t * report
 (** [reference] is the original's run at the profiling load. Returns the
     calibrated synthetic spec and the tuning report. Tuning runs use a
-    shortened load duration — calibration needs counters, not tails. *)
+    shortened load duration — calibration needs counters, not tails.
+
+    [speculation] (default 2) is K, the number of perturbed knob vectors
+    evaluated alongside the damped adjustment each iteration; [pool]
+    (default {!Ditto_util.Pool.default}) supplies the domains the K+1
+    candidate runs execute on. [speculation:0] recovers the paper's plain
+    §4.5 feedback loop. *)
 
 val counter_errors :
   original:Ditto_uarch.Counters.t ->

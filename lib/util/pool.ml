@@ -1,0 +1,163 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  pool_size : int;
+}
+
+let default_size () =
+  match Sys.getenv_opt "DITTO_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> max 1 n
+      | None -> max 1 (Domain.recommended_domain_count () - 1))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let try_pop pool =
+  Mutex.lock pool.mutex;
+  let task = Queue.take_opt pool.queue in
+  Mutex.unlock pool.mutex;
+  task
+
+(* Tasks wrap their own exception handling (see [map]); a raise escaping a
+   task would otherwise kill the worker domain silently. *)
+let run_task task = try task () with _ -> ()
+
+let worker_loop pool =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        run_task task
+    | None ->
+        (* queue empty and stop set *)
+        Mutex.unlock pool.mutex;
+        continue := false
+  done
+
+let create ?size () =
+  let pool_size = max 1 (match size with Some n -> n | None -> default_size ()) in
+  let pool =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      stop = false;
+      domains = [];
+      pool_size;
+    }
+  in
+  (* The submitting domain counts toward the parallelism degree (it helps
+     drain the queue in [map]), so spawn size - 1 workers. *)
+  if pool_size > 1 then
+    pool.domains <-
+      List.init (pool_size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.pool_size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let domains = pool.domains in
+  pool.stop <- true;
+  pool.domains <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains
+
+let sequential_map f xs = List.map f xs
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.pool_size <= 1 || pool.stop -> sequential_map f xs
+  | xs ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let first_error = Atomic.make None in
+      let completed = Atomic.make 0 in
+      let batch_mutex = Mutex.create () in
+      let batch_done = Condition.create () in
+      let run_one i =
+        (try results.(i) <- Some (f items.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           (* keep the submission-order-first error: index i only installs
+              itself if no lower index has already failed; a later lower
+              index overwrites via compare-and-swap retry *)
+           let rec record () =
+             match Atomic.get first_error with
+             | Some (j, _, _) when j < i -> ()
+             | cur ->
+                 if not (Atomic.compare_and_set first_error cur (Some (i, e, bt))) then
+                   record ()
+           in
+           record ());
+        Mutex.lock batch_mutex;
+        Atomic.incr completed;
+        if Atomic.get completed = n then Condition.broadcast batch_done;
+        Mutex.unlock batch_mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (fun () -> run_one i) pool.queue
+      done;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.mutex;
+      (* Help: drain tasks (ours or another batch's) while waiting, so a
+         [map] issued from inside a worker task always makes progress. *)
+      let rec help () =
+        if Atomic.get completed < n then
+          match try_pop pool with
+          | Some task ->
+              run_task task;
+              help ()
+          | None ->
+              Mutex.lock batch_mutex;
+              while Atomic.get completed < n do
+                Condition.wait batch_done batch_mutex
+              done;
+              Mutex.unlock batch_mutex
+      in
+      help ();
+      (match Atomic.get first_error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results)
+
+let both pool f g =
+  let a = ref None and b = ref None in
+  let tasks =
+    [ (fun () -> a := Some (f ())); (fun () -> b := Some (g ())) ]
+  in
+  ignore (map pool (fun task -> task ()) tasks);
+  match (!a, !b) with
+  | Some a, Some b -> (a, b)
+  | _ -> assert false
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some pool -> pool
+    | None ->
+        let pool = create () in
+        default_pool := Some pool;
+        at_exit (fun () -> shutdown pool);
+        pool
+  in
+  Mutex.unlock default_mutex;
+  pool

@@ -1,0 +1,130 @@
+(* The multicore execution layer: Pool semantics (ordering, exception
+   propagation, nesting, sizing) and the end-to-end guarantee the rest of
+   the codebase builds on — a clone/validate pipeline run is bit-identical
+   whatever the pool size, because parallelism lives across runs and every
+   run builds its own engine, RNG streams and hardware state. *)
+open Ditto_app
+module Pool = Ditto_util.Pool
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+
+let with_pool size f =
+  let pool = Pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* {1 Pool.map semantics} *)
+
+let test_map_order size () =
+  with_pool size (fun pool ->
+      let xs = List.init 25 (fun i -> i) in
+      Alcotest.(check (list int))
+        "order preserved" (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs);
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map pool (fun x -> x + 2) [ 7 ]);
+      Alcotest.(check int) "size" size (Pool.size pool))
+
+let test_map_exception size () =
+  with_pool size (fun pool ->
+      Alcotest.check_raises "re-raised at join" (Failure "boom") (fun () ->
+          ignore (Pool.map pool (fun x -> if x = 7 then failwith "boom" else x) [ 1; 7; 9 ]));
+      (* the pool survives a failed batch *)
+      Alcotest.(check (list int)) "usable after failure" [ 2; 4 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_both () =
+  with_pool 4 (fun pool ->
+      let a, b = Pool.both pool (fun () -> 1 + 2) (fun () -> "x" ^ "y") in
+      Alcotest.(check int) "left" 3 a;
+      Alcotest.(check string) "right" "xy" b)
+
+let test_nested_map () =
+  (* A map issued from inside a pool task (clone -> tuner candidates) must
+     not deadlock even when tasks outnumber domains: the submitting domain
+     helps drain the queue. *)
+  with_pool 4 (fun pool ->
+      let sums =
+        Pool.map pool
+          (fun i ->
+            List.fold_left ( + ) 0 (Pool.map pool (fun j -> (10 * i) + j) [ 1; 2; 3; 4; 5 ]))
+          (List.init 8 (fun i -> i))
+      in
+      Alcotest.(check (list int))
+        "nested results"
+        (List.init 8 (fun i -> (50 * i) + 15))
+        sums)
+
+let test_env_sizing () =
+  Unix.putenv "DITTO_DOMAINS" "3";
+  Alcotest.(check int) "env size" 3 (Pool.default_size ());
+  with_pool (Pool.default_size ()) (fun pool ->
+      Alcotest.(check int) "create honors env via default_size" 3 (Pool.size pool));
+  Unix.putenv "DITTO_DOMAINS" "0";
+  Alcotest.(check bool) "clamped to >= 1" true (Pool.default_size () >= 1);
+  Unix.putenv "DITTO_DOMAINS" "1"
+
+(* {1 Pipeline determinism across pool sizes} *)
+
+let clone_with pool =
+  let app = Ditto_apps.Redis.spec () in
+  let load = Service.load ~qps:20000.0 ~open_loop:false ~duration:0.3 () in
+  let r =
+    Pipeline.clone ~pool ~requests:60 ~profile_requests:40 ~seed:7 ~platform:Platform.a ~load
+      app
+  in
+  let v = Pipeline.validate ~pool ~platform:Platform.a ~load ~label:"det" r in
+  (r, v)
+
+let seq_parallel =
+  lazy
+    (let seq = with_pool 1 clone_with in
+     let par = with_pool 4 clone_with in
+     (seq, par))
+
+let test_clone_determinism () =
+  let (r1, _), (r4, _) = Lazy.force seq_parallel in
+  let params r =
+    match r.Pipeline.tuning with
+    | Some (rep : Ditto_tune.Tuner.report) -> rep.Ditto_tune.Tuner.final_params
+    | None -> Alcotest.fail "tuning report missing"
+  in
+  Alcotest.(check bool) "identical final_params" true (params r1 = params r4);
+  Alcotest.(check int) "same iteration count"
+    (List.length (Option.get r1.Pipeline.tuning).Ditto_tune.Tuner.iterations)
+    (List.length (Option.get r4.Pipeline.tuning).Ditto_tune.Tuner.iterations)
+
+let test_validate_determinism () =
+  let (_, v1), (_, v4) = Lazy.force seq_parallel in
+  Alcotest.(check bool) "actual end-to-end identical" true
+    (v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end);
+  Alcotest.(check bool) "synthetic end-to-end identical" true
+    (v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end);
+  Alcotest.(check bool) "per-tier metrics identical" true
+    (v1.Pipeline.actual = v4.Pipeline.actual && v1.Pipeline.synthetic = v4.Pipeline.synthetic)
+
+let test_speculation_reported () =
+  let (r1, _), _ = Lazy.force seq_parallel in
+  match r1.Pipeline.tuning with
+  | Some rep -> Alcotest.(check int) "default K" 2 rep.Ditto_tune.Tuner.speculation
+  | None -> Alcotest.fail "tuning report missing"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order (size 1)" `Quick (test_map_order 1);
+          Alcotest.test_case "map order (size 4)" `Quick (test_map_order 4);
+          Alcotest.test_case "map exception (size 1)" `Quick (test_map_exception 1);
+          Alcotest.test_case "map exception (size 4)" `Quick (test_map_exception 4);
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "env sizing" `Quick test_env_sizing;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "clone across pool sizes" `Slow test_clone_determinism;
+          Alcotest.test_case "validate across pool sizes" `Slow test_validate_determinism;
+          Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
+        ] );
+    ]
