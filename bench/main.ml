@@ -13,8 +13,10 @@
    The harness is multicore: apps are profiled and cloned concurrently on a
    Ditto_util.Pool (DITTO_DOMAINS domains; DITTO_DOMAINS=1 pins the
    sequential schedule, with identical output). `--json FILE` additionally
-   records per-experiment wall-clock and the error summary for tracking the
-   performance trajectory across PRs. *)
+   records per-experiment wall-clock, the error summary and the tuner
+   trajectory for tracking performance across PRs; `--trace FILE` turns on
+   self-tracing and writes a Chrome trace-event file (FILE) plus a Jaeger
+   export (FILE.jaeger.json, or --trace-jaeger FILE). *)
 
 open Ditto_app
 module Pipeline = Ditto_core.Pipeline
@@ -23,6 +25,7 @@ module Platform = Ditto_uarch.Platform
 module Counters = Ditto_uarch.Counters
 module Table = Ditto_util.Table
 module Stats = Ditto_util.Stats
+module Obs = Ditto_obs.Obs
 
 let fmt = Printf.sprintf
 let ms x = fmt "%.3f" (1e3 *. x)
@@ -54,7 +57,10 @@ let clone_one name =
     Ditto_loadgen.Workload.to_load entry.Registry.workload ~qps:med ~duration ()
   in
   let t0 = wall () in
-  let result = Pipeline.clone ~pool ~platform:Platform.a ~load (entry.Registry.spec ()) in
+  let result =
+    Obs.Span.with_span ~name:"bench.clone" ~attrs:[ ("app", Obs.Str name) ] (fun () ->
+        Pipeline.clone ~pool ~platform:Platform.a ~load (entry.Registry.spec ()))
+  in
   (name, load, result, wall () -. t0)
 
 let report_clone (name, _load, result, secs) =
@@ -86,7 +92,12 @@ let preclone names =
   if names <> [] then begin
     Printf.printf "[clone] cloning %d app(s) on %d domain(s)...\n%!" (List.length names)
       (Ditto_util.Pool.size pool);
-    let results = Ditto_util.Pool.map pool clone_one names in
+    let results =
+      Obs.Span.with_span ~name:"bench.preclone"
+        ~attrs:
+          [ ("apps", Obs.Int (List.length names)); ("domains", Obs.Int (Ditto_util.Pool.size pool)) ]
+        (fun () -> Ditto_util.Pool.map pool clone_one names)
+    in
     List.iter
       (fun ((name, load, result, _) as timed) ->
         report_clone timed;
@@ -650,15 +661,20 @@ let clone_needs = function
 
 let () =
   let t0 = wall () in
-  let rec parse_args acc json = function
-    | [] -> (List.rev acc, json)
-    | "--json" :: file :: rest -> parse_args acc (Some file) rest
-    | [ "--json" ] ->
-        Printf.eprintf "--json requires a file argument\n";
+  let rec parse_args acc json trace trace_jaeger = function
+    | [] -> (List.rev acc, json, trace, trace_jaeger)
+    | "--json" :: file :: rest -> parse_args acc (Some file) trace trace_jaeger rest
+    | "--trace" :: file :: rest -> parse_args acc json (Some file) trace_jaeger rest
+    | "--trace-jaeger" :: file :: rest -> parse_args acc json trace (Some file) rest
+    | [ ("--json" | "--trace" | "--trace-jaeger") as flag ] ->
+        Printf.eprintf "%s requires a file argument\n" flag;
         exit 2
-    | a :: rest -> parse_args (a :: acc) json rest
+    | a :: rest -> parse_args (a :: acc) json trace trace_jaeger rest
   in
-  let names, json_file = parse_args [] None (List.tl (Array.to_list Sys.argv)) in
+  let names, json_file, trace_file, trace_jaeger_file =
+    parse_args [] None None None (List.tl (Array.to_list Sys.argv))
+  in
+  if trace_file <> None || trace_jaeger_file <> None then Obs.enable ();
   let selected =
     match names with
     | [] -> all_experiments
@@ -686,7 +702,7 @@ let () =
   let total = wall () -. t0 in
   Printf.printf "\n[bench] total wall time %.1fs (%d domain(s))\n" total
     (Ditto_util.Pool.size pool);
-  match json_file with
+  (match json_file with
   | None -> ()
   | Some path ->
       let module J = Ditto_util.Jsonx in
@@ -695,9 +711,21 @@ let () =
         Hashtbl.fold (fun axis values acc -> (axis, J.Num (mean !values)) :: acc) error_acc []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
+      (* Per-app tuner trajectory: iterations with per-counter errors and the
+         knob vectors kept at each step (see README for the schema). *)
+      let tuning_json =
+        Hashtbl.fold
+          (fun name (_, result) acc ->
+            match result.Pipeline.tuning with
+            | Some report -> (name, Ditto_tune.Tuner.report_to_json report) :: acc
+            | None -> acc)
+          clones []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
       let json =
         J.Obj
           [
+            ("schema_version", J.int 2);
             ("domains", J.int (Ditto_util.Pool.size pool));
             ("total_seconds", J.Num total);
             ( "experiments",
@@ -707,10 +735,34 @@ let () =
                    timings) );
             ("clone_seconds", J.Obj (List.rev_map (fun (n, s) -> (n, J.Num s)) !clone_secs));
             ("mean_error_pct", J.Obj errors_json);
+            ("tuning", J.Obj tuning_json);
+            ( "metrics",
+              J.Obj (List.map (fun (k, v) -> (k, J.Num v)) (Obs.Metrics.snapshot ())) );
           ]
       in
       let oc = open_out path in
       output_string oc (J.to_string ~pretty:true json);
       output_char oc '\n';
       close_out oc;
-      Printf.printf "[bench] wrote %s\n" path
+      Printf.printf "[bench] wrote %s\n" path);
+  match (trace_file, trace_jaeger_file) with
+  | None, None -> ()
+  | trace, jaeger ->
+      let nspans = List.length (Obs.Export.spans ()) in
+      (match trace with
+      | Some path ->
+          Obs.Export.write_chrome path;
+          Printf.printf "[bench] wrote %s (%d spans, %d dropped)\n" path nspans
+            (Obs.Export.dropped ())
+      | None -> ());
+      let jaeger_path =
+        match (jaeger, trace) with
+        | Some p, _ -> Some p
+        | None, Some p -> Some (p ^ ".jaeger.json")
+        | None, None -> None
+      in
+      (match jaeger_path with
+      | Some path ->
+          Obs.Export.write_jaeger path;
+          Printf.printf "[bench] wrote %s\n" path
+      | None -> ())

@@ -1,17 +1,33 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 15 test suites, and a benchmark smoke run.
+# Tier-1 gate: full build, the 16 test suites, a benchmark smoke run, and a
+# self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== dune build =="
-dune build
+build_log=$(mktemp)
+dune build 2>&1 | tee "$build_log"
+# lib/obs is a fresh library: keep it warning-clean.
+if grep -i "warning" "$build_log" | grep -q "lib/obs"; then
+  echo "ci: FAIL — build warnings in lib/obs" >&2
+  rm -f "$build_log"
+  exit 1
+fi
+rm -f "$build_log"
 
 echo "== dune runtest =="
 dune runtest
 
 echo "== bench smoke (micro kernels) =="
 dune exec bench/main.exe -- micro
+
+echo "== trace smoke (ditto_cli --trace, re-parsed with Jsonx) =="
+trace_file=$(mktemp /tmp/ditto_ci_trace.XXXXXX.json)
+dune exec bin/ditto_cli.exe -- run redis --qps 2000 --trace "$trace_file"
+dune exec bin/ditto_cli.exe -- inspect-trace "$trace_file"
+dune exec bin/ditto_cli.exe -- inspect-trace "$trace_file.jaeger.json"
+rm -f "$trace_file" "$trace_file.jaeger.json"
 
 echo "ci: OK"

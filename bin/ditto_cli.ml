@@ -10,13 +10,53 @@
          export a clone's memory trace in Ramulator format
      ditto-cli stages <app> [--qps N]
          the Fig. 9 decomposition (stages A..H + tuned clone)
+     ditto-cli inspect-trace <trace.json>
+         parse a Chrome or Jaeger trace back and summarise it
      ditto-cli list
-         list available model applications *)
+         list available model applications
+
+   run/clone/stages take [--trace FILE]: record spans of the pipeline's own
+   execution and write a Chrome trace-event file plus FILE.jaeger.json
+   (or --trace-jaeger FILE). *)
 
 module Pipeline = Ditto_core.Pipeline
 module Registry = Ditto_apps.Registry
 module Platform = Ditto_uarch.Platform
+module Obs = Ditto_obs.Obs
 open Ditto_app
+
+(* Enable self-tracing for the duration of [f] and write the exports. *)
+let with_tracing trace trace_jaeger f =
+  if trace = None && trace_jaeger = None then f ()
+  else begin
+    Obs.enable ();
+    let finish () =
+      (match trace with
+      | Some path ->
+          Obs.Export.write_chrome path;
+          Printf.printf "trace: wrote %s (%d spans, %d dropped)\n" path
+            (List.length (Obs.Export.spans ()))
+            (Obs.Export.dropped ())
+      | None -> ());
+      match
+        match (trace_jaeger, trace) with
+        | Some p, _ -> Some p
+        | None, Some p -> Some (p ^ ".jaeger.json")
+        | None, None -> None
+      with
+      | Some path ->
+          Obs.Export.write_jaeger path;
+          Printf.printf "trace: wrote %s\n" path
+      | None -> ()
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
 
 let load_for name qps duration =
   let entry = Registry.by_name name in
@@ -32,7 +72,8 @@ let print_tiers out =
     (1e3 *. s.Ditto_util.Stats.mean) (1e3 *. s.Ditto_util.Stats.p95)
     (1e3 *. s.Ditto_util.Stats.p99) s.Ditto_util.Stats.count
 
-let run_app name qps platform =
+let run_app name qps platform trace trace_jaeger =
+  with_tracing trace trace_jaeger @@ fun () ->
   let entry, load = load_for name qps 1.0 in
   let plat = Platform.by_name platform in
   let t0 = Unix.gettimeofday () in
@@ -40,7 +81,8 @@ let run_app name qps platform =
   print_tiers out;
   Printf.printf "(wall %.1fs)\n" (Unix.gettimeofday () -. t0)
 
-let clone_app name qps no_tune save =
+let clone_app name qps no_tune save trace trace_jaeger =
+  with_tracing trace trace_jaeger @@ fun () ->
   let entry, load = load_for name qps 0.8 in
   let t0 = Unix.gettimeofday () in
   let result =
@@ -65,7 +107,8 @@ let clone_app name qps no_tune save =
         (String.concat "  " (List.map (fun (a, e) -> Printf.sprintf "%s=%.1f%%" a e) errs)))
     (Pipeline.comparison_errors c)
 
-let stages_app name qps =
+let stages_app name qps trace trace_jaeger =
+  with_tracing trace trace_jaeger @@ fun () ->
   let entry, load = load_for name qps 0.8 in
   let result = Pipeline.clone ~platform:Platform.a ~load (entry.Registry.spec ()) in
   let cfg = Runner.config Platform.a in
@@ -112,6 +155,57 @@ let export_trace name out_path =
   let n = Ditto_gen.Trace_export.save ~path:out_path ~tier ~requests:50 ~seed:1 () in
   Printf.printf "wrote %d accesses to %s\n" n out_path
 
+(* Re-parse an exported trace, proving the telemetry is machine-readable:
+   Chrome files get event counts per domain; Jaeger files are fed through
+   the DAG recovery the cloning pipeline itself uses. *)
+let inspect_trace path =
+  let module J = Ditto_util.Jsonx in
+  let src =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "inspect-trace: %s\n" msg;
+      exit 1
+  in
+  match J.of_string src with
+  | exception J.Parse_error msg ->
+      Printf.eprintf "inspect-trace: %s: %s\n" path msg;
+      exit 1
+  | json -> (
+      match J.member "traceEvents" json with
+      | J.List events ->
+          let spans = List.filter (fun e -> J.member "ph" e = J.Str "X") events in
+          let tids =
+            List.sort_uniq compare (List.map (fun e -> J.to_int (J.member "tid" e)) spans)
+          in
+          Printf.printf "%s: Chrome trace, %d span event(s) across %d domain(s)\n" path
+            (List.length spans) (List.length tids);
+          List.iter
+            (fun tid ->
+              let n =
+                List.length (List.filter (fun e -> J.to_int (J.member "tid" e) = tid) spans)
+              in
+              Printf.printf "  domain %d: %d span(s)\n" tid n)
+            tids
+      | _ -> (
+          match Ditto_trace.Jaeger.of_json json with
+          | exception J.Parse_error msg ->
+              Printf.eprintf "inspect-trace: %s: not a Chrome or Jaeger trace: %s\n" path msg;
+              exit 1
+          | spans ->
+              let traces =
+                List.sort_uniq compare
+                  (List.map (fun (s : Ditto_trace.Span.t) -> s.Ditto_trace.Span.trace_id) spans)
+              in
+              Printf.printf "%s: Jaeger trace, %d span(s) in %d trace(s)\n" path
+                (List.length spans) (List.length traces);
+              if List.exists Ditto_trace.Span.root spans then begin
+                let dag = Ditto_trace.Dag.of_spans spans in
+                Printf.printf "  DAG: entry=%s services=%d edges=%d\n"
+                  dag.Ditto_trace.Dag.entry
+                  (List.length dag.Ditto_trace.Dag.services)
+                  (List.length dag.Ditto_trace.Dag.edges)
+              end))
+
 let list_apps () =
   List.iter
     (fun (e : Registry.entry) ->
@@ -142,15 +236,34 @@ let path_arg =
 let out_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output trace file")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the pipeline's own spans and write a Chrome trace-event file")
+
+let trace_jaeger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jaeger" ] ~docv:"FILE"
+        ~doc:"Write the recorded spans as Jaeger JSON (default: \\$(b,FILE).jaeger.json)")
+
+let trace_file_arg =
+  Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Chrome or Jaeger trace file")
+
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run an original model service and print metrics")
-    Term.(const run_app $ app_arg $ qps_arg $ platform_arg)
+    Term.(const run_app $ app_arg $ qps_arg $ platform_arg $ trace_arg $ trace_jaeger_arg)
 
 let clone_cmd =
   Cmd.v
     (Cmd.info "clone" ~doc:"Clone a service and validate the clone")
-    Term.(const clone_app $ app_arg $ qps_arg $ no_tune_arg $ save_arg)
+    Term.(
+      const clone_app $ app_arg $ qps_arg $ no_tune_arg $ save_arg $ trace_arg $ trace_jaeger_arg)
 
 let synth_cmd =
   Cmd.v
@@ -165,7 +278,12 @@ let export_cmd =
 let stages_cmd =
   Cmd.v
     (Cmd.info "stages" ~doc:"Fig. 9-style accuracy decomposition")
-    Term.(const stages_app $ app_arg $ qps_arg)
+    Term.(const stages_app $ app_arg $ qps_arg $ trace_arg $ trace_jaeger_arg)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect-trace" ~doc:"Parse an exported trace back and summarise it")
+    Term.(const inspect_trace $ trace_file_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List model applications") Term.(const list_apps $ const ())
@@ -174,4 +292,5 @@ let () =
   let info = Cmd.info "ditto-cli" ~doc:"Ditto (ASPLOS'23) reproduction CLI" in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; inspect_cmd; list_cmd ]))

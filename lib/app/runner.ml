@@ -46,7 +46,7 @@ let estimate_idle_per_request ~qps ~workers =
   if qps <= 0.0 then 5e-3
   else Float.min 5e-3 (float_of_int (max 1 workers) /. qps *. 0.8)
 
-let run cfg ~load (app : Spec.t) =
+let run_inner cfg ~load (app : Spec.t) =
   let engine = Ditto_sim.Engine.create () in
   let tiers = app.Spec.tiers in
   let page_cache_bytes =
@@ -92,26 +92,28 @@ let run cfg ~load (app : Spec.t) =
     }
   in
   let measured =
-    List.concat_map
-      (fun m ->
-        let hosted =
-          List.filter_map
-            (fun (t : Spec.tier) ->
-              if placement t.Spec.tier_name == m then
-                Some (t, List.assoc t.Spec.tier_name spaces)
-              else None)
-            tiers
-        in
-        if hosted = [] then []
-        else
-          Measure.run ~config:mcfg ~machine:m ~seed:cfg.seed ~requests:cfg.requests hosted
-          |> List.map (fun (r : Measure.tier_result) -> (r.Measure.tier.Spec.tier_name, r)))
-      machines
+    Ditto_obs.Obs.Span.with_span ~name:"runner.measure" (fun () ->
+        List.concat_map
+          (fun m ->
+            let hosted =
+              List.filter_map
+                (fun (t : Spec.tier) ->
+                  if placement t.Spec.tier_name == m then
+                    Some (t, List.assoc t.Spec.tier_name spaces)
+                  else None)
+                tiers
+            in
+            if hosted = [] then []
+            else
+              Measure.run ~config:mcfg ~machine:m ~seed:cfg.seed ~requests:cfg.requests hosted
+              |> List.map (fun (r : Measure.tier_result) -> (r.Measure.tier.Spec.tier_name, r)))
+          machines)
   in
   let results name = List.assoc name measured in
   let service =
-    Service.run ~engine ~app ~placement ~results ~seed:(cfg.seed + 1)
-      ~net_interference_gbps:cfg.net_interference_gbps load
+    Ditto_obs.Obs.Span.with_span ~name:"runner.service" (fun () ->
+        Service.run ~engine ~app ~placement ~results ~seed:(cfg.seed + 1)
+          ~net_interference_gbps:cfg.net_interference_gbps load)
   in
   let per_tier =
     List.map
@@ -150,5 +152,18 @@ let run cfg ~load (app : Spec.t) =
       tiers
   in
   { app; per_tier; end_to_end = service.Service.latency; service; measured }
+
+let run cfg ~load (app : Spec.t) =
+  if not (Ditto_obs.Obs.enabled ()) then run_inner cfg ~load app
+  else
+    Ditto_obs.Obs.Span.with_span ~name:"runner.run"
+      ~attrs:
+        [
+          ("app", Str app.Spec.app_name);
+          ("qps", Float load.Service.qps);
+          ("requests", Int cfg.requests);
+          ("seed", Int cfg.seed);
+        ]
+      (fun () -> run_inner cfg ~load app)
 
 let tier_metrics output name = List.assoc name output.per_tier

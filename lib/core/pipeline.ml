@@ -10,39 +10,53 @@ type clone_result = {
   tuning : Ditto_tune.Tuner.report option;
 }
 
+module Obs = Ditto_obs.Obs
+
 let clone ?pool ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(seed = 42)
     ~platform ~load (original : Spec.t) =
-  let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
-  let config = Runner.config ~requests ~seed platform in
-  (* Step 1: run the original at the profiling load; this run provides the
-     counter reference for tuning and the measured traces the distributed
-     tracer samples. *)
-  let reference = Runner.run config ~load original in
-  (* Step 2: microservice topology from sampled end-to-end traces. *)
-  let dag =
-    if Spec.is_microservice original then begin
-      let results name = List.assoc name reference.Runner.measured in
-      let spans =
-        Ditto_trace.Collector.collect ~entry:original.Spec.entry ~results ~samples:256
-          ~seed:(seed + 3)
+  Obs.Span.with_span ~name:"pipeline.clone"
+    ~attrs:[ ("app", Obs.Str original.Spec.app_name); ("seed", Obs.Int seed) ]
+    (fun () ->
+      let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
+      let config = Runner.config ~requests ~seed platform in
+      (* Step 1: run the original at the profiling load; this run provides the
+         counter reference for tuning and the measured traces the distributed
+         tracer samples. *)
+      let reference =
+        Obs.Span.with_span ~name:"clone.reference" (fun () -> Runner.run config ~load original)
       in
-      Some (Ditto_trace.Dag.of_spans spans)
-    end
-    else None
-  in
-  (* Step 3: profile skeleton and body of every tier. *)
-  let profile = P.Tier_profile.profile_app ~requests:profile_requests ~seed:(seed + 5) ?dag original in
-  (* Step 4: generate; Step 5: fine-tune. *)
-  if tune then begin
-    let synthetic, report =
-      Ditto_tune.Tuner.tune ~seed:(seed + 11) ~pool ~config ~load ~reference ~profile ()
-    in
-    { original; reference; dag; profile; synthetic; tuning = Some report }
-  end
-  else begin
-    let synthetic = Ditto_gen.Clone.synth_app ~seed:(seed + 11) profile in
-    { original; reference; dag; profile; synthetic; tuning = None }
-  end
+      (* Step 2: microservice topology from sampled end-to-end traces. *)
+      let dag =
+        if Spec.is_microservice original then begin
+          let results name = List.assoc name reference.Runner.measured in
+          Obs.Span.with_span ~name:"clone.dag" (fun () ->
+              let spans =
+                Ditto_trace.Collector.collect ~entry:original.Spec.entry ~results ~samples:256
+                  ~seed:(seed + 3)
+              in
+              Some (Ditto_trace.Dag.of_spans spans))
+        end
+        else None
+      in
+      (* Step 3: profile skeleton and body of every tier. *)
+      let profile =
+        Obs.Span.with_span ~name:"clone.profile" (fun () ->
+            P.Tier_profile.profile_app ~requests:profile_requests ~seed:(seed + 5) ?dag original)
+      in
+      (* Step 4: generate; Step 5: fine-tune. *)
+      if tune then begin
+        let synthetic, report =
+          Ditto_tune.Tuner.tune ~seed:(seed + 11) ~pool ~config ~load ~reference ~profile ()
+        in
+        { original; reference; dag; profile; synthetic; tuning = Some report }
+      end
+      else begin
+        let synthetic =
+          Obs.Span.with_span ~name:"clone.generate" (fun () ->
+              Ditto_gen.Clone.synth_app ~seed:(seed + 11) profile)
+        in
+        { original; reference; dag; profile; synthetic; tuning = None }
+      end)
 
 type comparison = {
   label : string;
@@ -55,6 +69,8 @@ type comparison = {
 }
 
 let validate ?pool ?config_of ~platform ~load ~label result =
+  Obs.Span.with_span ~name:"pipeline.validate" ~attrs:[ ("label", Obs.Str label) ]
+  @@ fun () ->
   let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
   let config =
     match config_of with Some f -> f platform | None -> Runner.config platform

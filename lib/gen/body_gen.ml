@@ -4,6 +4,9 @@ module Rng = Ditto_util.Rng
 module Dist = Ditto_util.Dist
 module P = Ditto_profile
 
+let c_blocks = Ditto_obs.Obs.Metrics.counter "gen.blocks"
+let made_block b = Ditto_obs.Obs.Metrics.incr c_blocks; b
+
 type features = {
   f_syscalls : bool;
   f_inst_count : bool;
@@ -399,7 +402,9 @@ let generate ~(profile : P.Tier_profile.t) ~(space : Layout.space) ~features ~(p
             (* Hot loop: the footprint fits a small block re-executed many
                times per request (Fig. 3's inner loops). *)
             let block =
-              Block.make ~label:(Printf.sprintf "synth_i%d" j) ~code_base:(window 0) probe_temps
+              made_block
+                (Block.make ~label:(Printf.sprintf "synth_i%d" j) ~code_base:(window 0)
+                   probe_temps)
             in
             (`Loop (block, max 1 (int_of_float (Float.round passes))), execs)
           end
@@ -419,9 +424,10 @@ let generate ~(profile : P.Tier_profile.t) ~(space : Layout.space) ~features ~(p
             let copies =
               Array.init replicas (fun k ->
                   let temps, _ = emit_until per_request_bytes in
-                  Block.make
-                    ~label:(Printf.sprintf "synth_i%d_r%d" j k)
-                    ~code_base:(window k) temps)
+                  made_block
+                    (Block.make
+                       ~label:(Printf.sprintf "synth_i%d_r%d" j k)
+                       ~code_base:(window k) temps))
             in
             (`Replicated copies, execs)
           end)
@@ -454,7 +460,9 @@ let generate ~(profile : P.Tier_profile.t) ~(space : Layout.space) ~features ~(p
           ~mem:(Block.Rand_uniform { region = space.Layout.heap; start; span })
           ~rep_count:(max 64 (int_of_float mix.P.Instmix.rep_mean_count))
       in
-      Some (Block.make ~label:"synth_rep" ~code_base:(Layout.code_window space ~index:60) [ t ])
+      Some
+        (made_block
+           (Block.make ~label:"synth_rep" ~code_base:(Layout.code_window space ~index:60) [ t ]))
     end
   in
   let file = profile.P.Tier_profile.syscalls.P.Syscalls.file in

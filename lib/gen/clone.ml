@@ -1,6 +1,8 @@
 open Ditto_app
 module P = Ditto_profile
 
+let c_synth_apps = Ditto_obs.Obs.Metrics.counter "gen.synth_apps"
+
 let synth_tier ?(features = Body_gen.all_features) ?(params = Params.default) ?(seed = 1009)
     ~(profile : P.Tier_profile.t) ~space ~downstream () =
   let sk = profile.P.Tier_profile.skeleton in
@@ -28,6 +30,7 @@ let synth_tier ?(features = Body_gen.all_features) ?(params = Params.default) ?(
 
 let synth_app ?(features = Body_gen.all_features) ?params ?(seed = 1009)
     (app : P.Tier_profile.app) =
+  Ditto_obs.Obs.Metrics.incr c_synth_apps;
   let params_for name =
     match params with Some f -> f name | None -> Params.default
   in

@@ -120,7 +120,9 @@ let spawn t ?at f =
   let at = match at with Some a -> a | None -> t.time in
   push t at (fun () -> exec t f)
 
-let run ?until t =
+let events_counter = Ditto_obs.Obs.Metrics.counter "sim.events"
+
+let run_loop ?until t =
   let continue_run = ref true in
   while !continue_run do
     match pop t with
@@ -137,6 +139,24 @@ let run ?until t =
             t.processed <- t.processed + 1;
             ev.fn ())
   done
+
+let run ?until t =
+  if not (Ditto_obs.Obs.enabled ()) then run_loop ?until t
+  else begin
+    let before = t.processed in
+    let finish () =
+      let events = t.processed - before in
+      Ditto_obs.Obs.Metrics.add events_counter events;
+      Ditto_obs.Obs.Span.add_attr "events" (Int events);
+      Ditto_obs.Obs.Span.add_attr "sim_time" (Float t.time)
+    in
+    Ditto_obs.Obs.Span.with_span ~name:"sim.run" (fun () ->
+        match run_loop ?until t with
+        | () -> finish ()
+        | exception e ->
+            finish ();
+            raise e)
+  end
 
 let time () = perform Now
 let wait d = perform (Wait d)

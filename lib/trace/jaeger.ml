@@ -1,0 +1,57 @@
+module J = Ditto_util.Jsonx
+
+(* Jaeger's JSON API writes span and trace ids as hex strings. *)
+let id_of_hex s =
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  if s = "" || String.length s > 16 || not (String.for_all is_hex s) then
+    raise (J.Parse_error (Printf.sprintf "bad span id %S" s));
+  int_of_string ("0x" ^ s)
+
+let tag_int tags key =
+  let rec go = function
+    | [] -> 0
+    | tag :: rest ->
+        if (try J.to_str (J.member "key" tag) = key with J.Parse_error _ -> false) then
+          match J.member "value" tag with
+          | J.Num n -> int_of_float n
+          | J.Str s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
+          | _ -> 0
+        else go rest
+  in
+  go tags
+
+let span_of_json json =
+  let parent_span =
+    (* First CHILD_OF reference wins; spans without one are roots. *)
+    let refs = match J.member "references" json with J.List l -> l | _ -> [] in
+    List.find_map
+      (fun r ->
+        match J.member "refType" r with
+        | J.Str "CHILD_OF" -> Some (id_of_hex (J.to_str (J.member "spanID" r)))
+        | _ -> None)
+      refs
+  in
+  let tags = match J.member "tags" json with J.List l -> l | _ -> [] in
+  {
+    Span.trace_id = id_of_hex (J.to_str (J.member "traceID" json));
+    span_id = id_of_hex (J.to_str (J.member "spanID" json));
+    parent_span;
+    service = J.to_str (J.member "operationName" json);
+    req_bytes = tag_int tags "req_bytes";
+    resp_bytes = tag_int tags "resp_bytes";
+  }
+
+let of_json json =
+  match J.member "data" json with
+  | J.List traces ->
+      List.concat_map
+        (fun trace ->
+          match J.member "spans" trace with
+          | J.List spans -> List.map span_of_json spans
+          | _ -> raise (J.Parse_error "trace entry without spans"))
+        traces
+  | _ -> raise (J.Parse_error "expected {\"data\": [...]}")
+
+let of_string s = of_json (J.of_string s)

@@ -1,0 +1,13 @@
+(** Jaeger JSON ingestion.
+
+    Parses the Jaeger API shape [{"data": [{"traceID"; "spans"; ...}]}] —
+    the format {!Ditto_obs.Obs.Export.to_jaeger} emits and real Jaeger
+    collectors serve — back into {!Span.t}s, so externally captured traces
+    (including Ditto's own pipeline traces) feed {!Dag.of_spans}. The span's
+    [operationName] becomes the service name; [req_bytes]/[resp_bytes] are
+    read from integer tags of those names and default to 0. *)
+
+val of_json : Ditto_util.Jsonx.t -> Span.t list
+val of_string : string -> Span.t list
+(** Raise {!Ditto_util.Jsonx.Parse_error} on malformed input (bad JSON,
+    missing fields, non-hex ids). *)

@@ -2,11 +2,16 @@ open Ditto_uarch
 open Ditto_app
 module P = Ditto_profile
 module Params = Ditto_gen.Params
+module Obs = Ditto_obs.Obs
+module J = Ditto_util.Jsonx
 
 type iteration = {
   iter : int;
   worst_error : float;
   errors : (string * float) list;
+  objective : float;
+  winner : int;
+  params : (string * Params.t) list;
 }
 
 type report = {
@@ -15,6 +20,55 @@ type report = {
   final_params : (string * Params.t) list;
   speculation : int;
 }
+
+let c_won = Obs.Metrics.counter "tuner.candidates_won"
+let c_lost = Obs.Metrics.counter "tuner.candidates_lost"
+
+let params_to_json (p : Params.t) =
+  J.Obj
+    [
+      ("inst_scale", J.Num p.Params.inst_scale);
+      ("i_ws_scale", J.Num p.Params.i_ws_scale);
+      ("d_ws_scale", J.Num p.Params.d_ws_scale);
+      ("big_mass_scale", J.Num p.Params.big_mass_scale);
+      ("branch_m_shift", J.int p.Params.branch_m_shift);
+      ("branch_n_shift", J.int p.Params.branch_n_shift);
+      ("chase_scale", J.Num p.Params.chase_scale);
+    ]
+
+let iteration_to_json it =
+  J.Obj
+    [
+      ("iter", J.int it.iter);
+      ("worst_error", J.Num it.worst_error);
+      ("objective", J.Num it.objective);
+      ("winner", J.int it.winner);
+      ("errors", J.Obj (List.map (fun (k, e) -> (k, J.Num e)) it.errors));
+      ("params", J.Obj (List.map (fun (k, p) -> (k, params_to_json p)) it.params));
+    ]
+
+let report_to_json r =
+  J.Obj
+    [
+      ("converged", J.Bool r.converged);
+      ("speculation", J.int r.speculation);
+      ("iterations", J.List (List.map iteration_to_json r.iterations));
+      ("final_params", J.Obj (List.map (fun (k, p) -> (k, params_to_json p)) r.final_params));
+    ]
+
+(* Flatten the per-tier knob vector into span attributes ("tier.knob"). *)
+let knob_attrs params =
+  List.concat_map
+    (fun (name, (p : Params.t)) ->
+      [
+        (name ^ ".inst_scale", Obs.Float p.Params.inst_scale);
+        (name ^ ".i_ws_scale", Obs.Float p.Params.i_ws_scale);
+        (name ^ ".d_ws_scale", Obs.Float p.Params.d_ws_scale);
+        (name ^ ".big_mass_scale", Obs.Float p.Params.big_mass_scale);
+        (name ^ ".branch_m_shift", Obs.Int p.Params.branch_m_shift);
+        (name ^ ".chase_scale", Obs.Float p.Params.chase_scale);
+      ])
+    params
 
 let rel_err actual synth = if actual = 0.0 then 0.0 else Float.abs (synth -. actual) /. actual
 
@@ -117,6 +171,9 @@ let objective_of errors =
 
 let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculation = 2)
     ?pool ~config ~load ~reference ~(profile : P.Tier_profile.app) () =
+  Obs.Span.with_span ~name:"tune"
+    ~attrs:[ ("speculation", Obs.Int (max 0 speculation)); ("seed", Obs.Int seed) ]
+  @@ fun () ->
   let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
   let speculation = max 0 speculation in
   (* Counter calibration only needs a short run. *)
@@ -124,6 +181,7 @@ let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculat
   let tiers = profile.P.Tier_profile.tiers in
   let orig_measured name = List.assoc name reference.Runner.measured in
   let evaluate params =
+    Obs.Span.with_span ~name:"tune.evaluate" @@ fun () ->
     let param_fn name =
       Option.value ~default:Params.default (List.assoc_opt name params)
     in
@@ -185,28 +243,50 @@ let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculat
   let initial =
     List.map (fun (tp : P.Tier_profile.t) -> (tp.P.Tier_profile.tier_name, Params.default)) tiers
   in
-  let current = ref (evaluate initial) in
-  let iterations =
-    ref [ { iter = 1; worst_error = !current.e_worst; errors = !current.e_errors } ]
+  let record_iteration ~iter ~winner (ev : evaluation) =
+    {
+      iter;
+      worst_error = ev.e_worst;
+      errors = ev.e_errors;
+      objective = ev.e_objective;
+      winner;
+      params = ev.e_params;
+    }
   in
+  let current = ref (evaluate initial) in
+  let iterations = ref [ record_iteration ~iter:1 ~winner:0 !current ] in
   let best = ref !current in
   let converged = ref (!current.e_worst <= target_error) in
   let iter = ref 1 in
   while (not !converged) && !iter < max_iterations do
     incr iter;
+    Obs.Span.with_span ~name:"tune.iteration" ~attrs:[ ("iter", Obs.Int !iter) ]
+    @@ fun () ->
     let base = adjust_all !current in
     let candidates = base :: List.init speculation (fun k -> perturb ~iter:!iter ~k base) in
     let evals = Ditto_util.Pool.map pool evaluate candidates in
     (* Keep the candidate with the lowest objective; ties break toward the
        damped adjustment (list head), so speculation only ever helps. *)
-    let chosen =
-      List.fold_left
-        (fun acc ev -> if ev.e_objective < acc.e_objective then ev else acc)
-        (List.hd evals) (List.tl evals)
+    let chosen, winner =
+      let folded =
+        List.fold_left
+          (fun (acc, wi, i) ev ->
+            if ev.e_objective < acc.e_objective then (ev, i, i + 1) else (acc, wi, i + 1))
+          (List.hd evals, 0, 1) (List.tl evals)
+      in
+      let ev, wi, _ = folded in
+      (ev, wi)
     in
+    (if winner > 0 then Obs.Metrics.incr c_won);
+    Obs.Metrics.add c_lost (List.length evals - 1 - if winner > 0 then 1 else 0);
+    if Obs.enabled () then begin
+      Obs.Span.add_attr "worst_error" (Obs.Float chosen.e_worst);
+      Obs.Span.add_attr "objective" (Obs.Float chosen.e_objective);
+      Obs.Span.add_attr "winner" (Obs.Int winner);
+      List.iter (fun (k, a) -> Obs.Span.add_attr k a) (knob_attrs chosen.e_params)
+    end;
     current := chosen;
-    iterations := { iter = !iter; worst_error = chosen.e_worst; errors = chosen.e_errors }
-                  :: !iterations;
+    iterations := record_iteration ~iter:!iter ~winner chosen :: !iterations;
     if chosen.e_objective < !best.e_objective then best := chosen;
     if chosen.e_worst <= target_error then converged := true
   done;
@@ -214,5 +294,10 @@ let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculat
      L1i behaviour at capacity edges); keep the best iterate, not the last. *)
   let final = if !best.e_objective <= !current.e_objective then !best else !current in
   let final_params = List.sort (fun (a, _) (b, _) -> compare a b) final.e_params in
+  if Obs.enabled () then begin
+    Obs.Span.add_attr "converged" (Obs.Bool !converged);
+    Obs.Span.add_attr "iterations" (Obs.Int (List.length !iterations));
+    Obs.Span.add_attr "final_worst_error" (Obs.Float final.e_worst)
+  end;
   ( final.e_synth,
     { iterations = List.rev !iterations; converged = !converged; final_params; speculation } )

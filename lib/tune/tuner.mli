@@ -17,6 +17,11 @@ type iteration = {
   iter : int;
   worst_error : float;  (** max relative error across tuned counters *)
   errors : (string * float) list;  (** per "tier/metric" *)
+  objective : float;  (** ranking objective of the kept candidate *)
+  winner : int;
+      (** index of the kept candidate: 0 = damped adjustment, >= 1 = the
+          [winner]-th speculative perturbation *)
+  params : (string * Ditto_gen.Params.t) list;  (** kept knob vector, per tier *)
 }
 
 type report = {
@@ -56,3 +61,13 @@ val counter_errors :
   (string * float) list
 (** Relative errors for ipc / insts-per-request / branch / l1i / l1d / l2 /
     llc (exposed for tests). *)
+
+(** {1 Telemetry}
+
+    Stable JSON projections of the tuning trajectory, used by
+    [bench --json] and embedded as span attributes by the observability
+    layer. *)
+
+val params_to_json : Ditto_gen.Params.t -> Ditto_util.Jsonx.t
+val iteration_to_json : iteration -> Ditto_util.Jsonx.t
+val report_to_json : report -> Ditto_util.Jsonx.t

@@ -125,12 +125,37 @@ let parse_string_body st =
         | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
         | Some 'u' ->
             advance st;
-            if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
-            let hex = String.sub st.src st.pos 4 in
-            st.pos <- st.pos + 4;
-            let code = int_of_string ("0x" ^ hex) in
-            if code < 128 then Buffer.add_char buf (Char.chr code)
-            else Buffer.add_char buf '?';
+            let read_hex4 () =
+              if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+              let hex = String.sub st.src st.pos 4 in
+              let is_hex c =
+                (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+              in
+              if not (String.for_all is_hex hex) then fail st "bad \\u escape";
+              st.pos <- st.pos + 4;
+              int_of_string ("0x" ^ hex)
+            in
+            let code = read_hex4 () in
+            let cp =
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: a low surrogate must follow to form one
+                   astral code point. *)
+                if
+                  st.pos + 2 <= String.length st.src
+                  && st.src.[st.pos] = '\\'
+                  && st.src.[st.pos + 1] = 'u'
+                then begin
+                  st.pos <- st.pos + 2;
+                  let low = read_hex4 () in
+                  if low < 0xDC00 || low > 0xDFFF then fail st "invalid low surrogate";
+                  0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                end
+                else fail st "lone high surrogate"
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then fail st "lone low surrogate"
+              else code
+            in
+            Buffer.add_utf_8_uchar buf (Uchar.of_int cp);
             go ()
         | _ -> fail st "bad escape")
     | Some c ->
@@ -229,7 +254,9 @@ let to_float = function
   | Num n -> n
   | _ -> raise (Parse_error "expected number")
 
-let to_int v = int_of_float (to_float v)
+let to_int v =
+  let f = to_float v in
+  if Float.is_finite f then int_of_float f else raise (Parse_error "expected integer")
 let to_bool = function Bool b -> b | _ -> raise (Parse_error "expected bool")
 let to_str = function Str s -> s | _ -> raise (Parse_error "expected string")
 let to_list = function List l -> l | _ -> raise (Parse_error "expected list")

@@ -7,6 +7,26 @@ type t = {
   pool_size : int;
 }
 
+(* Process-wide instrumentation. The counters are plain atomics bumped
+   once per task (tasks are whole pipeline runs, so this is far off the
+   hot path); the hook lets a higher layer (Ditto_obs) wrap tasks at
+   submission time without this library depending on it. *)
+type stats = { tasks_queued : int; tasks_stolen : int; tasks_by_workers : int }
+
+let n_queued = Atomic.make 0
+let n_stolen = Atomic.make 0
+let n_by_workers = Atomic.make 0
+
+let stats () =
+  {
+    tasks_queued = Atomic.get n_queued;
+    tasks_stolen = Atomic.get n_stolen;
+    tasks_by_workers = Atomic.get n_by_workers;
+  }
+
+let task_hook : ((unit -> unit) -> unit -> unit) ref = ref (fun task -> task)
+let set_task_hook f = task_hook := f
+
 let default_size () =
   match Sys.getenv_opt "DITTO_DOMAINS" with
   | Some s -> (
@@ -35,6 +55,7 @@ let worker_loop pool =
     match Queue.take_opt pool.queue with
     | Some task ->
         Mutex.unlock pool.mutex;
+        Atomic.incr n_by_workers;
         run_task task
     | None ->
         (* queue empty and stop set *)
@@ -107,10 +128,15 @@ let map pool f xs =
         if Atomic.get completed = n then Condition.broadcast batch_done;
         Mutex.unlock batch_mutex
       in
+      (* Wrap at submission, not execution: an instrumentation hook can
+         capture the submitter's context (e.g. its open span) here and
+         carry it to whichever domain runs the task. *)
+      let wrap = !task_hook in
       Mutex.lock pool.mutex;
       for i = 0 to n - 1 do
-        Queue.push (fun () -> run_one i) pool.queue
+        Queue.push (wrap (fun () -> run_one i)) pool.queue
       done;
+      ignore (Atomic.fetch_and_add n_queued n);
       Condition.broadcast pool.work_available;
       Mutex.unlock pool.mutex;
       (* Help: drain tasks (ours or another batch's) while waiting, so a
@@ -119,6 +145,7 @@ let map pool f xs =
         if Atomic.get completed < n then
           match try_pop pool with
           | Some task ->
+              Atomic.incr n_stolen;
               run_task task;
               help ()
           | None ->

@@ -50,3 +50,22 @@ val default : unit -> t
 val default_size : unit -> int
 (** The size {!create} would pick right now ([DITTO_DOMAINS] or
     [recommended_domain_count - 1]) — exposed for reports and tests. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  tasks_queued : int;  (** tasks pushed onto any pool's shared queue *)
+  tasks_stolen : int;  (** tasks the submitting domain drained back while helping *)
+  tasks_by_workers : int;  (** tasks executed by worker domains *)
+}
+
+val stats : unit -> stats
+(** Process-wide task counters (across all pools, since process start).
+    Tasks short-circuited by the sequential paths of {!map} (empty or
+    singleton lists, pool size <= 1) are not queued and not counted. *)
+
+val set_task_hook : ((unit -> unit) -> unit -> unit) -> unit
+(** Install a wrapper applied to every task at submission time — the
+    observability layer uses this to span-wrap tasks with the submitter's
+    context. The hook must be cheap when its backend is disabled; it is
+    global and meant to be installed once, by [Ditto_obs]. *)

@@ -1,0 +1,275 @@
+(* Tests for the self-tracing layer (Ditto_obs): span nesting and recording,
+   the metrics registry, ring-buffer wrap-around, the Chrome and Jaeger
+   exporters, the Pool task hook — and the "Ditto clones Ditto" loop, where
+   the pipeline's own spans are exported as Jaeger JSON and fed back through
+   the topology recovery the cloning pipeline applies to traced services. *)
+
+module Obs = Ditto_obs.Obs
+module Jsonx = Ditto_util.Jsonx
+module Pool = Ditto_util.Pool
+module Pipeline = Ditto_core.Pipeline
+module Platform = Ditto_uarch.Platform
+open Ditto_app
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every test owns the (global) recording state end to end. *)
+let fresh () =
+  Obs.enable ();
+  Obs.set_capacity 65536;
+  Obs.Export.clear ();
+  Obs.Metrics.reset ()
+
+let find_span name spans =
+  match List.find_opt (fun (s : Obs.completed) -> s.Obs.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" name
+
+(* {1 Spans} *)
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Obs.disable ();
+  Obs.Span.with_span ~name:"hidden" (fun () -> ());
+  check_bool "no current context" true (Obs.current () = None);
+  check_int "no spans" 0 (List.length (Obs.Export.spans ()));
+  Obs.enable ();
+  check_int "disabled span really dropped" 0 (List.length (Obs.Export.spans ()))
+
+let test_nesting () =
+  fresh ();
+  let v =
+    Obs.Span.with_span ~name:"root" (fun () ->
+        Obs.Span.with_span ~name:"child" (fun () ->
+            Obs.Span.with_span ~name:"grand" (fun () -> ()));
+        Obs.Span.with_span ~name:"child2" (fun () -> 41) + 1)
+  in
+  check_int "value passes through" 42 v;
+  let spans = Obs.Export.spans () in
+  check_int "four spans" 4 (List.length spans);
+  let root = find_span "root" spans in
+  let child = find_span "child" spans in
+  let grand = find_span "grand" spans in
+  let child2 = find_span "child2" spans in
+  check_bool "root is a root" true (root.Obs.parent_id = None);
+  check_bool "child under root" true (child.Obs.parent_id = Some root.Obs.span_id);
+  check_bool "grand under child" true (grand.Obs.parent_id = Some child.Obs.span_id);
+  check_bool "child2 under root" true (child2.Obs.parent_id = Some root.Obs.span_id);
+  List.iter
+    (fun (s : Obs.completed) ->
+      check_bool "one trace" true (s.Obs.trace_id = root.Obs.trace_id);
+      check_bool "duration non-negative" true (s.Obs.dur_ns >= 0L))
+    spans;
+  check_bool "root spans the children" true
+    (root.Obs.start_ns <= child.Obs.start_ns && root.Obs.dur_ns >= child.Obs.dur_ns);
+  check_bool "no open context after" true (Obs.current () = None)
+
+let test_sibling_traces_distinct () =
+  fresh ();
+  Obs.Span.with_span ~name:"a" (fun () -> ());
+  Obs.Span.with_span ~name:"b" (fun () -> ());
+  let spans = Obs.Export.spans () in
+  check_bool "separate roots, separate traces" true
+    ((find_span "a" spans).Obs.trace_id <> (find_span "b" spans).Obs.trace_id)
+
+let test_span_on_exception () =
+  fresh ();
+  (try Obs.Span.with_span ~name:"boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  let s = find_span "boom" (Obs.Export.spans ()) in
+  check_bool "recorded despite raise" true (s.Obs.name = "boom");
+  check_bool "stack unwound" true (Obs.current () = None)
+
+let test_attrs () =
+  fresh ();
+  Obs.Span.with_span ~name:"attrs"
+    ~attrs:[ ("k", Obs.Str "v") ]
+    (fun () -> Obs.Span.add_attr "n" (Obs.Int 7));
+  let s = find_span "attrs" (Obs.Export.spans ()) in
+  check_bool "initial attr" true (List.assoc_opt "k" s.Obs.attrs = Some (Obs.Str "v"));
+  check_bool "added attr" true (List.assoc_opt "n" s.Obs.attrs = Some (Obs.Int 7))
+
+let test_ring_wrap () =
+  fresh ();
+  Obs.set_capacity 8;
+  Obs.Export.clear ();
+  for i = 1 to 20 do
+    Obs.Span.with_span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check_int "capacity retained" 8 (List.length (Obs.Export.spans ()));
+  check_int "overflow counted" 12 (Obs.Export.dropped ());
+  (* the ring keeps the newest spans *)
+  ignore (find_span "s20" (Obs.Export.spans ()));
+  Obs.set_capacity 65536;
+  Obs.Export.clear ();
+  check_int "clear resets dropped" 0 (Obs.Export.dropped ())
+
+(* {1 Metrics} *)
+
+let test_metrics () =
+  fresh ();
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.disable ();
+  Obs.Metrics.incr c;
+  check_int "updates dropped while disabled" 0 (Obs.Metrics.value c);
+  Obs.enable ();
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  check_int "incr + add" 5 (Obs.Metrics.value c);
+  check_bool "same name, same counter" true
+    (Obs.Metrics.value (Obs.Metrics.counter "test.counter") = 5);
+  Obs.Metrics.register_gauge "test.gauge" (fun () -> 2.5);
+  let snap = Obs.Metrics.snapshot () in
+  check_bool "counter in snapshot" true (List.assoc_opt "test.counter" snap = Some 5.0);
+  check_bool "gauge in snapshot" true (List.assoc_opt "test.gauge" snap = Some 2.5);
+  check_bool "snapshot sorted" true
+    (let names = List.map fst snap in
+     names = List.sort compare names);
+  Obs.Metrics.reset ();
+  check_int "reset zeroes counters" 0 (Obs.Metrics.value c)
+
+(* {1 Exporters} *)
+
+let test_chrome_export () =
+  fresh ();
+  Obs.Span.with_span ~name:"outer" (fun () ->
+      Obs.Span.with_span ~name:"inner" (fun () -> ()));
+  let j = Obs.Export.to_chrome () in
+  let events = Jsonx.to_list (Jsonx.member "traceEvents" j) in
+  let complete = List.filter (fun e -> Jsonx.member "ph" e = Jsonx.Str "X") events in
+  let meta = List.filter (fun e -> Jsonx.member "ph" e = Jsonx.Str "M") events in
+  check_int "one complete event per span" 2 (List.length complete);
+  check_bool "thread-name metadata present" true (meta <> []);
+  List.iter
+    (fun e ->
+      check_bool "ts/dur/tid well-formed" true
+        (Jsonx.to_float (Jsonx.member "ts" e) >= 0.0
+        && Jsonx.to_float (Jsonx.member "dur" e) >= 0.0
+        && Jsonx.to_int (Jsonx.member "tid" e) >= 0))
+    complete;
+  (match Jsonx.member "dittoMetrics" j with
+  | Jsonx.Obj _ -> ()
+  | _ -> Alcotest.fail "dittoMetrics missing");
+  (* the export is valid JSON end to end *)
+  check_bool "serialises and re-parses" true
+    (Jsonx.of_string (Jsonx.to_string j) = j)
+
+let test_jaeger_roundtrip () =
+  fresh ();
+  Obs.Span.with_span ~name:"frontend" (fun () ->
+      Obs.Span.with_span ~name:"cache" ~attrs:[ ("req_bytes", Obs.Int 128) ] (fun () -> ());
+      Obs.Span.with_span ~name:"db" (fun () ->
+          Obs.Span.with_span ~name:"disk" (fun () -> ())));
+  let spans = Ditto_trace.Jaeger.of_string (Jsonx.to_string (Obs.Export.to_jaeger ())) in
+  check_int "all spans survive" 4 (List.length spans);
+  let by_service name =
+    List.find (fun (s : Ditto_trace.Span.t) -> s.Ditto_trace.Span.service = name) spans
+  in
+  check_bool "root has no parent" true (Ditto_trace.Span.root (by_service "frontend"));
+  check_bool "tags carry sizes" true ((by_service "cache").Ditto_trace.Span.req_bytes = 128);
+  let dag = Ditto_trace.Dag.of_spans spans in
+  check_bool "entry recovered" true (dag.Ditto_trace.Dag.entry = "frontend");
+  check_int "services" 4 (List.length dag.Ditto_trace.Dag.services);
+  check_int "edges" 3 (List.length dag.Ditto_trace.Dag.edges);
+  check_int "topological order covers the DAG" 4
+    (List.length (Ditto_trace.Dag.topo_order dag))
+
+(* {1 Pool task hook} *)
+
+let test_pool_hook () =
+  fresh ();
+  let before = (Pool.stats ()).Pool.tasks_queued in
+  let pool = Pool.create ~size:2 () in
+  let results =
+    Obs.Span.with_span ~name:"submitter" (fun () ->
+        Pool.map pool
+          (fun i -> Obs.Span.with_span ~name:(Printf.sprintf "task%d" i) (fun () -> 2 * i))
+          [ 1; 2; 3; 4 ])
+  in
+  Pool.shutdown pool;
+  check_bool "results in order" true (results = [ 2; 4; 6; 8 ]);
+  check_bool "queue counter advanced" true ((Pool.stats ()).Pool.tasks_queued >= before + 4);
+  let spans = Obs.Export.spans () in
+  let submitter = find_span "submitter" spans in
+  let hooks =
+    List.filter (fun (s : Obs.completed) -> s.Obs.name = "pool.task:submitter") spans
+  in
+  check_int "one hook span per task" 4 (List.length hooks);
+  List.iter
+    (fun (h : Obs.completed) ->
+      check_bool "parented to the submitter, across domains" true
+        (h.Obs.parent_id = Some submitter.Obs.span_id
+        && h.Obs.trace_id = submitter.Obs.trace_id))
+    hooks;
+  for i = 1 to 4 do
+    let t = find_span (Printf.sprintf "task%d" i) spans in
+    check_bool "task span nests under its hook span" true
+      (List.exists (fun (h : Obs.completed) -> t.Obs.parent_id = Some h.Obs.span_id) hooks)
+  done
+
+(* {1 Ditto clones Ditto} *)
+
+(* Trace the pipeline cloning redis (tuning on a 2-domain pool), export the
+   spans as Jaeger JSON, and recover the pipeline's own call DAG with the
+   very topology analysis the pipeline applies to services it clones. *)
+let test_ditto_clones_ditto () =
+  fresh ();
+  let pool = Pool.create ~size:2 () in
+  let load = Service.load ~qps:20000.0 ~open_loop:false ~duration:0.3 () in
+  let result =
+    Pipeline.clone ~pool ~requests:60 ~profile_requests:40 ~seed:7 ~platform:Platform.a ~load
+      (Ditto_apps.Redis.spec ())
+  in
+  Pool.shutdown pool;
+  check_bool "clone tuned" true (result.Pipeline.tuning <> None);
+  check_int "nothing dropped" 0 (Obs.Export.dropped ());
+  let snap = Obs.Metrics.snapshot () in
+  let at least key =
+    match List.assoc_opt key snap with
+    | Some v -> check_bool (key ^ " counted") true (v >= least)
+    | None -> Alcotest.failf "metric %s missing" key
+  in
+  at 1.0 "sim.events";
+  at 1.0 "gen.blocks";
+  at 1.0 "gen.synth_apps";
+  at 1.0 "pool.tasks_queued";
+  let spans = Ditto_trace.Jaeger.of_string (Jsonx.to_string (Obs.Export.to_jaeger ())) in
+  check_bool "pipeline produced spans" true (List.length spans > 10);
+  let dag = Ditto_trace.Dag.of_spans spans in
+  check_bool "entry is the pipeline" true (dag.Ditto_trace.Dag.entry = "pipeline.clone");
+  let services = dag.Ditto_trace.Dag.services in
+  List.iter
+    (fun name -> check_bool (name ^ " traced") true (List.mem name services))
+    [ "pipeline.clone"; "clone.reference"; "clone.profile"; "tune"; "tune.evaluate";
+      "runner.run"; "sim.run"; "pool.task:tune.iteration" ];
+  check_bool "edges recovered" true (List.length dag.Ditto_trace.Dag.edges >= 5);
+  (* well-formed tier DAG: acyclic, every service reachable in topo order *)
+  let order = Ditto_trace.Dag.topo_order dag in
+  check_int "topo order covers all services" (List.length services) (List.length order);
+  check_bool "pipeline.clone first" true (List.hd order = "pipeline.clone")
+
+let () =
+  (* Leave the library disabled for any test binary linking this module. *)
+  at_exit Obs.disable;
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "sibling traces" `Quick test_sibling_traces_distinct;
+          Alcotest.test_case "exception safety" `Quick test_span_on_exception;
+          Alcotest.test_case "attributes" `Quick test_attrs;
+          Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters and gauges" `Quick test_metrics ]);
+      ( "export",
+        [
+          Alcotest.test_case "chrome" `Quick test_chrome_export;
+          Alcotest.test_case "jaeger roundtrip" `Quick test_jaeger_roundtrip;
+        ] );
+      ("pool", [ Alcotest.test_case "task hook parentage" `Quick test_pool_hook ]);
+      ( "integration",
+        [ Alcotest.test_case "ditto clones ditto" `Slow test_ditto_clones_ditto ] );
+    ]

@@ -303,6 +303,87 @@ let test_tree_normalized_bounds () =
   let d = Tree_edit.normalized_distance a b in
   Alcotest.(check bool) "normalised in [0,1]" true (d >= 0.0 && d <= 1.0)
 
+(* {1 Jsonx} *)
+
+let test_jsonx_unicode_escapes () =
+  (* built with concatenation so the source holds the escape sequences,
+     not the decoded characters *)
+  let esc hexes = "\"" ^ String.concat "" (List.map (fun h -> "\\u" ^ h) hexes) ^ "\"" in
+  let str s = Jsonx.to_str (Jsonx.of_string s) in
+  Alcotest.(check string) "ascii" "A" (str (esc [ "0041" ]));
+  Alcotest.(check string) "latin-1 e-acute" "\xc3\xa9" (str (esc [ "00e9" ]));
+  Alcotest.(check string) "euro sign" "\xe2\x82\xac" (str (esc [ "20ac" ]));
+  Alcotest.(check string) "uppercase hex" "\xe2\x82\xac" (str (esc [ "20AC" ]));
+  Alcotest.(check string) "surrogate pair (emoji)" "\xf0\x9f\x98\x80"
+    (str (esc [ "d83d"; "de00" ]));
+  Alcotest.(check string) "control char" "\x01" (str (esc [ "0001" ]));
+  Alcotest.(check string) "raw utf-8 passes through" "\xc3\xa9"
+    (str "\"\xc3\xa9\"")
+
+let expect_parse_error label s =
+  match Jsonx.of_string s with
+  | exception Jsonx.Parse_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Parse_error on %s" label s
+
+let test_jsonx_bad_escapes () =
+  expect_parse_error "lone high surrogate" {|"\ud800"|};
+  expect_parse_error "lone low surrogate" {|"\udc00"|};
+  expect_parse_error "high then non-surrogate" {|"\ud800A"|};
+  expect_parse_error "high then literal" {|"\ud800x"|};
+  expect_parse_error "bad hex digit" {|"\u12g4"|};
+  expect_parse_error "underscore is not hex" {|"\u1_23"|};
+  expect_parse_error "truncated" {|"\u12|}
+
+let test_jsonx_to_int () =
+  Alcotest.(check int) "integral float" 3 (Jsonx.to_int (Jsonx.Num 3.0));
+  Alcotest.(check int) "negative" (-7) (Jsonx.to_int (Jsonx.Num (-7.0)));
+  List.iter
+    (fun (label, v) ->
+      match Jsonx.to_int (Jsonx.Num v) with
+      | exception Jsonx.Parse_error _ -> ()
+      | i -> Alcotest.failf "to_int %s: expected Parse_error, got %d" label i)
+    [ ("nan", Float.nan); ("inf", Float.infinity); ("-inf", Float.neg_infinity) ]
+
+(* Round-trip generator: arbitrary byte strings (control chars exercise the
+   \uXXXX escapes; bytes >= 128 pass through raw) and finite numbers only —
+   Jsonx has no representation for nan/inf, which is what to_int guards. *)
+let json_gen =
+  let open QCheck.Gen in
+  let finite_float =
+    map (fun f -> if Float.is_finite f then f else 0.5) float
+  in
+  let scalar =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun f -> Jsonx.Num f) finite_float;
+        map (fun i -> Jsonx.Num (float_of_int i)) int;
+        map (fun s -> Jsonx.Str s) (string_size (int_bound 12));
+      ]
+  in
+  let rec value n =
+    if n <= 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Jsonx.List l) (list_size (int_bound 4) (value (n / 2))));
+          ( 1,
+            map
+              (fun l -> Jsonx.Obj l)
+              (list_size (int_bound 4) (pair (string_size (int_bound 8)) (value (n / 2)))) );
+        ]
+  in
+  sized (fun n -> value (min n 8))
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~name:"Jsonx to_string |> of_string = id" ~count:500
+    (QCheck.make json_gen ~print:(fun v -> Jsonx.to_string v))
+    (fun v ->
+      Jsonx.of_string (Jsonx.to_string v) = v
+      && Jsonx.of_string (Jsonx.to_string ~pretty:true v) = v)
+
 (* {1 Table} *)
 
 let test_table_render () =
@@ -378,6 +459,13 @@ let () =
           Alcotest.test_case "symmetry" `Quick test_tree_symmetry;
           Alcotest.test_case "size/depth" `Quick test_tree_size_depth;
           Alcotest.test_case "normalized bounds" `Quick test_tree_normalized_bounds;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "unicode escapes" `Quick test_jsonx_unicode_escapes;
+          Alcotest.test_case "bad escapes" `Quick test_jsonx_bad_escapes;
+          Alcotest.test_case "to_int non-finite" `Quick test_jsonx_to_int;
+          qt prop_jsonx_roundtrip;
         ] );
       ( "table",
         [
