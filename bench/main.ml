@@ -13,10 +13,19 @@
    The harness is multicore: apps are profiled and cloned concurrently on a
    Ditto_util.Pool (DITTO_DOMAINS domains; DITTO_DOMAINS=1 pins the
    sequential schedule, with identical output). `--json FILE` additionally
-   records per-experiment wall-clock, the error summary and the tuner
-   trajectory for tracking performance across PRs; `--trace FILE` turns on
-   self-tracing and writes a Chrome trace-event file (FILE) plus a Jaeger
-   export (FILE.jaeger.json, or --trace-jaeger FILE). *)
+   records per-experiment wall-clock, the error summary, the tuner
+   trajectory and the clone-accuracy scorecards for tracking performance
+   across PRs; `--trace FILE` turns on self-tracing and writes a Chrome
+   trace-event file (FILE) plus a Jaeger export (FILE.jaeger.json, or
+   --trace-jaeger FILE).
+
+   Regression gate: `--check` diffs the run's accuracy metrics against the
+   committed baseline (bench/baselines/default.json, or --baseline FILE)
+   and exits 1 if any error worsened past its tolerance;
+   `--update-baselines` rewrites the baseline from the current run;
+   `--check-json FILE` gates a previously saved --json document without
+   re-running any simulation. `--apps a,b` restricts the registry-wide
+   experiments (fig5/fig7/fig8/errors/ablation/scorecards) to those apps. *)
 
 open Ditto_app
 module Pipeline = Ditto_core.Pipeline
@@ -46,6 +55,15 @@ let wall = Unix.gettimeofday
    sequential fallback for names cloned outside a preclone pass. *)
 
 let pool = Ditto_util.Pool.default ()
+
+(* --apps filter: restricts the registry-wide experiments. *)
+let apps_filter : string list option ref = ref None
+
+let registry_entries () =
+  match !apps_filter with
+  | None -> Registry.all
+  | Some names ->
+      List.filter (fun (e : Registry.entry) -> List.mem e.Registry.name names) Registry.all
 
 let clones : (string, Service.load * Pipeline.clone_result) Hashtbl.t = Hashtbl.create 8
 let clone_secs : (string * float) list ref = ref []
@@ -190,7 +208,7 @@ let fig5_one app_name =
 
 let fig5 () =
   banner "Figure 5: CPU, network, disk and latency under varying load (Platform A)";
-  List.iter (fun (e : Registry.entry) -> fig5_one e.Registry.name) Registry.all
+  List.iter (fun (e : Registry.entry) -> fig5_one e.Registry.name) (registry_entries ())
 
 (* {1 Figure 6: Social Network end-to-end latency} *)
 
@@ -255,7 +273,7 @@ let fig7 () =
         ~title:(fmt "Fig. 7 — %s across platforms" entry.Registry.name)
         ~header:fig5_header
         (List.rev_map (fun (l, w, cells) -> l :: w :: cells) !rows))
-    Registry.all
+    (registry_entries ())
 
 (* {1 Figure 8: CPI top-down breakdown} *)
 
@@ -282,7 +300,7 @@ let fig8 () =
           rows := show "S" (List.assoc tier c.Pipeline.synthetic) :: !rows;
           rows := show "A" (List.assoc tier c.Pipeline.actual) :: !rows)
         entry.Registry.focus_tiers)
-    Registry.all;
+    (registry_entries ());
   Table.print ~title:"Fig. 8 — CPI breakdown"
     ~header:[ "service"; "CPI"; "retiring"; "frontend"; "bad spec"; "backend" ]
     (List.rev !rows)
@@ -531,7 +549,7 @@ let ablation () =
               | None -> ())
             entry.Registry.focus_tiers)
         variants)
-    Registry.all;
+    (registry_entries ());
   let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
   let rows =
     List.map
@@ -631,6 +649,26 @@ let micro () =
         results)
     tests
 
+(* {1 Clone-accuracy scorecards (fidelity observatory)} *)
+
+module Scorecard = Ditto_report.Scorecard
+
+let scorecards_tbl : (string, Scorecard.t) Hashtbl.t = Hashtbl.create 8
+
+let scorecards () =
+  banner "Clone-accuracy scorecards (per tier x per counter, medium load, 95% target)";
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let name = entry.Registry.name in
+      let load, result = get_clone name in
+      let c = Pipeline.validate ~platform:Platform.a ~load ~label:"med" result in
+      let card =
+        Scorecard.of_comparison ~app:name ?tuning:result.Pipeline.tuning c
+      in
+      Scorecard.print card;
+      Hashtbl.replace scorecards_tbl name card)
+    (registry_entries ())
+
 (* {1 Main} *)
 
 let all_experiments =
@@ -645,6 +683,7 @@ let all_experiments =
     ("fig11", fig11);
     ("errors", errors);
     ("ablation", ablation);
+    ("scorecards", scorecards);
     ("micro", micro);
   ]
 
@@ -652,29 +691,101 @@ let all_experiments =
    build exactly those concurrently before the (ordered, printing)
    experiment loop starts. fig11 and micro build their own specs. *)
 let clone_needs = function
-  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" ->
-      List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.all
+  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" ->
+      List.map (fun (e : Registry.entry) -> e.Registry.name) (registry_entries ())
   | "fig6" -> [ "social_network" ]
   | "fig9" -> [ "mongodb" ]
   | "fig10" -> [ "nginx" ]
   | _ -> []
 
+module Baseline = Ditto_report.Baseline
+module Bench_json = Ditto_report.Bench_json
+
+let default_baseline_path = "bench/baselines/default.json"
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Diff [current] (flattened metrics) against the baseline file; prints the
+   verdict and returns false on regression. *)
+let run_check ~baseline_path current =
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf
+      "[bench] --check: baseline %s not found (run with --update-baselines first)\n"
+      baseline_path;
+    exit 2
+  end;
+  let baseline = Baseline.load baseline_path in
+  let regressions, checked = Baseline.diff baseline current in
+  match regressions with
+  | [] ->
+      Printf.printf "[bench] check OK: %d metric(s) within tolerance of %s\n" checked
+        baseline_path;
+      true
+  | regs ->
+      Printf.printf "[bench] check FAILED: %d of %d metric(s) regressed vs %s\n"
+        (List.length regs) checked baseline_path;
+      List.iter
+        (fun (r : Baseline.regression) ->
+          Printf.printf "  %-45s %.2f%% -> %.2f%% (allowed +%.1fpp)\n" r.Baseline.key
+            r.Baseline.baseline r.Baseline.current r.Baseline.allowed_pp)
+        regs;
+      false
+
 let () =
   let t0 = wall () in
-  let rec parse_args acc json trace trace_jaeger = function
-    | [] -> (List.rev acc, json, trace, trace_jaeger)
-    | "--json" :: file :: rest -> parse_args acc (Some file) trace trace_jaeger rest
-    | "--trace" :: file :: rest -> parse_args acc json (Some file) trace_jaeger rest
-    | "--trace-jaeger" :: file :: rest -> parse_args acc json trace (Some file) rest
-    | [ ("--json" | "--trace" | "--trace-jaeger") as flag ] ->
-        Printf.eprintf "%s requires a file argument\n" flag;
+  let json_file = ref None
+  and trace_file = ref None
+  and trace_jaeger_file = ref None
+  and check = ref false
+  and baseline_file = ref None
+  and update_baselines = ref false
+  and check_json = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse_args acc rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse_args acc rest
+    | "--trace-jaeger" :: file :: rest ->
+        trace_jaeger_file := Some file;
+        parse_args acc rest
+    | "--apps" :: apps :: rest ->
+        apps_filter := Some (String.split_on_char ',' apps);
+        parse_args acc rest
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse_args acc rest
+    | "--check-json" :: file :: rest ->
+        check_json := Some file;
+        parse_args acc rest
+    | "--check" :: rest ->
+        check := true;
+        parse_args acc rest
+    | "--update-baselines" :: rest ->
+        update_baselines := true;
+        parse_args acc rest
+    | [ ("--json" | "--trace" | "--trace-jaeger" | "--apps" | "--baseline" | "--check-json") as
+        flag ] ->
+        Printf.eprintf "%s requires an argument\n" flag;
         exit 2
-    | a :: rest -> parse_args (a :: acc) json trace trace_jaeger rest
+    | a :: rest -> parse_args (a :: acc) rest
   in
-  let names, json_file, trace_file, trace_jaeger_file =
-    parse_args [] None None None (List.tl (Array.to_list Sys.argv))
-  in
-  if trace_file <> None || trace_jaeger_file <> None then Obs.enable ();
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  let baseline_path = Option.value ~default:default_baseline_path !baseline_file in
+  (* --check-json gates a saved --json document without re-running anything. *)
+  (match !check_json with
+  | None -> ()
+  | Some path ->
+      let doc = Ditto_util.Jsonx.of_string (read_file path) in
+      exit (if run_check ~baseline_path (Baseline.flatten doc) then 0 else 1));
+  if !trace_file <> None || !trace_jaeger_file <> None then Obs.enable ();
+  let trace_file = !trace_file and trace_jaeger_file = !trace_jaeger_file in
   let selected =
     match names with
     | [] -> all_experiments
@@ -702,18 +813,19 @@ let () =
   let total = wall () -. t0 in
   Printf.printf "\n[bench] total wall time %.1fs (%d domain(s))\n" total
     (Ditto_util.Pool.size pool);
-  (match json_file with
-  | None -> ()
-  | Some path ->
-      let module J = Ditto_util.Jsonx in
+  (* The v3 --json document doubles as the regression-gate input, so it is
+     assembled whenever --json, --check or --update-baselines asked for it. *)
+  let doc =
+    if !json_file = None && not (!check || !update_baselines) then None
+    else begin
       let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs)) in
-      let errors_json =
-        Hashtbl.fold (fun axis values acc -> (axis, J.Num (mean !values)) :: acc) error_acc []
+      let errors =
+        Hashtbl.fold (fun axis values acc -> (axis, mean !values) :: acc) error_acc []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       (* Per-app tuner trajectory: iterations with per-counter errors and the
          knob vectors kept at each step (see README for the schema). *)
-      let tuning_json =
+      let tuning =
         Hashtbl.fold
           (fun name (_, result) acc ->
             match result.Pipeline.tuning with
@@ -722,30 +834,48 @@ let () =
           clones []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
-      let json =
-        J.Obj
-          [
-            ("schema_version", J.int 2);
-            ("domains", J.int (Ditto_util.Pool.size pool));
-            ("total_seconds", J.Num total);
-            ( "experiments",
-              J.List
-                (List.map
-                   (fun (n, s) -> J.Obj [ ("name", J.Str n); ("seconds", J.Num s) ])
-                   timings) );
-            ("clone_seconds", J.Obj (List.rev_map (fun (n, s) -> (n, J.Num s)) !clone_secs));
-            ("mean_error_pct", J.Obj errors_json);
-            ("tuning", J.Obj tuning_json);
-            ( "metrics",
-              J.Obj (List.map (fun (k, v) -> (k, J.Num v)) (Obs.Metrics.snapshot ())) );
-          ]
+      let cards =
+        Hashtbl.fold (fun _ card acc -> card :: acc) scorecards_tbl []
+        |> List.sort (fun (a : Scorecard.t) b -> compare a.Scorecard.app b.Scorecard.app)
       in
+      Some
+        (Bench_json.assemble
+           {
+             Bench_json.domains = Ditto_util.Pool.size pool;
+             total_seconds = total;
+             experiments = timings;
+             clone_seconds = List.rev !clone_secs;
+             mean_error_pct = errors;
+             tuning;
+             metrics = Obs.Metrics.snapshot ();
+             scorecards = cards;
+           })
+    end
+  in
+  (match (!json_file, doc) with
+  | Some path, Some json ->
       let oc = open_out path in
-      output_string oc (J.to_string ~pretty:true json);
+      output_string oc (Ditto_util.Jsonx.to_string ~pretty:true json);
       output_char oc '\n';
       close_out oc;
-      Printf.printf "[bench] wrote %s\n" path);
-  match (trace_file, trace_jaeger_file) with
+      Printf.printf "[bench] wrote %s\n" path
+  | _ -> ());
+  (match (!update_baselines, doc) with
+  | true, Some json ->
+      (* Keep the committed tolerances when refreshing the numbers. *)
+      let tolerance_pp =
+        if Sys.file_exists baseline_path then (Baseline.load baseline_path).Baseline.tolerance_pp
+        else Baseline.default_tolerances
+      in
+      Baseline.save ~path:baseline_path (Baseline.make ~tolerance_pp (Baseline.flatten json));
+      Printf.printf "[bench] wrote baseline %s\n" baseline_path
+  | _ -> ());
+  let check_ok =
+    match (!check, doc) with
+    | true, Some json -> run_check ~baseline_path (Baseline.flatten json)
+    | _ -> true
+  in
+  (match (trace_file, trace_jaeger_file) with
   | None, None -> ()
   | trace, jaeger ->
       let nspans = List.length (Obs.Export.spans ()) in
@@ -765,4 +895,5 @@ let () =
       | Some path ->
           Obs.Export.write_jaeger path;
           Printf.printf "[bench] wrote %s\n" path
-      | None -> ())
+      | None -> ()));
+  if not check_ok then exit 1

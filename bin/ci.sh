@@ -1,21 +1,27 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 16 test suites, a benchmark smoke run, and a
-# self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx).
+# Tier-1 gate: full build, the 17 test suites, a benchmark smoke run, a
+# self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
+# sampled-profiler smoke test, and the fidelity regression gate (scorecards
+# diffed against the committed baseline, plus a proof that the gate rejects
+# a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# All scratch files live in one tmpdir removed on any exit, so a failing
+# step cannot leave stray trace/profile files behind.
+tmpdir=$(mktemp -d /tmp/ditto_ci.XXXXXX)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
 echo "== dune build =="
-build_log=$(mktemp)
+build_log="$tmpdir/build.log"
 dune build 2>&1 | tee "$build_log"
-# lib/obs is a fresh library: keep it warning-clean.
-if grep -i "warning" "$build_log" | grep -q "lib/obs"; then
-  echo "ci: FAIL — build warnings in lib/obs" >&2
-  rm -f "$build_log"
+# lib/obs and lib/report are the observability layers: keep them warning-clean.
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report)"; then
+  echo "ci: FAIL — build warnings in lib/obs or lib/report" >&2
   exit 1
 fi
-rm -f "$build_log"
 
 echo "== dune runtest =="
 dune runtest
@@ -24,10 +30,36 @@ echo "== bench smoke (micro kernels) =="
 dune exec bench/main.exe -- micro
 
 echo "== trace smoke (ditto_cli --trace, re-parsed with Jsonx) =="
-trace_file=$(mktemp /tmp/ditto_ci_trace.XXXXXX.json)
+trace_file="$tmpdir/trace.json"
 dune exec bin/ditto_cli.exe -- run redis --qps 2000 --trace "$trace_file"
 dune exec bin/ditto_cli.exe -- inspect-trace "$trace_file"
 dune exec bin/ditto_cli.exe -- inspect-trace "$trace_file.jaeger.json"
 rm -f "$trace_file" "$trace_file.jaeger.json"
+
+echo "== profile smoke (collapsed stacks reconcile with measured CPU) =="
+# `profile` exits non-zero itself if the sampled weights diverge >1% from
+# the measured on-CPU time.
+dune exec bin/ditto_cli.exe -- profile redis --out "$tmpdir/redis.folded" --top 5
+test -s "$tmpdir/redis.folded"
+
+echo "== scorecard regression gate (vs bench/baselines/default.json) =="
+bench_json="$tmpdir/bench.json"
+dune exec bench/main.exe -- scorecards --apps redis,memcached --json "$bench_json" --check
+
+echo "== regression gate rejects a perturbed baseline =="
+# Lower one baseline entry to -100%: any non-negative current error now
+# exceeds baseline + tolerance, so --check-json must fail.
+bad_baseline="$tmpdir/bad_baseline.json"
+sed 's/"scorecards\/redis\/redis\/l1i": [-0-9.eE+]*/"scorecards\/redis\/redis\/l1i": -100.0/' \
+  bench/baselines/default.json > "$bad_baseline"
+if ! grep -q -- '-100.0' "$bad_baseline"; then
+  echo "ci: FAIL — could not perturb the baseline (key missing?)" >&2
+  exit 1
+fi
+if dune exec bench/main.exe -- --check-json "$bench_json" --baseline "$bad_baseline"; then
+  echo "ci: FAIL — regression gate accepted a perturbed baseline" >&2
+  exit 1
+fi
+echo "(rejected, as intended)"
 
 echo "ci: OK"

@@ -12,6 +12,10 @@
          the Fig. 9 decomposition (stages A..H + tuned clone)
      ditto-cli inspect-trace <trace.json>
          parse a Chrome or Jaeger trace back and summarise it
+         (span counts, recovered DAG, top-10 slowest spans)
+     ditto-cli profile <app> [--qps N] [--original] [--out FILE] [--top N] [--period CYC]
+         sampled profile of the clone's (or original's) execution, written
+         as a collapsed-stack file for flamegraph.pl / inferno
      ditto-cli list
          list available model applications
 
@@ -157,7 +161,22 @@ let export_trace name out_path =
 
 (* Re-parse an exported trace, proving the telemetry is machine-readable:
    Chrome files get event counts per domain; Jaeger files are fed through
-   the DAG recovery the cloning pipeline itself uses. *)
+   the DAG recovery the cloning pipeline itself uses. Both end with the
+   top-10 slowest spans (name, duration, tier/app attribute). *)
+let print_slowest spans =
+  (* spans: (name, duration_us, attr) *)
+  let top =
+    List.stable_sort (fun (_, a, _) (_, b, _) -> compare (b : float) a) spans
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  if top <> [] then
+    Ditto_util.Table.print ~title:"slowest spans"
+      ~header:[ "span"; "ms"; "tier" ]
+      (List.map
+         (fun (name, dur_us, attr) ->
+           [ name; Printf.sprintf "%.3f" (dur_us /. 1e3); attr ])
+         top)
+
 let inspect_trace path =
   let module J = Ditto_util.Jsonx in
   let src =
@@ -166,45 +185,138 @@ let inspect_trace path =
       Printf.eprintf "inspect-trace: %s\n" msg;
       exit 1
   in
-  match J.of_string src with
-  | exception J.Parse_error msg ->
-      Printf.eprintf "inspect-trace: %s: %s\n" path msg;
-      exit 1
-  | json -> (
-      match J.member "traceEvents" json with
-      | J.List events ->
-          let spans = List.filter (fun e -> J.member "ph" e = J.Str "X") events in
-          let tids =
-            List.sort_uniq compare (List.map (fun e -> J.to_int (J.member "tid" e)) spans)
-          in
-          Printf.printf "%s: Chrome trace, %d span event(s) across %d domain(s)\n" path
-            (List.length spans) (List.length tids);
-          List.iter
-            (fun tid ->
-              let n =
-                List.length (List.filter (fun e -> J.to_int (J.member "tid" e) = tid) spans)
-              in
-              Printf.printf "  domain %d: %d span(s)\n" tid n)
-            tids
-      | _ -> (
-          match Ditto_trace.Jaeger.of_json json with
-          | exception J.Parse_error msg ->
-              Printf.eprintf "inspect-trace: %s: not a Chrome or Jaeger trace: %s\n" path msg;
-              exit 1
-          | spans ->
-              let traces =
-                List.sort_uniq compare
-                  (List.map (fun (s : Ditto_trace.Span.t) -> s.Ditto_trace.Span.trace_id) spans)
-              in
-              Printf.printf "%s: Jaeger trace, %d span(s) in %d trace(s)\n" path
-                (List.length spans) (List.length traces);
-              if List.exists Ditto_trace.Span.root spans then begin
-                let dag = Ditto_trace.Dag.of_spans spans in
-                Printf.printf "  DAG: entry=%s services=%d edges=%d\n"
-                  dag.Ditto_trace.Dag.entry
-                  (List.length dag.Ditto_trace.Dag.services)
-                  (List.length dag.Ditto_trace.Dag.edges)
-              end))
+  (* The span attribute naming the service: microservice spans carry "tier",
+     pipeline spans carry "app". *)
+  let attr_str v = match v with J.Str s -> Some s | _ -> None in
+  let tier_of obj =
+    match attr_str (J.member "tier" obj) with
+    | Some s -> s
+    | None -> Option.value ~default:"-" (attr_str (J.member "app" obj))
+  in
+  try
+    match J.of_string src with
+    | exception J.Parse_error msg ->
+        Printf.eprintf "inspect-trace: %s: %s\n" path msg;
+        exit 1
+    | json -> (
+        match J.member "traceEvents" json with
+        | J.List events ->
+            let spans = List.filter (fun e -> J.member "ph" e = J.Str "X") events in
+            let tids =
+              List.sort_uniq compare (List.map (fun e -> J.to_int (J.member "tid" e)) spans)
+            in
+            Printf.printf "%s: Chrome trace, %d span event(s) across %d domain(s)\n" path
+              (List.length spans) (List.length tids);
+            List.iter
+              (fun tid ->
+                let n =
+                  List.length (List.filter (fun e -> J.to_int (J.member "tid" e) = tid) spans)
+                in
+                Printf.printf "  domain %d: %d span(s)\n" tid n)
+              tids;
+            print_slowest
+              (List.map
+                 (fun e ->
+                   ( J.to_str (J.member "name" e),
+                     J.to_float (J.member "dur" e),
+                     tier_of (J.member "args" e) ))
+                 spans)
+        | _ -> (
+            match Ditto_trace.Jaeger.of_json json with
+            | exception J.Parse_error msg ->
+                Printf.eprintf "inspect-trace: %s: not a Chrome or Jaeger trace: %s\n" path msg;
+                exit 1
+            | spans ->
+                let traces =
+                  List.sort_uniq compare
+                    (List.map (fun (s : Ditto_trace.Span.t) -> s.Ditto_trace.Span.trace_id) spans)
+                in
+                Printf.printf "%s: Jaeger trace, %d span(s) in %d trace(s)\n" path
+                  (List.length spans) (List.length traces);
+                if List.exists Ditto_trace.Span.root spans then begin
+                  let dag = Ditto_trace.Dag.of_spans spans in
+                  Printf.printf "  DAG: entry=%s services=%d edges=%d\n"
+                    dag.Ditto_trace.Dag.entry
+                    (List.length dag.Ditto_trace.Dag.services)
+                    (List.length dag.Ditto_trace.Dag.edges)
+                end;
+                (* Re-ingested Span.t drops duration, so read the raw spans. *)
+                let tag_of s key =
+                  List.find_map
+                    (fun t ->
+                      if J.member "key" t = J.Str key then attr_str (J.member "value" t)
+                      else None)
+                    (J.to_list (J.member "tags" s))
+                in
+                print_slowest
+                  (J.member "data" json |> J.to_list
+                  |> List.concat_map (fun trace -> J.to_list (J.member "spans" trace))
+                  |> List.map (fun s ->
+                         let tag =
+                           match tag_of s "tier" with
+                           | Some t -> t
+                           | None -> Option.value ~default:"-" (tag_of s "app")
+                         in
+                         ( J.to_str (J.member "operationName" s),
+                           J.to_float (J.member "duration" s),
+                           tag )))))
+  with J.Parse_error msg ->
+    Printf.eprintf "inspect-trace: %s: malformed trace: %s\n" path msg;
+    exit 1
+
+(* Sampled profiler (fidelity observatory): clone an app, run the clone (or
+   the original with --original) with Ditto_obs.Profiler enabled, and write
+   the on-CPU profile as a collapsed-stack file for flamegraph.pl/inferno,
+   plus a top-N table. The sampler is quantized, so the file's weights must
+   reconcile with the measured on-CPU time — a >1% gap is a bug and exits
+   non-zero. *)
+let profile_app name qps original out top period =
+  let module Profiler = Ditto_obs.Profiler in
+  let module Flame = Ditto_report.Flame in
+  let entry, load = load_for name qps 0.8 in
+  let spec =
+    if original then entry.Registry.spec ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let result =
+        Pipeline.clone ~tune:false ~platform:Platform.a ~load (entry.Registry.spec ())
+      in
+      Printf.printf "cloned %s (untuned) in %.1fs\n" name (Unix.gettimeofday () -. t0);
+      result.Pipeline.synthetic
+    end
+  in
+  Profiler.reset ();
+  (match period with Some p -> Profiler.set_cpu_period p | None -> ());
+  Profiler.enable ();
+  let out_run = Runner.run (Runner.config Platform.a) ~load spec in
+  Profiler.disable ();
+  (* Ground truth: the sampler covers exactly the measurement-phase requests
+     plus the background threads, whose on-CPU time the traces record. *)
+  let measured =
+    List.fold_left
+      (fun acc (_, (r : Measure.tier_result)) ->
+        Array.fold_left (fun a tr -> a +. Measure.trace_cpu_seconds tr) acc r.Measure.traces
+        +. Option.fold ~none:0.0 ~some:Measure.trace_cpu_seconds r.Measure.background_trace)
+      0.0 out_run.Runner.measured
+  in
+  let cpu = Profiler.samples Profiler.Cpu in
+  let sampled = Profiler.total_seconds Profiler.Cpu in
+  let path = Option.value ~default:(name ^ ".folded") out in
+  let lines = Flame.write_collapsed ~path cpu in
+  Printf.printf "%s: wrote %s (%d stack(s); flamegraph.pl %s > %s.svg)\n"
+    (if original then name else name ^ " (clone)")
+    path lines path name;
+  Flame.print_top ~n:top cpu;
+  let sim = Profiler.total_seconds Profiler.Sim in
+  if sim > 0.0 then
+    Printf.printf "DES track: %.1f ms of virtual time sampled (not in %s)\n" (1e3 *. sim) path;
+  let err = if measured > 0.0 then Float.abs (sampled -. measured) /. measured else 1.0 in
+  Printf.printf "on-CPU: measured %.3f ms, sampled %.3f ms (err %.3f%%)\n" (1e3 *. measured)
+    (1e3 *. sampled) (100.0 *. err);
+  if err > 0.01 then begin
+    Printf.eprintf "profile: sampled time diverges from measured on-CPU time by >1%%\n";
+    exit 1
+  end
 
 let list_apps () =
   List.iter
@@ -285,6 +397,31 @@ let inspect_cmd =
     (Cmd.info "inspect-trace" ~doc:"Parse an exported trace back and summarise it")
     Term.(const inspect_trace $ trace_file_arg)
 
+let original_arg =
+  Arg.(value & flag & info [ "original" ] ~doc:"Profile the original instead of its clone")
+
+let prof_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Collapsed-stack output file (default APP.folded)")
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~doc:"Rows in the top-stacks table")
+
+let period_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "period" ] ~docv:"CYCLES" ~doc:"CPU sampling period in cycles (default 20000)")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Sampled profile of a clone's execution, as a collapsed-stack flamegraph file")
+    Term.(
+      const profile_app $ app_arg $ qps_arg $ original_arg $ prof_out_arg $ top_arg $ period_arg)
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List model applications") Term.(const list_apps $ const ())
 
@@ -293,4 +430,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; inspect_cmd; list_cmd ]))
+          [
+            run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; inspect_cmd; profile_cmd;
+            list_cmd;
+          ]))

@@ -106,8 +106,14 @@ let run_housekeeping cfg (machine : Machine.t) core_id rng scratch =
   end
 
 (* Execute one request of [stream] on its next core, attributing counters to
-   [ctr], and return the request's segment trace. *)
-let run_request cfg (machine : Machine.t) stream ctr =
+   [ctr], and return the request's segment trace.
+
+   [profile] additionally samples the executing (tier -> handler phase ->
+   block/syscall) stack into Ditto_obs.Profiler: every unit of work is
+   followed by an attribution of the counter's cycle delta, so sampled
+   weights cover exactly the cycles that [flush_cpu] turns into Cpu
+   segments. Warmup requests pass [profile:false]. *)
+let run_request ?(profile = false) cfg (machine : Machine.t) stream ctr =
   let core_id = stream.s_cores.(stream.s_rr mod Array.length stream.s_cores) in
   stream.s_rr <- stream.s_rr + 1;
   let core = machine.Machine.cores.(core_id) in
@@ -121,10 +127,25 @@ let run_request cfg (machine : Machine.t) stream ctr =
       segs := Cpu (Machine.cycles_to_seconds machine (c -. !last_flush)) :: !segs;
     last_flush := c
   in
-  let kernel kind = exec_kernel cfg core rng kind in
+  let tier_name = stream.s_tier.Spec.tier_name in
+  let phase = ref "recv" in
+  let last_prof = ref ctr.Counters.cycles in
+  let prof frame =
+    if profile then begin
+      let c = ctr.Counters.cycles in
+      Ditto_obs.Profiler.record ~stack:[ tier_name; !phase; frame ] ~cycles:(c -. !last_prof);
+      last_prof := c
+    end
+  in
+  let kernel kind =
+    exec_kernel cfg core rng kind;
+    prof ("syscall:" ^ Syscall.name kind)
+  in
   let interp op =
     match op with
-    | Spec.Compute (block, iterations) -> exec_block core ~rng block ~iterations
+    | Spec.Compute (block, iterations) ->
+        exec_block core ~rng block ~iterations;
+        prof block.Ditto_isa.Block.label
     | Spec.Syscall (Syscall.Nanosleep { seconds } as k) ->
         kernel k;
         flush_cpu ();
@@ -162,11 +183,14 @@ let run_request cfg (machine : Machine.t) stream ctr =
       kernel Syscall.Gettime;
       kernel Syscall.Gettime);
   kernel (Syscall.Sock_read { bytes = stream.s_tier.Spec.request_bytes });
+  phase := "handler";
   let ops = stream.s_tier.Spec.handler rng stream.s_req_id in
   stream.s_req_id <- stream.s_req_id + 1;
   List.iter interp ops;
+  phase := "send";
   kernel (Syscall.Sock_write { bytes = stream.s_tier.Spec.response_bytes });
   Core_model.drain core;
+  prof "drain";
   flush_cpu ();
   (core_id, List.rev !segs)
 
@@ -216,23 +240,41 @@ let measure_background cfg machine stream =
           segs := Cpu (Machine.cycles_to_seconds machine (c -. !last_flush)) :: !segs;
         last_flush := c
       in
+      let profile = Ditto_obs.Profiler.enabled () in
+      let tier_name = stream.s_tier.Spec.tier_name in
+      let last_prof = ref ctr.Counters.cycles in
+      let prof frame =
+        if profile then begin
+          let c = ctr.Counters.cycles in
+          Ditto_obs.Profiler.record
+            ~stack:[ tier_name; "background"; frame ]
+            ~cycles:(c -. !last_prof);
+          last_prof := c
+        end
+      in
+      let kernel kind =
+        exec_kernel cfg core rng kind;
+        prof ("syscall:" ^ Syscall.name kind)
+      in
       List.iter
         (fun op ->
           match op with
-          | Spec.Compute (block, iterations) -> exec_block core ~rng block ~iterations
+          | Spec.Compute (block, iterations) ->
+              exec_block core ~rng block ~iterations;
+              prof block.Ditto_isa.Block.label
           | Spec.Syscall (Syscall.Nanosleep { seconds }) ->
               flush_cpu ();
               segs := Sleep seconds :: !segs
-          | Spec.Syscall k -> exec_kernel cfg core rng k
+          | Spec.Syscall k -> kernel k
           | Spec.File_read { offset; bytes; random } ->
-              exec_kernel cfg core rng (Syscall.Pread { bytes; random });
+              kernel (Syscall.Pread { bytes; random });
               let missed = Page_cache.read machine.Machine.page_cache ~offset ~bytes in
               if missed > 0 then begin
                 flush_cpu ();
                 segs := Disk_read { bytes = missed; random } :: !segs
               end
           | Spec.File_write { bytes } ->
-              exec_kernel cfg core rng (Syscall.Pwrite { bytes });
+              kernel (Syscall.Pwrite { bytes });
               flush_cpu ();
               segs := Disk_write { bytes } :: !segs
           | Spec.Call { target; req_bytes; resp_bytes } ->
@@ -240,11 +282,14 @@ let measure_background cfg machine stream =
               segs := Downstream { target; req_bytes; resp_bytes } :: !segs)
         (bg rng);
       Core_model.drain core;
+      prof "drain";
       flush_cpu ();
       Some (List.rev !segs)
 
 let run ?(config = default_config) ~(machine : Machine.t) ~seed ~requests tiers =
   Domain.DLS.set touched_key (Hashtbl.create 256);
+  let profile = Ditto_obs.Profiler.enabled () in
+  if profile then Ditto_obs.Profiler.set_scale (Machine.cycles_to_seconds machine 1.0);
   let cfg = config in
   let ncores = Machine.ncores machine in
   let ntiers = List.length tiers in
@@ -299,7 +344,7 @@ let run ?(config = default_config) ~(machine : Machine.t) ~seed ~requests tiers 
         for _ = 1 to burst do
           let core_id0 = stream.s_cores.(stream.s_rr mod Array.length stream.s_cores) in
           run_housekeeping cfg machine core_id0 stream.s_rng scratch;
-          let core_id, trace = run_request cfg machine stream stream.s_ctr in
+          let core_id, trace = run_request ~profile cfg machine stream stream.s_ctr in
           stream.s_traces <- trace :: stream.s_traces;
           stream.s_remaining <- stream.s_remaining - 1;
           incr stress_seq;

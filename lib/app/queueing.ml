@@ -56,6 +56,8 @@ let mean_wait t ~qps =
 let mean_latency t ~qps = mean_wait t ~qps +. t.mean
 
 let percentile_latency t ~qps q =
+  if q < 0.0 || q > 100.0 then
+    invalid_arg (Printf.sprintf "Queueing.percentile_latency: quantile %g not in [0, 100]" q);
   let n = Array.length t.samples_sorted in
   let rank = int_of_float (Float.round (q /. 100.0 *. float_of_int (n - 1))) in
   let service_q = t.samples_sorted.(max 0 (min (n - 1) rank)) in

@@ -34,8 +34,10 @@ val mean_latency : t -> qps:float -> float
 (** Wait plus mean service. *)
 
 val percentile_latency : t -> qps:float -> float -> float
-(** Approximate latency percentile (0-100): exponential-tail approximation
-    of the waiting distribution added to the service percentile. *)
+(** Approximate latency percentile: exponential-tail approximation of the
+    waiting distribution added to the service percentile. The quantile must
+    lie in [0, 100] or [Invalid_argument] is raised; as [qps] approaches 0
+    the wait vanishes and the result reduces to the service percentile. *)
 
 val saturation_qps : t -> target_latency:float -> float
 (** Largest arrival rate whose mean latency stays at or below the target

@@ -48,6 +48,7 @@ let estimate_idle_per_request ~qps ~workers =
 
 let run_inner cfg ~load (app : Spec.t) =
   let engine = Ditto_sim.Engine.create () in
+  Ditto_sim.Engine.set_profile_label engine app.Spec.app_name;
   let tiers = app.Spec.tiers in
   let page_cache_bytes =
     match cfg.page_cache_bytes with Some b -> Some b | None -> app.Spec.page_cache_hint

@@ -66,6 +66,8 @@ type comparison = {
   synthetic_end_to_end : Ditto_util.Stats.summary;
   actual_raw : float array;
   synthetic_raw : float array;
+  actual_measured : (string * Measure.tier_result) list;
+  synthetic_measured : (string * Measure.tier_result) list;
 }
 
 let validate ?pool ?config_of ~platform ~load ~label result =
@@ -90,6 +92,8 @@ let validate ?pool ?config_of ~platform ~load ~label result =
     synthetic_end_to_end = synth_out.Runner.end_to_end;
     actual_raw = actual_out.Runner.service.Service.latency_raw;
     synthetic_raw = synth_out.Runner.service.Service.latency_raw;
+    actual_measured = actual_out.Runner.measured;
+    synthetic_measured = synth_out.Runner.measured;
   }
 
 let comparison_errors c =

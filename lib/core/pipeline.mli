@@ -36,6 +36,10 @@ type comparison = {
   synthetic_end_to_end : Ditto_util.Stats.summary;
   actual_raw : float array;  (** raw end-to-end latency samples *)
   synthetic_raw : float array;
+  actual_measured : (string * Ditto_app.Measure.tier_result) list;
+      (** per-tier measurement-phase results (request counts, raw counters)
+          backing the scorecard's insts/req and MPKI rows *)
+  synthetic_measured : (string * Ditto_app.Measure.tier_result) list;
 }
 
 val validate :

@@ -31,3 +31,5 @@ let group_of_metric = function
   | "l1d" | "l2" | "llc" -> Some Data
   | "ipc" | "insts" -> Some Work
   | _ -> None
+
+let group_name = function Frontend -> "frontend" | Data -> "data" | Work -> "work"

@@ -25,3 +25,7 @@ type group = Frontend | Data | Work
 val group_of_metric : string -> group option
 (** Maps a counter name ("l1i" | "branch" | "l1d" | "l2" | "llc" | "ipc")
     to the knob group that owns it. *)
+
+val group_name : group -> string
+(** Stable lowercase name ("frontend" | "data" | "work") used in tuner
+    attribution keys and scorecard rows. *)

@@ -1,0 +1,126 @@
+(* Sampled stack profiler. Mirrors the Obs design: a global atomic switch,
+   per-domain state behind Domain.DLS (no locks, no cross-domain writes on
+   the record path), a registry merged only when samples are read. Sample
+   counts are deterministic: a per-domain unit accumulator emits
+   floor((acc + units) / period) - floor(acc / period) samples per record,
+   so counts track the work to within one period per domain regardless of
+   how it is sliced into records. Attributed seconds are exact (every
+   record's full weight lands on its stack), so the profile total
+   reconciles with the measured on-CPU time to float precision even when
+   the workload is much smaller than the sampling period. *)
+
+type track = Cpu | Sim
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let cpu_period = Atomic.make 20_000
+let sim_period = Atomic.make 50e-6
+let set_cpu_period p = Atomic.set cpu_period (max 1 p)
+let set_sim_period p = Atomic.set sim_period (Float.max 1e-12 p)
+
+type cell = { mutable w_seconds : float; mutable w_samples : int }
+
+type track_state = {
+  mutable acc : float; (* units since the last emitted period boundary *)
+  table : (string list, cell) Hashtbl.t;
+}
+
+type dstate = {
+  mutable scale : float; (* seconds per cycle, Cpu track *)
+  cpu : track_state;
+  sim : track_state;
+}
+
+let registry : dstate list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        {
+          scale = 1.0;
+          cpu = { acc = 0.0; table = Hashtbl.create 64 };
+          sim = { acc = 0.0; table = Hashtbl.create 16 };
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := !registry @ [ d ];
+      Mutex.unlock registry_mutex;
+      d)
+
+let dstate () = Domain.DLS.get dstate_key
+
+let dstates () =
+  Mutex.lock registry_mutex;
+  let ds = !registry in
+  Mutex.unlock registry_mutex;
+  ds
+
+let set_scale s = (dstate ()).scale <- s
+
+(* One record: attribute the exact weight, advance the accumulator, emit
+   whole-period sample counts. *)
+let sample ts ~stack ~units ~period ~scale =
+  if units > 0.0 then begin
+    let acc = ts.acc +. units in
+    let n = int_of_float (acc /. period) in
+    ts.acc <- acc -. (float_of_int n *. period);
+    let cell =
+      match Hashtbl.find_opt ts.table stack with
+      | Some c -> c
+      | None ->
+          let c = { w_seconds = 0.0; w_samples = 0 } in
+          Hashtbl.add ts.table stack c;
+          c
+    in
+    cell.w_seconds <- cell.w_seconds +. (units *. scale);
+    cell.w_samples <- cell.w_samples + n
+  end
+
+let record ~stack ~cycles =
+  if enabled () then begin
+    let d = dstate () in
+    sample d.cpu ~stack ~units:cycles
+      ~period:(float_of_int (Atomic.get cpu_period))
+      ~scale:d.scale
+  end
+
+let record_sim ~stack ~seconds =
+  if enabled () then
+    sample (dstate ()).sim ~stack ~units:seconds ~period:(Atomic.get sim_period) ~scale:1.0
+
+let reset () =
+  List.iter
+    (fun d ->
+      d.cpu.acc <- 0.0;
+      d.sim.acc <- 0.0;
+      Hashtbl.reset d.cpu.table;
+      Hashtbl.reset d.sim.table)
+    (dstates ())
+
+type sample = { stack : string list; seconds : float; samples : int }
+
+let samples track =
+  let merged : (string list, cell) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let ts = match track with Cpu -> d.cpu | Sim -> d.sim in
+      Hashtbl.iter
+        (fun stack c ->
+          match Hashtbl.find_opt merged stack with
+          | Some m ->
+              m.w_seconds <- m.w_seconds +. c.w_seconds;
+              m.w_samples <- m.w_samples + c.w_samples
+          | None -> Hashtbl.add merged stack { w_seconds = c.w_seconds; w_samples = c.w_samples })
+        ts.table)
+    (dstates ());
+  Hashtbl.fold
+    (fun stack c acc -> { stack; seconds = c.w_seconds; samples = c.w_samples } :: acc)
+    merged []
+  |> List.sort (fun a b -> compare a.stack b.stack)
+
+let total_seconds track =
+  List.fold_left (fun acc s -> acc +. s.seconds) 0.0 (samples track)

@@ -1,0 +1,68 @@
+(** Sampled stack profiler for the simulation's own execution.
+
+    The measurement phase ({!Ditto_app.Measure}) knows, at every point, what
+    it is executing on behalf of whom: a (tier, handler phase,
+    block-or-syscall) stack. This module turns that knowledge into a
+    cycle-sampled weighted profile, the simulated analogue of a perf-style
+    sampling profiler: each domain keeps a running cycle accumulator and
+    emits one sample count every [period] cycles, attributed to the stack
+    that was executing when the period boundary was crossed. Weights are
+    exact, not quantised — every record's full duration lands on its stack
+    — so the sum of all sample weights reconciles with the measured on-CPU
+    total to float precision, which is what lets `ditto_cli profile` check
+    its collapsed-stack export against the measured on-CPU time (the 1%
+    gate).
+
+    Two tracks exist: [Cpu] samples are measured in seconds of simulated
+    on-CPU time (recorded in cycles, converted with the per-domain
+    {!set_scale}); [Sim] samples are measured in seconds of DES virtual
+    time (the {!Ditto_sim.Engine} hook). Exports fold samples into
+    collapsed-stack format via [Ditto_report.Flame].
+
+    Like {!Obs}, everything is off by default; when disabled every entry
+    point is a single [Atomic.get] plus a branch, and recording never
+    touches RNG streams, so enabling the profiler cannot perturb simulation
+    results (the bit-identity pinned by [test_parallel] is preserved).
+    State is per-domain ([Domain.DLS]) and merged only at {!samples} time. *)
+
+type track = Cpu | Sim
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded samples and re-arm the period accumulators on every
+    registered domain. Call between profiled regions. *)
+
+val set_cpu_period : int -> unit
+(** Sampling period of the [Cpu] track in cycles (default 20_000). *)
+
+val set_sim_period : float -> unit
+(** Sampling period of the [Sim] track in simulated seconds
+    (default 50e-6). *)
+
+val set_scale : float -> unit
+(** Seconds per cycle for [Cpu] samples recorded by the calling domain;
+    {!Ditto_app.Measure} sets it from the machine's frequency before
+    measuring. *)
+
+val record : stack:string list -> cycles:float -> unit
+(** Attribute [cycles] of on-CPU work to [stack] (outermost frame first).
+    Callers should check {!enabled} first on hot paths; [record] itself is
+    also guarded. *)
+
+val record_sim : stack:string list -> seconds:float -> unit
+(** Attribute [seconds] of simulated (DES) time to [stack]. *)
+
+type sample = {
+  stack : string list;  (** outermost frame first *)
+  seconds : float;  (** total sampled weight *)
+  samples : int;  (** number of period crossings *)
+}
+
+val samples : track -> sample list
+(** Samples of one track, merged across domains and sorted by stack. *)
+
+val total_seconds : track -> float
+(** Sum of all sample weights on the track. *)

@@ -1,0 +1,107 @@
+module J = Ditto_util.Jsonx
+
+type t = { tolerance_pp : (string * float) list; metrics : (string * float) list }
+type regression = { key : string; current : float; baseline : float; allowed_pp : float }
+
+let default_tolerances =
+  [
+    ("default", 2.0);
+    (* counter axes: LLC and branch are the paper's own noisiest counters
+       (§6.2.1 reports 12.1% and 9.9% there) *)
+    ("llc", 4.0);
+    ("LLC", 4.0);
+    ("branch", 3.0);
+    ("Branch", 3.0);
+    (* service-level rows move with queueing, so the tail gets more slack *)
+    ("throughput", 3.0);
+    ("lat_avg", 10.0);
+    ("lat_p95", 12.0);
+    ("lat_p99", 15.0);
+    ("latency avg", 10.0);
+    ("latency p95", 12.0);
+    ("latency p99", 15.0);
+  ]
+
+let last_component key =
+  match String.rindex_opt key '/' with
+  | None -> key
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+
+let tolerance_for t key =
+  match List.assoc_opt key t.tolerance_pp with
+  | Some v -> v
+  | None -> (
+      match List.assoc_opt (last_component key) t.tolerance_pp with
+      | Some v -> v
+      | None -> Option.value ~default:2.0 (List.assoc_opt "default" t.tolerance_pp))
+
+let obj_entries = function J.Obj kvs -> kvs | _ -> []
+
+let flatten json =
+  let errors =
+    obj_entries (J.member "mean_error_pct" json)
+    |> List.map (fun (axis, v) -> ("mean_error_pct/" ^ axis, J.to_float v))
+  in
+  let scorecards =
+    obj_entries (J.member "scorecards" json)
+    |> List.concat_map (fun (app, card) ->
+           match J.member "rows" card with
+           | J.List rows ->
+               List.map
+                 (fun row ->
+                   ( Printf.sprintf "scorecards/%s/%s/%s" app
+                       (J.to_str (J.member "tier" row))
+                       (J.to_str (J.member "metric" row)),
+                     J.to_float (J.member "err_pct" row) ))
+                 rows
+           | _ -> [])
+  in
+  errors @ scorecards
+
+let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
+
+let diff t current =
+  let regressions, checked =
+    List.fold_left
+      (fun (regs, n) (key, base) ->
+        match List.assoc_opt key current with
+        | None -> (regs, n)
+        | Some cur ->
+            let allowed_pp = tolerance_for t key in
+            if cur > base +. allowed_pp then
+              ({ key; current = cur; baseline = base; allowed_pp } :: regs, n + 1)
+            else (regs, n + 1))
+      ([], 0) t.metrics
+  in
+  (List.sort (fun a b -> compare a.key b.key) regressions, checked)
+
+let num_obj kvs = J.Obj (List.map (fun (k, v) -> (k, J.Num v)) kvs)
+
+let to_json t =
+  J.Obj
+    [
+      ("schema_version", J.int 1);
+      ("tolerance_pp", num_obj t.tolerance_pp);
+      ("metrics", num_obj t.metrics);
+    ]
+
+let of_json json =
+  {
+    tolerance_pp =
+      obj_entries (J.member "tolerance_pp" json) |> List.map (fun (k, v) -> (k, J.to_float v));
+    metrics =
+      obj_entries (J.member "metrics" json) |> List.map (fun (k, v) -> (k, J.to_float v));
+  }
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (J.of_string s)
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true (to_json t));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,26 @@
+(** Schema and assembly of the [bench --json] document.
+
+    Schema version 3 adds the embedded clone-accuracy scorecards (keyed by
+    app under ["scorecards"]) to the v2 fields; {!validate} is the shape
+    check the test suite and downstream tooling run against emitted files,
+    so schema drift fails loudly instead of silently. *)
+
+val schema_version : int  (** 3 *)
+
+type input = {
+  domains : int;
+  total_seconds : float;
+  experiments : (string * float) list;  (** name -> wall seconds, in run order *)
+  clone_seconds : (string * float) list;
+  mean_error_pct : (string * float) list;
+  tuning : (string * Ditto_util.Jsonx.t) list;
+      (** app -> {!Ditto_tune.Tuner.report_to_json} *)
+  metrics : (string * float) list;  (** {!Ditto_obs.Obs.Metrics.snapshot} *)
+  scorecards : Scorecard.t list;
+}
+
+val assemble : input -> Ditto_util.Jsonx.t
+
+val validate : Ditto_util.Jsonx.t -> (unit, string) result
+(** Checks every required field and its shape, including per-row scorecard
+    fields; the error names the offending path. *)

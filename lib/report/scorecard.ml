@@ -1,0 +1,132 @@
+open Ditto_app
+module Pipeline = Ditto_core.Pipeline
+module Counters = Ditto_uarch.Counters
+module Params = Ditto_gen.Params
+module Table = Ditto_util.Table
+module J = Ditto_util.Jsonx
+
+type row = {
+  tier : string;
+  metric : string;
+  actual : float;
+  synthetic : float;
+  err_pct : float;
+  pass : bool;
+  knob_group : string option;
+}
+
+type t = {
+  app : string;
+  label : string;
+  target_pct : float;
+  rows : row list;
+  attribution : (string * float) list;
+}
+
+let err_pct ~actual ~synthetic =
+  if actual = 0.0 then if synthetic = 0.0 then 0.0 else 100.0
+  else 100.0 *. Float.abs (synthetic -. actual) /. Float.abs actual
+
+let insts_per_req (r : Measure.tier_result) =
+  float_of_int r.Measure.counters.Counters.insts
+  /. float_of_int (max 1 r.Measure.requests_measured)
+
+let of_comparison ?(target_pct = 5.0) ~app ?tuning (c : Pipeline.comparison) =
+  let mk tier metric actual synthetic =
+    let e = err_pct ~actual ~synthetic in
+    {
+      tier;
+      metric;
+      actual;
+      synthetic;
+      err_pct = e;
+      pass = e <= target_pct;
+      knob_group = Option.map Params.group_name (Params.group_of_metric metric);
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun (tier, (a : Metrics.t)) ->
+        let s = List.assoc tier c.Pipeline.synthetic in
+        let measured_rows =
+          match
+            ( List.assoc_opt tier c.Pipeline.actual_measured,
+              List.assoc_opt tier c.Pipeline.synthetic_measured )
+          with
+          | Some am, Some sm -> [ mk tier "insts" (insts_per_req am) (insts_per_req sm) ]
+          | _ -> []
+        in
+        [ mk tier "ipc" a.Metrics.ipc s.Metrics.ipc ]
+        @ measured_rows
+        @ [
+            mk tier "branch"
+              (Counters.branch_mpki a.Metrics.counters)
+              (Counters.branch_mpki s.Metrics.counters);
+            mk tier "l1i" a.Metrics.l1i_miss_rate s.Metrics.l1i_miss_rate;
+            mk tier "l1d" a.Metrics.l1d_miss_rate s.Metrics.l1d_miss_rate;
+            mk tier "l2" a.Metrics.l2_miss_rate s.Metrics.l2_miss_rate;
+            mk tier "llc" a.Metrics.llc_miss_rate s.Metrics.llc_miss_rate;
+            mk tier "throughput" a.Metrics.qps s.Metrics.qps;
+            mk tier "lat_avg" a.Metrics.lat_avg s.Metrics.lat_avg;
+            mk tier "lat_p95" a.Metrics.lat_p95 s.Metrics.lat_p95;
+            mk tier "lat_p99" a.Metrics.lat_p99 s.Metrics.lat_p99;
+          ])
+      c.Pipeline.actual
+  in
+  let attribution =
+    match tuning with
+    | None -> []
+    | Some (r : Ditto_tune.Tuner.report) ->
+        List.map (fun (k, e) -> (k, 100.0 *. e)) r.Ditto_tune.Tuner.attribution
+  in
+  { app; label = c.Pipeline.label; target_pct; rows; attribution }
+
+let passed t =
+  List.for_all (fun r -> match r.knob_group with Some _ -> r.pass | None -> true) t.rows
+
+let row_to_json r =
+  J.Obj
+    [
+      ("tier", J.Str r.tier);
+      ("metric", J.Str r.metric);
+      ("actual", J.Num r.actual);
+      ("synthetic", J.Num r.synthetic);
+      ("err_pct", J.Num r.err_pct);
+      ("pass", J.Bool r.pass);
+      ("knob_group", match r.knob_group with Some g -> J.Str g | None -> J.Null);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("app", J.Str t.app);
+      ("label", J.Str t.label);
+      ("target_pct", J.Num t.target_pct);
+      ("passed", J.Bool (passed t));
+      ("rows", J.List (List.map row_to_json t.rows));
+      ("attribution", J.Obj (List.map (fun (k, e) -> (k, J.Num e)) t.attribution));
+    ]
+
+let print t =
+  let cells r =
+    [
+      r.tier;
+      r.metric;
+      Table.fmt_float r.actual;
+      Table.fmt_float r.synthetic;
+      Table.fmt_pct r.err_pct;
+      (if r.pass then "ok" else "FAIL");
+      (match r.knob_group with Some g -> g | None -> "-");
+    ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Scorecard — %s (%s, target %.0f%%: %s)" t.app t.label t.target_pct
+         (if passed t then "PASS" else "FAIL"))
+    ~header:[ "tier"; "metric"; "actual"; "synthetic"; "err"; "95%"; "knobs" ]
+    (List.map cells t.rows);
+  if t.attribution <> [] then begin
+    Printf.printf "  residual tuning error by knob group:";
+    List.iter (fun (k, e) -> Printf.printf " %s=%.1f%%" k e) t.attribution;
+    print_newline ()
+  end

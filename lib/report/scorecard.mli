@@ -1,0 +1,48 @@
+(** Clone-accuracy scorecards: per-tier, per-counter comparison of an
+    original service against its synthetic clone, with relative errors, a
+    95%-accuracy pass/fail verdict per row (the paper's §6.2 accuracy bar)
+    and — when a tuning report is available — per-knob-group attribution of
+    the residual error, so a failing row names the knobs that own it. *)
+
+type row = {
+  tier : string;
+  metric : string;
+      (** "ipc" | "insts" (per request) | "branch" (MPKI) | "l1i" | "l1d" |
+          "l2" | "llc" (miss rates) | "throughput" (qps) | "lat_avg" |
+          "lat_p95" | "lat_p99" (seconds) *)
+  actual : float;
+  synthetic : float;
+  err_pct : float;  (** 100 * |synthetic - actual| / actual *)
+  pass : bool;  (** err_pct <= target_pct *)
+  knob_group : string option;
+      (** owning tuner knob group ("frontend" | "data" | "work") for
+          counters the §4.5 loop calibrates; [None] for derived
+          service-level rows (throughput, latency) *)
+}
+
+type t = {
+  app : string;
+  label : string;  (** validation label, e.g. the load point *)
+  target_pct : float;
+  rows : row list;
+  attribution : (string * float) list;
+      (** residual tuning error (percent) per "tier/group", from
+          {!Ditto_tune.Tuner.report.attribution} *)
+}
+
+val of_comparison :
+  ?target_pct:float ->
+  app:string ->
+  ?tuning:Ditto_tune.Tuner.report ->
+  Ditto_core.Pipeline.comparison ->
+  t
+(** Build the scorecard from a {!Ditto_core.Pipeline.validate} result.
+    [target_pct] defaults to 5.0 (the paper's 95% accuracy bar). *)
+
+val passed : t -> bool
+(** True when every counter row (those with a [knob_group]) passes;
+    service-level rows are informational. *)
+
+val to_json : t -> Ditto_util.Jsonx.t
+val print : t -> unit
+(** Terminal rendering via {!Ditto_util.Table}. *)

@@ -11,12 +11,22 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable processed : int;
+  mutable profile_label : string;
 }
 
 let dummy_event = { at = 0.0; seq = 0; fn = ignore }
 
 let create () =
-  { time = 0.0; heap = Array.make 256 dummy_event; size = 0; next_seq = 0; processed = 0 }
+  {
+    time = 0.0;
+    heap = Array.make 256 dummy_event;
+    size = 0;
+    next_seq = 0;
+    processed = 0;
+    profile_label = "run";
+  }
+
+let set_profile_label t label = t.profile_label <- label
 
 let now t = t.time
 let events_processed t = t.processed
@@ -140,7 +150,33 @@ let run_loop ?until t =
             ev.fn ())
   done
 
+(* Profiled variant: attribute every event's virtual-time advance to the
+   engine's (des -> label -> event) stack on the profiler's Sim track. Kept
+   separate from [run_loop] so the unprofiled path stays branch-free. *)
+let run_loop_profiled ?until t =
+  let continue_run = ref true in
+  while !continue_run do
+    match pop t with
+    | None -> continue_run := false
+    | Some ev -> (
+        match until with
+        | Some limit when ev.at > limit ->
+            t.time <- limit;
+            continue_run := false
+        | _ ->
+            let before = t.time in
+            t.time <- ev.at;
+            t.processed <- t.processed + 1;
+            Ditto_obs.Profiler.record_sim
+              ~stack:[ "des"; t.profile_label; "event" ]
+              ~seconds:(ev.at -. before);
+            ev.fn ())
+  done
+
 let run ?until t =
+  let run_loop ?until t =
+    if Ditto_obs.Profiler.enabled () then run_loop_profiled ?until t else run_loop ?until t
+  in
   if not (Ditto_obs.Obs.enabled ()) then run_loop ?until t
   else begin
     let before = t.processed in

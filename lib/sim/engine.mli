@@ -31,6 +31,12 @@ val run : ?until:float -> t -> unit
 val events_processed : t -> int
 (** Total events executed so far (for engine benchmarking). *)
 
+val set_profile_label : t -> string -> unit
+(** Label under which this engine's event processing is sampled when
+    {!Ditto_obs.Profiler} is enabled (stack [des;label;event] on the [Sim]
+    track, weighted by virtual-time advance). Default ["run"];
+    {!Ditto_app.Runner} sets it to the application name. *)
+
 (** {1 Operations available inside processes} *)
 
 val time : unit -> float

@@ -19,7 +19,32 @@ type report = {
   converged : bool;
   final_params : (string * Params.t) list;
   speculation : int;
+  attribution : (string * float) list;
 }
+
+(* Per-knob-group residual attribution: fold the final iterate's
+   "tier/metric" errors down to "tier/group" (group = the knob group that
+   owns the metric, per Params.group_of_metric), keeping the worst residual
+   in each group. This is what lets a scorecard row name the knobs that own
+   its remaining error. *)
+let attribution_of_errors errors =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (key, e) ->
+      match String.index_opt key '/' with
+      | None -> ()
+      | Some i -> (
+          let tier = String.sub key 0 i in
+          let metric = String.sub key (i + 1) (String.length key - i - 1) in
+          match Params.group_of_metric metric with
+          | None -> ()
+          | Some g ->
+              let gkey = tier ^ "/" ^ Params.group_name g in
+              let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl gkey) in
+              Hashtbl.replace tbl gkey (Float.max cur e)))
+    errors;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let c_won = Obs.Metrics.counter "tuner.candidates_won"
 let c_lost = Obs.Metrics.counter "tuner.candidates_lost"
@@ -54,6 +79,7 @@ let report_to_json r =
       ("speculation", J.int r.speculation);
       ("iterations", J.List (List.map iteration_to_json r.iterations));
       ("final_params", J.Obj (List.map (fun (k, p) -> (k, params_to_json p)) r.final_params));
+      ("attribution", J.Obj (List.map (fun (k, e) -> (k, J.Num e)) r.attribution));
     ]
 
 (* Flatten the per-tier knob vector into span attributes ("tier.knob"). *)
@@ -300,4 +326,10 @@ let tune ?(max_iterations = 10) ?(target_error = 0.05) ?(seed = 1009) ?(speculat
     Obs.Span.add_attr "final_worst_error" (Obs.Float final.e_worst)
   end;
   ( final.e_synth,
-    { iterations = List.rev !iterations; converged = !converged; final_params; speculation } )
+    {
+      iterations = List.rev !iterations;
+      converged = !converged;
+      final_params;
+      speculation;
+      attribution = attribution_of_errors final.e_errors;
+    } )

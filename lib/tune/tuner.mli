@@ -29,6 +29,10 @@ type report = {
   converged : bool;
   final_params : (string * Ditto_gen.Params.t) list;
   speculation : int;  (** extra candidate vectors evaluated per iteration *)
+  attribution : (string * float) list;
+      (** residual error per "tier/group" knob group (worst member metric),
+          e.g. [("redis/frontend", 0.031)] — lets scorecards name the knobs
+          that own each row's remaining error *)
 }
 
 val tune :
@@ -61,6 +65,10 @@ val counter_errors :
   (string * float) list
 (** Relative errors for ipc / insts-per-request / branch / l1i / l1d / l2 /
     llc (exposed for tests). *)
+
+val attribution_of_errors : (string * float) list -> (string * float) list
+(** Folds "tier/metric" errors into per "tier/group" residuals, keeping the
+    worst error among each knob group's metrics (exposed for tests). *)
 
 (** {1 Telemetry}
 

@@ -59,6 +59,43 @@ let test_q_percentiles () =
   let p99 = Q.percentile_latency m ~qps:800.0 99.0 in
   Alcotest.(check bool) "p99 > p50 >= service" true (p99 > p50 && p50 >= 1e-3)
 
+let test_q_percentiles_monotone () =
+  (* A spread-out service distribution, loaded: p50 <= p95 <= p99. *)
+  let rng = Ditto_util.Rng.create 17 in
+  let samples = Array.init 5000 (fun _ -> Ditto_util.Dist.exponential rng ~mean:1e-3) in
+  let m = Q.of_samples ~servers:2 samples in
+  let qps = 1200.0 in
+  let p50 = Q.percentile_latency m ~qps 50.0 in
+  let p95 = Q.percentile_latency m ~qps 95.0 in
+  let p99 = Q.percentile_latency m ~qps 99.0 in
+  Alcotest.(check bool) "non-decreasing in quantile" true (p50 <= p95 && p95 <= p99)
+
+let test_q_percentile_idle_is_service () =
+  (* As qps -> 0 the wait vanishes: the latency percentile must reduce to
+     the service-time percentile itself. *)
+  let rng = Ditto_util.Rng.create 23 in
+  let samples = Array.init 4001 (fun _ -> Ditto_util.Dist.exponential rng ~mean:1e-3) in
+  let m = Q.of_samples ~servers:4 samples in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let rank = int_of_float (Float.round (q /. 100.0 *. float_of_int 4000)) in
+      check_close
+        (Printf.sprintf "p%g at qps~0 is the service percentile" q)
+        1e-12 sorted.(rank)
+        (Q.percentile_latency m ~qps:1e-9 q))
+    [ 50.0; 95.0; 99.0 ]
+
+let test_q_percentile_range_checked () =
+  let m = deterministic_model ~servers:1 ~service:1e-3 in
+  List.iter
+    (fun q ->
+      match Q.percentile_latency m ~qps:100.0 q with
+      | exception Invalid_argument _ -> ()
+      | v -> Alcotest.failf "quantile %g accepted (returned %g)" q v)
+    [ -1.0; -0.001; 100.001; 150.0 ]
+
 let test_q_saturation_search () =
   let m = deterministic_model ~servers:1 ~service:1e-3 in
   let q = Q.saturation_qps m ~target_latency:2e-3 in
@@ -156,6 +193,9 @@ let () =
           Alcotest.test_case "M/M/1" `Quick test_q_mm1_exact;
           Alcotest.test_case "multi-server" `Quick test_q_more_servers_less_wait;
           Alcotest.test_case "percentiles" `Quick test_q_percentiles;
+          Alcotest.test_case "percentiles monotone" `Quick test_q_percentiles_monotone;
+          Alcotest.test_case "percentile at idle" `Quick test_q_percentile_idle_is_service;
+          Alcotest.test_case "percentile range" `Quick test_q_percentile_range_checked;
           Alcotest.test_case "saturation search" `Quick test_q_saturation_search;
           Alcotest.test_case "cross-check DES" `Slow test_q_cross_checks_des;
           Alcotest.test_case "empty" `Quick test_q_empty_rejected;
