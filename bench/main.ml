@@ -25,7 +25,10 @@
    `--update-baselines` rewrites the baseline from the current run;
    `--check-json FILE` gates a previously saved --json document without
    re-running any simulation. `--apps a,b` restricts the registry-wide
-   experiments (fig5/fig7/fig8/errors/ablation/scorecards) to those apps. *)
+   experiments (fig5/fig7/fig8/errors/ablation/scorecards) to those apps.
+   `--chaos` (or the `chaos` experiment name) additionally validates each
+   app under the three canonical fault plans and records failure-fidelity
+   metrics in the --json document's "chaos" section. *)
 
 open Ditto_app
 module Pipeline = Ditto_core.Pipeline
@@ -669,6 +672,53 @@ let scorecards () =
       Hashtbl.replace scorecards_tbl name card)
     (registry_entries ())
 
+(* {1 Chaos: fidelity under failure (bench --chaos)} *)
+
+module Plan = Ditto_fault.Plan
+
+(* Flat "<app>/<plan>/<metric>" keys fed into the --json document's "chaos"
+   section and, through Baseline.flatten, into the regression gate. *)
+let chaos_acc : (string * float) list ref = ref []
+
+let chaos () =
+  banner "Chaos: fidelity under failure (canonical plans, medium load)";
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let name = entry.Registry.name in
+      let load, result = get_clone name in
+      let tiers =
+        List.map (fun (t : Spec.tier) -> t.Spec.tier_name) result.Pipeline.original.Spec.tiers
+      in
+      List.iter
+        (fun plan ->
+          let ch =
+            Pipeline.validate_under ~pool ~platform:Platform.a ~load ~plan
+              ~label:(fmt "chaos:%s" plan.Plan.plan_name)
+              result
+          in
+          let card = Scorecard.of_chaos ~app:name ?tuning:result.Pipeline.tuning ch in
+          Scorecard.print card;
+          let fail_delta metric =
+            match card.Scorecard.failure with
+            | None -> 0.0
+            | Some f -> (
+                match
+                  List.find_opt
+                    (fun (r : Scorecard.failure_row) -> r.Scorecard.f_metric = metric)
+                    f.Scorecard.failure_rows
+                with
+                | Some r -> r.Scorecard.f_delta
+                | None -> 0.0)
+          in
+          let key metric = fmt "%s/%s/%s" name plan.Plan.plan_name metric in
+          chaos_acc :=
+            (key "throughput_err_pct", fail_delta "throughput")
+            :: (key "p99_err_pct", fail_delta "lat_p99")
+            :: (key "error_rate_pp", fail_delta "error_rate")
+            :: !chaos_acc)
+        (Plan.canonical ~duration ~tiers))
+    (registry_entries ())
+
 (* {1 Main} *)
 
 let all_experiments =
@@ -687,11 +737,15 @@ let all_experiments =
     ("micro", micro);
   ]
 
+(* Off the default path (it arms faults and resilience, so it is opt-in):
+   reachable as the `chaos` experiment name or the --chaos flag. *)
+let opt_in_experiments = [ ("chaos", chaos) ]
+
 (* Which registry clones an experiment consumes, so the preclone pass can
    build exactly those concurrently before the (ordered, printing)
    experiment loop starts. fig11 and micro build their own specs. *)
 let clone_needs = function
-  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" ->
+  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" ->
       List.map (fun (e : Registry.entry) -> e.Registry.name) (registry_entries ())
   | "fig6" -> [ "social_network" ]
   | "fig9" -> [ "mongodb" ]
@@ -743,6 +797,7 @@ let () =
   and check = ref false
   and baseline_file = ref None
   and update_baselines = ref false
+  and chaos_flag = ref false
   and check_json = ref None in
   let rec parse_args acc = function
     | [] -> List.rev acc
@@ -770,6 +825,9 @@ let () =
     | "--update-baselines" :: rest ->
         update_baselines := true;
         parse_args acc rest
+    | "--chaos" :: rest ->
+        chaos_flag := true;
+        parse_args acc rest
     | [ ("--json" | "--trace" | "--trace-jaeger" | "--apps" | "--baseline" | "--check-json") as
         flag ] ->
         Printf.eprintf "%s requires an argument\n" flag;
@@ -792,13 +850,19 @@ let () =
     | names ->
         List.map
           (fun n ->
-            match List.assoc_opt n all_experiments with
+            match List.assoc_opt n (all_experiments @ opt_in_experiments) with
             | Some f -> (n, f)
             | None ->
                 Printf.eprintf "unknown experiment %S (have: %s; flags: --json FILE)\n" n
-                  (String.concat ", " (List.map fst all_experiments));
+                  (String.concat ", "
+                     (List.map fst (all_experiments @ opt_in_experiments)));
                 exit 2)
           names
+  in
+  let selected =
+    if !chaos_flag && not (List.mem_assoc "chaos" selected) then
+      selected @ [ ("chaos", chaos) ]
+    else selected
   in
   preclone
     (List.sort_uniq compare (List.concat_map (fun (n, _) -> clone_needs n) selected));
@@ -849,6 +913,7 @@ let () =
              tuning;
              metrics = Obs.Metrics.snapshot ();
              scorecards = cards;
+             chaos = List.sort compare !chaos_acc;
            })
     end
   in
@@ -862,12 +927,15 @@ let () =
   | _ -> ());
   (match (!update_baselines, doc) with
   | true, Some json ->
-      (* Keep the committed tolerances when refreshing the numbers. *)
-      let tolerance_pp =
-        if Sys.file_exists baseline_path then (Baseline.load baseline_path).Baseline.tolerance_pp
-        else Baseline.default_tolerances
+      (* Merge into the committed baseline (keeping its tolerances): a
+         partial run — --apps, a chaos-only pass — refreshes its slice
+         without discarding everyone else's metrics. *)
+      let next =
+        if Sys.file_exists baseline_path then
+          Baseline.merge ~into:(Baseline.load baseline_path) (Baseline.flatten json)
+        else Baseline.make (Baseline.flatten json)
       in
-      Baseline.save ~path:baseline_path (Baseline.make ~tolerance_pp (Baseline.flatten json));
+      Baseline.save ~path:baseline_path next;
       Printf.printf "[bench] wrote baseline %s\n" baseline_path
   | _ -> ());
   let check_ok =

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 17 test suites, a benchmark smoke run, a
+# Tier-1 gate: full build, the 18 test suites, a benchmark smoke run, a
 # self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
-# sampled-profiler smoke test, and the fidelity regression gate (scorecards
+# sampled-profiler smoke test, a chaos smoke test (fault injection +
+# resilience counters), and the fidelity regression gate (scorecards
 # diffed against the committed baseline, plus a proof that the gate rejects
 # a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
@@ -17,9 +18,10 @@ trap 'rm -rf "$tmpdir"' EXIT INT TERM
 echo "== dune build =="
 build_log="$tmpdir/build.log"
 dune build 2>&1 | tee "$build_log"
-# lib/obs and lib/report are the observability layers: keep them warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report)"; then
-  echo "ci: FAIL — build warnings in lib/obs or lib/report" >&2
+# lib/obs, lib/report and lib/fault are the observability and chaos
+# layers: keep them warning-clean.
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault)"; then
+  echo "ci: FAIL — build warnings in lib/obs, lib/report or lib/fault" >&2
   exit 1
 fi
 
@@ -41,6 +43,29 @@ echo "== profile smoke (collapsed stacks reconcile with measured CPU) =="
 # the measured on-CPU time.
 dune exec bin/ditto_cli.exe -- profile redis --out "$tmpdir/redis.folded" --top 5
 test -s "$tmpdir/redis.folded"
+
+echo "== chaos smoke (kill-mid-tier on memcached, resilience counters fired) =="
+# The crash plan must actually exercise the resilience machinery: the
+# post-restart backlog sheds requests and the client retry budget is spent,
+# so both counters in the greppable totals line must be non-zero — and the
+# command itself must exit cleanly.
+chaos_log="$tmpdir/chaos.log"
+dune exec bin/ditto_cli.exe -- chaos memcached --only kill-mid-tier --no-tune | tee "$chaos_log"
+awk '
+  /^chaos-totals:/ {
+    seen = 1
+    shed = retries = -1
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^shed=/)    { sub(/^shed=/, "", $i);    shed = $i + 0 }
+      if ($i ~ /^retries=/) { sub(/^retries=/, "", $i); retries = $i + 0 }
+    }
+    if (shed <= 0 || retries <= 0) {
+      printf "ci: FAIL — chaos counters did not fire (shed=%d retries=%d)\n", shed, retries > "/dev/stderr"
+      exit 1
+    }
+  }
+  END { if (!seen) { print "ci: FAIL — no chaos-totals line" > "/dev/stderr"; exit 1 } }
+' "$chaos_log"
 
 echo "== scorecard regression gate (vs bench/baselines/default.json) =="
 bench_json="$tmpdir/bench.json"

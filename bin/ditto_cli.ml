@@ -10,6 +10,11 @@
          export a clone's memory trace in Ramulator format
      ditto-cli stages <app> [--qps N]
          the Fig. 9 decomposition (stages A..H + tuned clone)
+     ditto-cli chaos <app> [--plan FILE] [--only PLAN] [--no-tune] [--qps N]
+         fidelity under failure: run original and clone under a fault plan
+         (default: the three canonical plans) with identical resilience
+         armour, print the failure scorecards and a greppable
+         "chaos-totals:" counter line
      ditto-cli inspect-trace <trace.json>
          parse a Chrome or Jaeger trace back and summarise it
          (span counts, recovered DAG, top-10 slowest spans)
@@ -140,6 +145,84 @@ let stages_app name qps trace trace_jaeger =
     ~header:[ "stage"; "IPC"; "p99 ms" ]
     rows
 
+(* Fidelity under failure: clone, then run original and clone side by side
+   under a fault plan (the three canonical plans, a --plan file, or the one
+   selected by --only) with identical resilience armour, and print the
+   failure scorecards. The final "chaos-totals:" line aggregates the
+   resilience counters of every run (both sides) so CI can grep-assert the
+   chaos machinery actually fired. *)
+let chaos_app name qps no_tune plan_file only trace trace_jaeger =
+  let module Plan = Ditto_fault.Plan in
+  with_tracing trace trace_jaeger @@ fun () ->
+  let entry, load = load_for name qps 0.8 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pipeline.clone ~tune:(not no_tune) ~platform:Platform.a ~load (entry.Registry.spec ())
+  in
+  Printf.printf "cloned %s in %.1fs\n" name (Unix.gettimeofday () -. t0);
+  let tiers =
+    List.map (fun (t : Spec.tier) -> t.Spec.tier_name) result.Pipeline.original.Spec.tiers
+  in
+  let plans =
+    match plan_file with
+    | Some path -> (
+        match
+          let p = Plan.load path in
+          Plan.validate ~tiers p;
+          p
+        with
+        | p -> [ p ]
+        | exception Sys_error msg ->
+            Printf.eprintf "chaos: %s\n" msg;
+            exit 2
+        | exception Ditto_util.Jsonx.Parse_error msg ->
+            Printf.eprintf "chaos: %s: %s\n" path msg;
+            exit 2
+        | exception Invalid_argument msg ->
+            Printf.eprintf "chaos: %s: %s\n" path msg;
+            exit 2)
+    | None -> Plan.canonical ~duration:load.Service.duration ~tiers
+  in
+  let plans =
+    match only with
+    | None -> plans
+    | Some sel -> (
+        match List.filter (fun (p : Plan.t) -> p.Plan.plan_name = sel) plans with
+        | [] ->
+            Printf.eprintf "chaos: no plan named %S (have: %s)\n" sel
+              (String.concat ", " (List.map (fun (p : Plan.t) -> p.Plan.plan_name) plans));
+            exit 2
+        | ps -> ps)
+  in
+  let shed = ref 0 and retries = ref 0 and timeouts = ref 0 in
+  let errors = ref 0 and drops = ref 0 in
+  let tally (r : Service.result) =
+    errors := !errors + r.Service.errors;
+    retries := !retries + r.Service.client_retries;
+    timeouts := !timeouts + r.Service.client_timeouts;
+    List.iter
+      (fun (o : Service.tier_obs) ->
+        shed := !shed + o.Service.obs_shed;
+        retries := !retries + o.Service.obs_retries;
+        timeouts := !timeouts + o.Service.obs_timeouts;
+        drops := !drops + o.Service.obs_link_drops)
+      r.Service.tiers
+  in
+  List.iter
+    (fun (plan : Plan.t) ->
+      let ch =
+        Pipeline.validate_under ~platform:Platform.a ~load ~plan
+          ~label:(Printf.sprintf "chaos:%s" plan.Plan.plan_name)
+          result
+      in
+      Ditto_report.Scorecard.print
+        (Ditto_report.Scorecard.of_chaos ~app:name ?tuning:result.Pipeline.tuning ch);
+      tally ch.Pipeline.actual_service;
+      tally ch.Pipeline.synthetic_service)
+    plans;
+  Printf.printf "chaos-totals: shed=%d retries=%d timeouts=%d errors=%d drops=%d\n" !shed
+    !retries !timeouts !errors !drops
+
 let synth_profile path qps platform =
   let profile = Ditto_profile.Profile_io.load path in
   let clone = Ditto_gen.Clone.synth_app profile in
@@ -225,6 +308,9 @@ let inspect_trace path =
             match Ditto_trace.Jaeger.of_json json with
             | exception J.Parse_error msg ->
                 Printf.eprintf "inspect-trace: %s: not a Chrome or Jaeger trace: %s\n" path msg;
+                exit 1
+            | exception Ditto_trace.Jaeger.Ingest_error { span_id; reason } ->
+                Printf.eprintf "inspect-trace: %s: bad span %s: %s\n" path span_id reason;
                 exit 1
             | spans ->
                 let traces =
@@ -397,6 +483,26 @@ let inspect_cmd =
     (Cmd.info "inspect-trace" ~doc:"Parse an exported trace back and summarise it")
     Term.(const inspect_trace $ trace_file_arg)
 
+let plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan" ] ~docv:"FILE" ~doc:"Fault plan JSON file (default: the canonical plans)")
+
+let only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"PLAN"
+        ~doc:"Run only the named canonical plan (kill-mid-tier, brownout-leaf, flaky-link)")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Validate fidelity under failure (fault plans + resilience)")
+    Term.(
+      const chaos_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ only_arg $ trace_arg
+      $ trace_jaeger_arg)
+
 let original_arg =
   Arg.(value & flag & info [ "original" ] ~doc:"Profile the original instead of its clone")
 
@@ -431,6 +537,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; inspect_cmd; profile_cmd;
-            list_cmd;
+            run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; chaos_cmd; inspect_cmd;
+            profile_cmd; list_cmd;
           ]))

@@ -1,5 +1,20 @@
 open Ditto_uarch
 
+type faults = {
+  timeouts : int;
+  retries : int;
+  shed : int;
+  failures : int;
+  breaker_transitions : int;
+  link_drops : int;
+}
+
+let no_faults =
+  { timeouts = 0; retries = 0; shed = 0; failures = 0; breaker_transitions = 0; link_drops = 0 }
+
+let faults_total f =
+  f.timeouts + f.retries + f.shed + f.failures + f.breaker_transitions + f.link_drops
+
 type t = {
   label : string;
   qps : float;
@@ -17,6 +32,7 @@ type t = {
   lat_p99 : float;
   topdown : Counters.topdown;
   counters : Counters.t;
+  faults : faults;
 }
 
 let radar_axes = [ "IPC"; "Branch"; "L1i"; "L1d"; "L2"; "LLC"; "Net BW"; "Disk BW" ]

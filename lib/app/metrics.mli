@@ -1,5 +1,19 @@
 (** Per-run metric bundle: the quantities plotted in Figs. 5–11. *)
 
+(** Resilience/fault counters observed during the DES phase (all zero for a
+    fault-free run with default {!Spec.resilience}). *)
+type faults = {
+  timeouts : int;
+  retries : int;
+  shed : int;
+  failures : int;
+  breaker_transitions : int;
+  link_drops : int;
+}
+
+val no_faults : faults
+val faults_total : faults -> int
+
 type t = {
   label : string;
   qps : float;  (** achieved request throughput *)
@@ -17,6 +31,7 @@ type t = {
   lat_p99 : float;
   topdown : Ditto_uarch.Counters.topdown;
   counters : Ditto_uarch.Counters.t;
+  faults : faults;
 }
 
 val radar_axes : string list

@@ -12,11 +12,12 @@ type config = {
   net_interference_gbps : float;
   cores : int option;
   page_cache_bytes : int option;
+  fault_plan : Ditto_fault.Plan.t option;
 }
 
 let config ?(cluster = false) ?(requests = 220) ?(seed = 42) ?(syscall_scale = 0.25) ?stressor
     ?(stressor_placement = `Same_core) ?(smt_pressure = 1.0) ?(net_interference_gbps = 0.0)
-    ?cores ?page_cache_bytes platform =
+    ?cores ?page_cache_bytes ?fault_plan platform =
   {
     platform;
     cluster;
@@ -29,7 +30,13 @@ let config ?(cluster = false) ?(requests = 220) ?(seed = 42) ?(syscall_scale = 0
     net_interference_gbps;
     cores;
     page_cache_bytes;
+    fault_plan;
   }
+
+let fault_timeouts_c = Ditto_obs.Obs.Metrics.counter "fault.timeouts"
+let fault_retries_c = Ditto_obs.Obs.Metrics.counter "fault.retries"
+let fault_shed_c = Ditto_obs.Obs.Metrics.counter "fault.shed"
+let fault_drops_c = Ditto_obs.Obs.Metrics.counter "fault.link_drops"
 
 type output = {
   app : Spec.t;
@@ -113,8 +120,28 @@ let run_inner cfg ~load (app : Spec.t) =
   let results name = List.assoc name measured in
   let service =
     Ditto_obs.Obs.Span.with_span ~name:"runner.service" (fun () ->
-        Service.run ~engine ~app ~placement ~results ~seed:(cfg.seed + 1)
-          ~net_interference_gbps:cfg.net_interference_gbps load)
+        let r =
+          Service.run ~engine ~app ~placement ~results ~seed:(cfg.seed + 1)
+            ~net_interference_gbps:cfg.net_interference_gbps ?fault_plan:cfg.fault_plan load
+        in
+        (match cfg.fault_plan with
+        | None -> ()
+        | Some plan ->
+            let sum f = List.fold_left (fun a o -> a + f o) 0 r.Service.tiers in
+            Ditto_obs.Obs.Span.add_attr "chaos_plan" (Str plan.Ditto_fault.Plan.plan_name);
+            Ditto_obs.Obs.Span.add_attr "chaos_errors" (Int r.Service.errors);
+            Ditto_obs.Obs.Span.add_attr "chaos_shed" (Int (sum (fun o -> o.Service.obs_shed)));
+            Ditto_obs.Obs.Span.add_attr "chaos_retries"
+              (Int (r.Service.client_retries + sum (fun o -> o.Service.obs_retries)));
+            Ditto_obs.Obs.Span.add_attr "chaos_timeouts"
+              (Int (r.Service.client_timeouts + sum (fun o -> o.Service.obs_timeouts)));
+            Ditto_obs.Obs.Metrics.add fault_timeouts_c
+              (r.Service.client_timeouts + sum (fun o -> o.Service.obs_timeouts));
+            Ditto_obs.Obs.Metrics.add fault_retries_c
+              (r.Service.client_retries + sum (fun o -> o.Service.obs_retries));
+            Ditto_obs.Obs.Metrics.add fault_shed_c (sum (fun o -> o.Service.obs_shed));
+            Ditto_obs.Obs.Metrics.add fault_drops_c (sum (fun o -> o.Service.obs_link_drops)));
+        r)
   in
   let per_tier =
     List.map
@@ -149,6 +176,15 @@ let run_inner cfg ~load (app : Spec.t) =
             lat_p99 = lat.Ditto_util.Stats.p99;
             topdown = Counters.topdown c;
             counters = c;
+            faults =
+              {
+                Metrics.timeouts = obs.Service.obs_timeouts;
+                retries = obs.Service.obs_retries;
+                shed = obs.Service.obs_shed;
+                failures = obs.Service.obs_failures;
+                breaker_transitions = obs.Service.obs_breaker_transitions;
+                link_drops = obs.Service.obs_link_drops;
+              };
           } ))
       tiers
   in
@@ -167,4 +203,10 @@ let run cfg ~load (app : Spec.t) =
         ]
       (fun () -> run_inner cfg ~load app)
 
-let tier_metrics output name = List.assoc name output.per_tier
+let tier_metrics output name =
+  match List.assoc_opt name output.per_tier with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Runner.tier_metrics: unknown tier %S (known: %s)" name
+           (String.concat ", " (List.map fst output.per_tier)))

@@ -18,6 +18,8 @@ type config = {
   net_interference_gbps : float;
   cores : int option;  (** override machine core count (Fig. 11) *)
   page_cache_bytes : int option;
+  fault_plan : Ditto_fault.Plan.t option;
+      (** arm this fault plan against the serving phase (chaos layer) *)
 }
 
 val config :
@@ -31,6 +33,7 @@ val config :
   ?net_interference_gbps:float ->
   ?cores:int ->
   ?page_cache_bytes:int ->
+  ?fault_plan:Ditto_fault.Plan.t ->
   Ditto_uarch.Platform.t ->
   config
 
@@ -45,7 +48,8 @@ type output = {
 val run : config -> load:Service.load -> Spec.t -> output
 
 val tier_metrics : output -> string -> Metrics.t
-(** Raises [Not_found] for unknown tier names. *)
+(** Raises [Invalid_argument] for unknown tier names, naming the tier and
+    listing the known ones. *)
 
 val estimate_idle_per_request : qps:float -> workers:int -> float
 (** The mean per-worker idle gap used to scale kernel housekeeping

@@ -3,11 +3,22 @@ open Ditto_net
 module Stats = Ditto_util.Stats
 module Rng = Ditto_util.Rng
 module Dist = Ditto_util.Dist
+module Breaker = Ditto_fault.Breaker
+module Injector = Ditto_fault.Injector
+module Plan = Ditto_fault.Plan
 
-type load = { qps : float; connections : int; open_loop : bool; duration : float }
+type load = {
+  qps : float;
+  connections : int;
+  open_loop : bool;
+  duration : float;
+  client_timeout : float option;
+  client_retries : int;
+}
 
-let load ?(connections = 16) ?(open_loop = true) ?(duration = 2.0) ~qps () =
-  { qps; connections; open_loop; duration }
+let load ?(connections = 16) ?(open_loop = true) ?(duration = 2.0) ?client_timeout
+    ?(client_retries = 0) ~qps () =
+  { qps; connections; open_loop; duration; client_timeout; client_retries }
 
 type tier_obs = {
   obs_name : string;
@@ -15,6 +26,12 @@ type tier_obs = {
   obs_requests : int;
   obs_net_mbps : float;
   obs_disk_mbps : float;
+  obs_timeouts : int;
+  obs_retries : int;
+  obs_shed : int;
+  obs_failures : int;
+  obs_breaker_transitions : int;
+  obs_link_drops : int;
 }
 
 type result = {
@@ -22,6 +39,9 @@ type result = {
   latency_raw : float array;
   achieved_qps : float;
   completed : int;
+  errors : int;
+  client_timeouts : int;
+  client_retries : int;
   elapsed : float;
   tiers : tier_obs list;
 }
@@ -35,55 +55,131 @@ type tier_rt = {
   mutable epoll_rr : int;
   mutable poll_conns : Socket.endpoint list;
   pools : (string, Socket.endpoint Queue.t) Hashtbl.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
   lat : Stats.t;
   mutable served : int;
+  mutable inflight : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable shed : int;
+  mutable failures : int;
   mutable stopped : bool;
+}
+
+(* Shared run context threaded through every handler; [inj = None] keeps the
+   fault-free execution path byte-for-byte what it was before the chaos
+   layer existed (test_parallel's bit-identity invariant). *)
+type sys = {
+  registry : (string, tier_rt) Hashtbl.t;
+  tids : int ref;
+  inj : Injector.t option;
 }
 
 let fresh_tid counter =
   incr counter;
   !counter
 
-(* Serve one request whose bytes arrived at [arrived]: replay a measured
-   trace (CPU, disk, sleeps, downstream RPCs) then send the response. *)
-let rec handle registry tids rt ~tid ep ~arrived =
-  let trace = rt.mres.Measure.traces.(Rng.int rt.rng (Array.length rt.mres.Measure.traces)) in
-  replay registry tids rt ~tid trace;
-  Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
-  Stats.add rt.lat (Engine.time () -. arrived);
-  rt.served <- rt.served + 1
+(* Crash-window poll granularity for parked workers of a down tier. *)
+let down_poll = 1e-3
 
-and replay registry tids rt ~tid trace =
+(* An error reply (shed / failed RPC) is a small status message, not the
+   full response payload. *)
+let err_bytes = 64
+
+let tier_down sys rt =
+  match sys.inj with
+  | None -> false
+  | Some inj -> not (Injector.tier_up inj rt.spec.Spec.tier_name)
+
+let run_cpu sys rt ~tid s =
+  let s =
+    match sys.inj with
+    | None -> s
+    | Some inj -> s *. Injector.slow_factor inj rt.spec.Spec.tier_name
+  in
+  Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
+
+(* Accept-queue depth for load shedding: undelivered messages plus requests
+   already being replayed. *)
+let backlog rt =
+  match rt.spec.Spec.server_model with
+  | Spec.Io_multiplexing ->
+      Array.fold_left (fun acc e -> acc + Socket.Epoll.pending_total e) rt.inflight rt.epolls
+  | Spec.Nonblocking ->
+      List.fold_left (fun acc ep -> acc + Socket.pending ep) rt.inflight rt.poll_conns
+  | Spec.Blocking -> rt.inflight
+
+(* Serve one request whose bytes arrived at [arrived]: replay a measured
+   trace (CPU, disk, sleeps, downstream RPCs) then send the response — or
+   shed it when the resilience knobs say the tier is overloaded. *)
+let rec handle sys rt ~tid ep ~arrived =
+  if tier_down sys rt then (* the process died with the request in hand *) ()
+  else
+    match rt.spec.Spec.resilience.Spec.queue_bound with
+    | Some bound when backlog rt > bound ->
+        rt.shed <- rt.shed + 1;
+        Socket.send ~err:true ep ~bytes:err_bytes
+    | _ ->
+        let trace =
+          rt.mres.Measure.traces.(Rng.int rt.rng (Array.length rt.mres.Measure.traces))
+        in
+        rt.inflight <- rt.inflight + 1;
+        let ok = replay sys rt ~tid trace in
+        rt.inflight <- rt.inflight - 1;
+        if ok then begin
+          Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
+          Stats.add rt.lat (Engine.time () -. arrived);
+          rt.served <- rt.served + 1
+        end
+        else begin
+          rt.failures <- rt.failures + 1;
+          Socket.send ~err:true ep ~bytes:err_bytes
+        end
+
+(* Replay a trace; false when a downstream call ultimately failed (after
+   retries), in which case the remaining synchronous segments are skipped —
+   the handler aborts like a real RPC server surfacing an upstream error. *)
+and replay sys rt ~tid trace =
   let pending = ref [] in
+  let failed = ref false in
   List.iter
     (fun seg ->
-      match seg with
-      | Measure.Cpu s -> Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
-      | Measure.Disk_read { bytes; random } ->
-          Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
-      | Measure.Disk_write { bytes } ->
-          (* Buffered write: flushed in the background. *)
-          Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
-      | Measure.Sleep s -> Engine.wait s
-      | Measure.Downstream { target; req_bytes; resp_bytes } -> (
-          match rt.spec.Spec.client_model with
-          | Spec.Sync_client -> downstream registry tids rt ~tid target req_bytes resp_bytes
-          | Spec.Async_client ->
-              let iv = Engine.Ivar.create () in
-              Engine.fork (fun () ->
-                  downstream registry tids rt ~tid target req_bytes resp_bytes;
-                  Engine.Ivar.fill iv ());
-              pending := iv :: !pending))
+      if not !failed then
+        match seg with
+        | Measure.Cpu s -> run_cpu sys rt ~tid s
+        | Measure.Disk_read { bytes; random } ->
+            Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
+        | Measure.Disk_write { bytes } ->
+            (* Buffered write: flushed in the background. *)
+            Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
+        | Measure.Sleep s -> Engine.wait s
+        | Measure.Downstream { target; req_bytes; resp_bytes } -> (
+            match rt.spec.Spec.client_model with
+            | Spec.Sync_client ->
+                if not (downstream sys rt ~tid target req_bytes resp_bytes) then failed := true
+            | Spec.Async_client ->
+                let iv = Engine.Ivar.create () in
+                Engine.fork (fun () ->
+                    Engine.Ivar.fill iv (downstream sys rt ~tid target req_bytes resp_bytes));
+                pending := iv :: !pending))
     trace;
-  List.iter Engine.Ivar.read !pending
+  List.iter (fun iv -> if not (Engine.Ivar.read iv) then failed := true) !pending;
+  not !failed
 
-and downstream registry tids rt ~tid target req_bytes _resp_bytes =
+(* One downstream RPC under the tier's resilience knobs: circuit breaker
+   (fail fast while open), per-call timeout (a timed-out connection is
+   poisoned — a late reply must not desynchronise the request/response
+   pairing, so it is dropped like a closed TCP connection), and bounded
+   retries with exponential backoff + deterministic jitter from the tier's
+   seeded RNG. Returns true on success. *)
+and downstream sys rt ~tid target req_bytes _resp_bytes =
   ignore tid;
   let drt =
-    match Hashtbl.find_opt registry target with
+    match Hashtbl.find_opt sys.registry target with
     | Some d -> d
     | None -> invalid_arg (Printf.sprintf "Service: unknown downstream tier %S" target)
   in
+  let res = rt.spec.Spec.resilience in
   let pool =
     match Hashtbl.find_opt rt.pools target with
     | Some q -> q
@@ -92,14 +188,58 @@ and downstream registry tids rt ~tid target req_bytes _resp_bytes =
         Hashtbl.add rt.pools target q;
         q
   in
-  let conn =
-    match Queue.take_opt pool with Some c -> c | None -> connect registry tids rt drt
+  let breaker =
+    match res.Spec.breaker with
+    | None -> None
+    | Some config -> (
+        match Hashtbl.find_opt rt.breakers target with
+        | Some br -> Some br
+        | None ->
+            let br = Breaker.create ~config () in
+            Hashtbl.add rt.breakers target br;
+            Some br)
   in
-  Socket.send conn ~bytes:req_bytes;
-  ignore (Socket.recv conn);
-  Queue.push conn pool
+  let attempt () =
+    match breaker with
+    | Some br when not (Breaker.allow br ~now:(Engine.time ())) -> false
+    | _ ->
+        let conn =
+          match Queue.take_opt pool with Some c -> c | None -> connect sys rt drt
+        in
+        Socket.send conn ~bytes:req_bytes;
+        let ok =
+          match res.Spec.call_timeout with
+          | None ->
+              let m = Socket.recv_msg conn in
+              Queue.push conn pool;
+              not m.Socket.err
+          | Some timeout -> (
+              match Socket.recv_msg_timeout conn ~timeout with
+              | Some m ->
+                  Queue.push conn pool;
+                  not m.Socket.err
+              | None ->
+                  rt.timeouts <- rt.timeouts + 1;
+                  false)
+        in
+        (match breaker with
+        | Some br -> Breaker.record br ~now:(Engine.time ()) ~ok
+        | None -> ());
+        ok
+  in
+  let rec go n =
+    if attempt () then true
+    else if n >= res.Spec.max_retries then false
+    else begin
+      rt.retries <- rt.retries + 1;
+      let backoff = res.Spec.retry_backoff *. (2.0 ** float_of_int n) in
+      if backoff > 0.0 then Engine.wait (backoff *. (0.5 +. Rng.float rt.rng 1.0));
+      go (n + 1)
+    end
+  in
+  go 0
 
-and connect registry tids rt drt =
+and connect sys rt drt =
   let same = rt.machine == drt.machine in
   let a_nic = if same then rt.machine.Machine.loopback else rt.machine.Machine.nic in
   let b_nic = if same then drt.machine.Machine.loopback else drt.machine.Machine.nic in
@@ -107,12 +247,18 @@ and connect registry tids rt drt =
   let client_ep, server_ep =
     Socket.pair rt.machine.Machine.engine ~a_nic ~b_nic ~latency
   in
-  attach registry tids drt server_ep;
+  (match sys.inj with
+  | None -> ()
+  | Some inj ->
+      let src = rt.spec.Spec.tier_name and dst = drt.spec.Spec.tier_name in
+      Socket.set_disruptor client_ep (Some (Injector.disruptor inj ~src ~dst));
+      Socket.set_disruptor server_ep (Some (Injector.disruptor inj ~src:dst ~dst:src)));
+  attach sys drt server_ep;
   client_ep
 
 (* Register a new inbound connection according to the server's network and
    thread model. *)
-and attach registry tids rt ep =
+and attach sys rt ep =
   match rt.spec.Spec.server_model with
   | Spec.Io_multiplexing ->
       Socket.Epoll.add rt.epolls.(rt.epoll_rr mod Array.length rt.epolls) ep;
@@ -120,76 +266,94 @@ and attach registry tids rt ep =
   | Spec.Blocking ->
       (* Thread-per-connection (spawned dynamically for services like
          MongoDB whose thread count follows the connection count). *)
-      let tid = fresh_tid tids in
-      Engine.fork (fun () -> blocking_loop registry tids rt ~tid ep)
+      let tid = fresh_tid sys.tids in
+      Engine.fork (fun () -> blocking_loop sys rt ~tid ep)
   | Spec.Nonblocking -> rt.poll_conns <- ep :: rt.poll_conns
 
-and blocking_loop registry tids rt ~tid ep =
-  if not rt.stopped then begin
-    let bytes, arrived = Socket.recv_timed ep in
-    ignore bytes;
-    handle registry tids rt ~tid ep ~arrived;
-    blocking_loop registry tids rt ~tid ep
-  end
-
-let epoll_worker registry tids rt ~tid w =
-  let rec loop () =
-    if not rt.stopped then begin
-      match Socket.Epoll.wait ~timeout:0.1 rt.epolls.(w) with
-      | [] -> loop ()
-      | ready ->
-          List.iter
-            (fun ep ->
-              let rec drain () =
-                match Socket.try_recv_timed ep with
-                | Some (_, arrived) ->
-                    handle registry tids rt ~tid ep ~arrived;
-                    drain ()
-                | None -> ()
-              in
-              drain ())
-            ready;
-          loop ()
+and blocking_loop sys rt ~tid ep =
+  if not rt.stopped then
+    if tier_down sys rt then begin
+      Engine.wait down_poll;
+      blocking_loop sys rt ~tid ep
     end
+    else begin
+      let bytes, arrived = Socket.recv_timed ep in
+      ignore bytes;
+      handle sys rt ~tid ep ~arrived;
+      blocking_loop sys rt ~tid ep
+    end
+
+let epoll_worker sys rt ~tid w =
+  let rec loop () =
+    if not rt.stopped then
+      if tier_down sys rt then begin
+        Engine.wait down_poll;
+        loop ()
+      end
+      else
+        match Socket.Epoll.wait ~timeout:0.1 rt.epolls.(w) with
+        | [] -> loop ()
+        | ready ->
+            List.iter
+              (fun ep ->
+                let rec drain () =
+                  (* Stop draining the instant the tier crashes: queued
+                     requests must survive to be the restart's backlog. *)
+                  if not (tier_down sys rt) then
+                    match Socket.try_recv_timed ep with
+                    | Some (_, arrived) ->
+                        handle sys rt ~tid ep ~arrived;
+                        drain ()
+                    | None -> ()
+                in
+                drain ())
+              ready;
+            loop ()
   in
   loop ()
 
-let nonblocking_worker registry tids rt ~tid =
+let nonblocking_worker sys rt ~tid =
   let poll_interval = 20e-6 and poll_cpu = 1.5e-6 in
   let rec loop () =
-    if not rt.stopped then begin
-      let got = ref false in
-      List.iter
-        (fun ep ->
-          match Socket.try_recv_timed ep with
-          | Some (_, arrived) ->
-              got := true;
-              handle registry tids rt ~tid ep ~arrived
-          | None -> ())
-        rt.poll_conns;
-      (* Polling burns CPU even when idle — the §4.3.1 caveat. *)
-      Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid poll_cpu;
-      if not !got then Engine.wait poll_interval;
-      loop ()
-    end
+    if not rt.stopped then
+      if tier_down sys rt then begin
+        Engine.wait down_poll;
+        loop ()
+      end
+      else begin
+        let got = ref false in
+        List.iter
+          (fun ep ->
+            match Socket.try_recv_timed ep with
+            | Some (_, arrived) ->
+                got := true;
+                handle sys rt ~tid ep ~arrived
+            | None -> ())
+          rt.poll_conns;
+        (* Polling burns CPU even when idle — the §4.3.1 caveat. *)
+        run_cpu sys rt ~tid poll_cpu;
+        if not !got then Engine.wait poll_interval;
+        loop ()
+      end
   in
   loop ()
 
-let background_thread rt ~tid period trace =
+let background_thread sys rt ~tid period trace =
   let rec loop () =
     if not rt.stopped then begin
       Engine.wait period;
-      List.iter
-        (fun seg ->
-          match seg with
-          | Measure.Cpu s -> Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
-          | Measure.Disk_read { bytes; random } ->
-              Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
-          | Measure.Disk_write { bytes } ->
-              Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
-          | Measure.Sleep s -> Engine.wait s
-          | Measure.Downstream _ -> ())
-        trace;
+      if not (tier_down sys rt) then
+        List.iter
+          (fun seg ->
+            match seg with
+            | Measure.Cpu s -> run_cpu sys rt ~tid s
+            | Measure.Disk_read { bytes; random } ->
+                Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
+            | Measure.Disk_write { bytes } ->
+                Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
+            | Measure.Sleep s -> Engine.wait s
+            | Measure.Downstream _ -> ())
+          trace;
       loop ()
     end
   in
@@ -200,10 +364,21 @@ let dedupe_machines rts =
     (fun acc rt -> if List.exists (fun m -> m == rt.machine) acc then acc else rt.machine :: acc)
     [] rts
 
-let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbps = 0.0) l =
+let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbps = 0.0)
+    ?fault_plan l =
   let registry : (string, tier_rt) Hashtbl.t = Hashtbl.create 8 in
   let tids = ref 0 in
   let root = Rng.create seed in
+  let inj =
+    match fault_plan with
+    | None -> None
+    | Some plan ->
+        Plan.validate ~tiers:(List.map (fun t -> t.Spec.tier_name) app.Spec.tiers) plan;
+        (* The injector draws from its own stream, offset from the run seed
+           so fault coin-flips never perturb the tiers' trace selection. *)
+        Some (Injector.create ~engine ~seed:(seed + 104729) plan)
+  in
+  let sys = { registry; tids; inj } in
   let rts =
     List.map
       (fun (tier : Spec.tier) ->
@@ -219,8 +394,14 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
             epoll_rr = 0;
             poll_conns = [];
             pools = Hashtbl.create 4;
+            breakers = Hashtbl.create 4;
             lat = Stats.create ();
             served = 0;
+            inflight = 0;
+            timeouts = 0;
+            retries = 0;
+            shed = 0;
+            failures = 0;
             stopped = false;
           }
         in
@@ -236,12 +417,12 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
           Array.iteri
             (fun w _ ->
               let tid = fresh_tid tids in
-              Engine.spawn engine (fun () -> epoll_worker registry tids rt ~tid w))
+              Engine.spawn engine (fun () -> epoll_worker sys rt ~tid w))
             rt.epolls
       | Spec.Nonblocking ->
           for _ = 1 to max 1 rt.spec.Spec.thread_model.Spec.workers do
             let tid = fresh_tid tids in
-            Engine.spawn engine (fun () -> nonblocking_worker registry tids rt ~tid)
+            Engine.spawn engine (fun () -> nonblocking_worker sys rt ~tid)
           done
       | Spec.Blocking -> (* threads spawn per connection in [attach] *) ());
       match (rt.mres.Measure.background_trace, rt.spec.Spec.thread_model.Spec.background) with
@@ -249,7 +430,7 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
           List.iter
             (fun (_, period) ->
               let tid = fresh_tid tids in
-              Engine.spawn engine (fun () -> background_thread rt ~tid period trace))
+              Engine.spawn engine (fun () -> background_thread sys rt ~tid period trace))
             bgs
       | None, _ -> ())
     rts;
@@ -269,18 +450,32 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
   in
   (* Client connections (the load generator is its own machine). *)
   let client_nic = Nic.create engine ~gbps:40.0 in
+  let client_pair () =
+    let a, b =
+      Socket.pair engine ~a_nic:client_nic ~b_nic:entry.machine.Machine.nic ~latency:20e-6
+    in
+    (match inj with
+    | None -> ()
+    | Some i ->
+        let dst = entry.spec.Spec.tier_name in
+        Socket.set_disruptor a (Some (Injector.disruptor i ~src:Plan.client_tier ~dst));
+        Socket.set_disruptor b (Some (Injector.disruptor i ~src:dst ~dst:Plan.client_tier)));
+    (a, b)
+  in
   let conns =
     Array.init (max 1 l.connections) (fun _ ->
-        let a, b =
-          Socket.pair engine ~a_nic:client_nic ~b_nic:entry.machine.Machine.nic ~latency:20e-6
-        in
-        Engine.spawn engine (fun () -> attach registry tids entry b);
-        (a, Engine.Resource.create 1))
+        let a, b = client_pair () in
+        Engine.spawn engine (fun () -> attach sys entry b);
+        (ref a, Engine.Resource.create 1))
   in
+  (match inj with Some i -> Injector.arm i ~at:(Engine.now engine) | None -> ());
   let t_start = Engine.now engine in
   let t_end = t_start +. l.duration in
   let lat = Stats.create () in
   let completed = ref 0 in
+  let client_errors = ref 0 in
+  let client_timeouts = ref 0 in
+  let client_retries_used = ref 0 in
   let gen_rng = Rng.split root in
   let do_request ci =
     (* The clock starts at submission: open-loop latency must include any
@@ -289,10 +484,36 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     let t0 = Engine.time () in
     let conn, mutex = conns.(ci) in
     Engine.Resource.with_resource mutex (fun () ->
-        Socket.send conn ~bytes:entry.spec.Spec.request_bytes;
-        ignore (Socket.recv conn);
-        Stats.add lat (Engine.time () -. t0);
-        incr completed)
+        match l.client_timeout with
+        | None ->
+            Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
+            ignore (Socket.recv !conn);
+            Stats.add lat (Engine.time () -. t0);
+            incr completed
+        | Some timeout ->
+            let rec go n =
+              Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
+              match Socket.recv_msg_timeout !conn ~timeout with
+              | Some m when not m.Socket.err ->
+                  Stats.add lat (Engine.time () -. t0);
+                  incr completed
+              | outcome ->
+                  (match outcome with
+                  | None ->
+                      (* Poison the timed-out connection: a late reply must
+                         not answer the next request. *)
+                      incr client_timeouts;
+                      let a, b = client_pair () in
+                      attach sys entry b;
+                      conn := a
+                  | Some _ -> (* error response; the conn stays paired *) ());
+                  if n < l.client_retries then begin
+                    incr client_retries_used;
+                    go (n + 1)
+                  end
+                  else incr client_errors
+            in
+            go 0)
   in
   if l.open_loop then
     Engine.spawn engine (fun () ->
@@ -357,6 +578,16 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
           obs_requests = rt.served;
           obs_net_mbps = mbps (List.nth nic_before idx) nic_now;
           obs_disk_mbps = mbps (List.nth disk_before idx) disk_now;
+          obs_timeouts = rt.timeouts;
+          obs_retries = rt.retries;
+          obs_shed = rt.shed;
+          obs_failures = rt.failures;
+          obs_breaker_transitions =
+            Hashtbl.fold (fun _ br acc -> acc + Breaker.transitions br) rt.breakers 0;
+          obs_link_drops =
+            (match inj with
+            | None -> 0
+            | Some i -> Injector.drops i rt.spec.Spec.tier_name);
         })
       rts
   in
@@ -365,6 +596,9 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     latency_raw = Stats.to_array lat;
     achieved_qps = float_of_int !completed /. elapsed;
     completed = !completed;
+    errors = !client_errors;
+    client_timeouts = !client_timeouts;
+    client_retries = !client_retries_used;
     elapsed;
     tiers;
   }

@@ -6,7 +6,14 @@
     replayed from {!Measure} traces — on-CPU segments contend on the
     scheduler, disk segments queue on the device, downstream RPC segments
     traverse sockets to other tiers. Latency distributions, achieved
-    throughput and I/O bandwidth fall out of the simulation. *)
+    throughput and I/O bandwidth fall out of the simulation.
+
+    The chaos layer rides on top: an optional {!Ditto_fault.Plan} degrades
+    the run (tier crashes, CPU brown-outs, lossy links, partitions) while
+    each tier's {!Spec.resilience} knobs — downstream timeouts, retries,
+    circuit breakers, load shedding — decide how the skeleton fights back.
+    All defaults are off, keeping the fault-free path bit-identical across
+    pool sizes. *)
 
 type load = {
   qps : float;  (** offered load *)
@@ -15,9 +22,21 @@ type load = {
       (** open loop (mutated/wrk2-style: arrivals never wait) vs closed
           loop (YCSB-style: one outstanding request per connection) *)
   duration : float;  (** simulated seconds of load *)
+  client_timeout : float option;
+      (** end-to-end request deadline at the load generator; a timed-out
+          connection is torn down and replaced *)
+  client_retries : int;  (** client-side retry budget after timeout/error *)
 }
 
-val load : ?connections:int -> ?open_loop:bool -> ?duration:float -> qps:float -> unit -> load
+val load :
+  ?connections:int ->
+  ?open_loop:bool ->
+  ?duration:float ->
+  ?client_timeout:float ->
+  ?client_retries:int ->
+  qps:float ->
+  unit ->
+  load
 
 type tier_obs = {
   obs_name : string;
@@ -25,13 +44,22 @@ type tier_obs = {
   obs_requests : int;
   obs_net_mbps : float;  (** machine NIC bandwidth during the run *)
   obs_disk_mbps : float;
+  obs_timeouts : int;  (** downstream calls that hit [call_timeout] *)
+  obs_retries : int;  (** downstream retry attempts *)
+  obs_shed : int;  (** requests answered with an error by load shedding *)
+  obs_failures : int;  (** handled requests that ended in an error reply *)
+  obs_breaker_transitions : int;  (** circuit-breaker state changes, all downstreams *)
+  obs_link_drops : int;  (** messages the fault plan dropped leaving this tier *)
 }
 
 type result = {
-  latency : Ditto_util.Stats.summary;  (** end-to-end, at the client *)
+  latency : Ditto_util.Stats.summary;  (** end-to-end, at the client (successes) *)
   latency_raw : float array;
   achieved_qps : float;
   completed : int;
+  errors : int;  (** client requests that failed after exhausting retries *)
+  client_timeouts : int;  (** client-side deadline expiries (pre-retry) *)
+  client_retries : int;  (** client retry attempts used *)
   elapsed : float;
   tiers : tier_obs list;
 }
@@ -43,8 +71,11 @@ val run :
   results:(string -> Measure.tier_result) ->
   seed:int ->
   ?net_interference_gbps:float ->
+  ?fault_plan:Ditto_fault.Plan.t ->
   load ->
   result
 (** Serve [load] against the deployed app. [net_interference_gbps] runs an
     iperf-style competing stream through the entry machine's NIC (Fig. 10's
-    network interference). *)
+    network interference). [fault_plan] arms a {!Ditto_fault.Injector}
+    against this run's engine clock; the injector's RNG is derived from
+    [seed], so a (seed, plan) pair degrades the run deterministically. *)

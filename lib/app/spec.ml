@@ -14,6 +14,31 @@ type thread_model = {
   background : (string * float) list;
 }
 
+type resilience = {
+  call_timeout : float option;
+  max_retries : int;
+  retry_backoff : float;
+  breaker : Ditto_fault.Breaker.config option;
+  queue_bound : int option;
+}
+
+let no_resilience =
+  { call_timeout = None; max_retries = 0; retry_backoff = 0.0; breaker = None; queue_bound = None }
+
+let resilient ?(call_timeout = 0.01) ?(max_retries = 2) ?(retry_backoff = 2e-3)
+    ?(breaker = Ditto_fault.Breaker.default_config) ?(queue_bound = 512) () =
+  if call_timeout <= 0.0 then invalid_arg "Spec.resilient: non-positive call_timeout";
+  if max_retries < 0 then invalid_arg "Spec.resilient: negative max_retries";
+  if retry_backoff < 0.0 then invalid_arg "Spec.resilient: negative retry_backoff";
+  if queue_bound <= 0 then invalid_arg "Spec.resilient: non-positive queue_bound";
+  {
+    call_timeout = Some call_timeout;
+    max_retries;
+    retry_backoff;
+    breaker = Some breaker;
+    queue_bound = Some queue_bound;
+  }
+
 type tier = {
   tier_name : string;
   server_model : server_model;
@@ -26,12 +51,13 @@ type tier = {
   heap_bytes : int;
   shared_bytes : int;
   file_bytes : int;
+  resilience : resilience;
 }
 
 let tier ?(server_model = Io_multiplexing) ?(client_model = Sync_client) ?(workers = 4)
     ?(dynamic_threads = false) ?(background = []) ?background_handler ?(request_bytes = 128)
     ?(response_bytes = 512) ?(heap_bytes = 16 * 1024 * 1024) ?(shared_bytes = 1024 * 1024)
-    ?(file_bytes = 0) ~name ~handler () =
+    ?(file_bytes = 0) ?(resilience = no_resilience) ~name ~handler () =
   {
     tier_name = name;
     server_model;
@@ -44,6 +70,7 @@ let tier ?(server_model = Io_multiplexing) ?(client_model = Sync_client) ?(worke
     heap_bytes;
     shared_bytes;
     file_bytes;
+    resilience;
   }
 
 type t = {
@@ -59,6 +86,9 @@ let make ~name ?entry ?page_cache_hint tiers =
   | first :: _ ->
       let entry = match entry with Some e -> e | None -> first.tier_name in
       { app_name = name; tiers; entry; page_cache_hint }
+
+let with_resilience res t =
+  { t with tiers = List.map (fun tier -> { tier with resilience = res }) t.tiers }
 
 let find_tier t name =
   match List.find_opt (fun tier -> tier.tier_name = name) t.tiers with

@@ -33,6 +33,36 @@ type thread_model = {
       (** timer-triggered background threads: (name, period seconds) *)
 }
 
+(** RPC-resilience knobs of a tier's skeleton (the chaos layer, DESIGN.md
+    §9). The defaults ({!no_resilience}) disable every mechanism, keeping
+    the fault-free execution path — and therefore bit-identity across pool
+    sizes — exactly as before. *)
+type resilience = {
+  call_timeout : float option;  (** per-downstream-call deadline, seconds *)
+  max_retries : int;  (** retry budget per downstream call *)
+  retry_backoff : float;
+      (** base backoff, seconds; attempt n sleeps [backoff * 2^n] plus
+          deterministic jitter drawn from the tier's seeded RNG *)
+  breaker : Ditto_fault.Breaker.config option;
+      (** per-downstream circuit breaker; open = fail fast *)
+  queue_bound : int option;
+      (** shed (answer with an error) when the accept queue + in-flight
+          requests exceed this *)
+}
+
+val no_resilience : resilience
+
+val resilient :
+  ?call_timeout:float ->
+  ?max_retries:int ->
+  ?retry_backoff:float ->
+  ?breaker:Ditto_fault.Breaker.config ->
+  ?queue_bound:int ->
+  unit ->
+  resilience
+(** All mechanisms on, with sensible defaults (10 ms timeout, 2 retries,
+    2 ms base backoff, default breaker, queue bound 512). *)
+
 type tier = {
   tier_name : string;
   server_model : server_model;
@@ -46,6 +76,7 @@ type tier = {
   heap_bytes : int;
   shared_bytes : int;
   file_bytes : int;  (** on-disk dataset size; 0 = no disk component *)
+  resilience : resilience;
 }
 
 val tier :
@@ -60,6 +91,7 @@ val tier :
   ?heap_bytes:int ->
   ?shared_bytes:int ->
   ?file_bytes:int ->
+  ?resilience:resilience ->
   name:string ->
   handler:(Ditto_util.Rng.t -> int -> op list) ->
   unit ->
@@ -77,6 +109,11 @@ type t = {
 
 val make : name:string -> ?entry:string -> ?page_cache_hint:int -> tier list -> t
 (** [entry] defaults to the first tier. *)
+
+val with_resilience : resilience -> t -> t
+(** Deployment-level overlay: the same resilience knobs on every tier (used
+    by [Pipeline.validate_under] so original and clone face failures with
+    identical armour). *)
 
 val find_tier : t -> string -> tier
 val is_microservice : t -> bool

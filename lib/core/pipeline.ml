@@ -70,6 +70,19 @@ type comparison = {
   synthetic_measured : (string * Measure.tier_result) list;
 }
 
+let comparison_of_outputs ~label (actual_out : Runner.output) (synth_out : Runner.output) =
+  {
+    label;
+    actual = actual_out.Runner.per_tier;
+    synthetic = synth_out.Runner.per_tier;
+    actual_end_to_end = actual_out.Runner.end_to_end;
+    synthetic_end_to_end = synth_out.Runner.end_to_end;
+    actual_raw = actual_out.Runner.service.Service.latency_raw;
+    synthetic_raw = synth_out.Runner.service.Service.latency_raw;
+    actual_measured = actual_out.Runner.measured;
+    synthetic_measured = synth_out.Runner.measured;
+  }
+
 let validate ?pool ?config_of ~platform ~load ~label result =
   Obs.Span.with_span ~name:"pipeline.validate" ~attrs:[ ("label", Obs.Str label) ]
   @@ fun () ->
@@ -84,16 +97,47 @@ let validate ?pool ?config_of ~platform ~load ~label result =
       (fun () -> Runner.run config ~load result.original)
       (fun () -> Runner.run config ~load result.synthetic)
   in
+  comparison_of_outputs ~label actual_out synth_out
+
+type chaos = {
+  chaos_label : string;
+  plan : Ditto_fault.Plan.t;
+  comparison : comparison;
+  actual_service : Service.result;
+  synthetic_service : Service.result;
+}
+
+let error_rate (r : Service.result) =
+  let total = r.Service.completed + r.Service.errors in
+  if total = 0 then 0.0 else float_of_int r.Service.errors /. float_of_int total
+
+let validate_under ?pool ?(resilience = Spec.resilient ()) ?(client_timeout = 0.03)
+    ?(client_retries = 1) ?config_of ~platform ~load ~plan ~label result =
+  Obs.Span.with_span ~name:"pipeline.validate_under"
+    ~attrs:
+      [ ("label", Obs.Str label); ("plan", Obs.Str plan.Ditto_fault.Plan.plan_name) ]
+  @@ fun () ->
+  let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
+  let base = match config_of with Some f -> f platform | None -> Runner.config platform in
+  let config = { base with Runner.fault_plan = Some plan } in
+  (* Both sides face the failure with identical armour: the same
+     deployment-level resilience overlay and the same client behaviour —
+     the comparison isolates the clone's fidelity, not its configuration. *)
+  let load =
+    { load with Service.client_timeout = Some client_timeout; client_retries }
+  in
+  let armour spec = Spec.with_resilience resilience spec in
+  let actual_out, synth_out =
+    Ditto_util.Pool.both pool
+      (fun () -> Runner.run config ~load (armour result.original))
+      (fun () -> Runner.run config ~load (armour result.synthetic))
+  in
   {
-    label;
-    actual = actual_out.Runner.per_tier;
-    synthetic = synth_out.Runner.per_tier;
-    actual_end_to_end = actual_out.Runner.end_to_end;
-    synthetic_end_to_end = synth_out.Runner.end_to_end;
-    actual_raw = actual_out.Runner.service.Service.latency_raw;
-    synthetic_raw = synth_out.Runner.service.Service.latency_raw;
-    actual_measured = actual_out.Runner.measured;
-    synthetic_measured = synth_out.Runner.measured;
+    chaos_label = label;
+    plan;
+    comparison = comparison_of_outputs ~label actual_out synth_out;
+    actual_service = actual_out.Runner.service;
+    synthetic_service = synth_out.Runner.service;
   }
 
 let comparison_errors c =

@@ -58,3 +58,36 @@ val validate :
 
 val comparison_errors : comparison -> (string * (string * float) list) list
 (** Per tier: the radar-axis error percentages. *)
+
+(** {1 Fidelity under failure} *)
+
+type chaos = {
+  chaos_label : string;
+  plan : Ditto_fault.Plan.t;
+  comparison : comparison;  (** degraded per-tier metrics, both sides *)
+  actual_service : Ditto_app.Service.result;
+  synthetic_service : Ditto_app.Service.result;
+}
+
+val error_rate : Ditto_app.Service.result -> float
+(** Failed fraction of client requests: errors / (completed + errors). *)
+
+val validate_under :
+  ?pool:Ditto_util.Pool.t ->
+  ?resilience:Ditto_app.Spec.resilience ->
+  ?client_timeout:float ->
+  ?client_retries:int ->
+  ?config_of:(Ditto_uarch.Platform.t -> Ditto_app.Runner.config) ->
+  platform:Ditto_uarch.Platform.t ->
+  load:Ditto_app.Service.load ->
+  plan:Ditto_fault.Plan.t ->
+  label:string ->
+  clone_result ->
+  chaos
+(** {!validate}, but with [plan] armed against both runs and the same
+    resilience armour ([resilience], default [Spec.resilient ()]; client
+    deadline [client_timeout], default 30 ms, with [client_retries],
+    default 1) overlaid on every tier of original and clone alike — so the
+    comparison probes whether the clone degrades like the original, not
+    whether it is configured like it. Deterministic for a given seed and
+    plan, for any pool size. *)

@@ -1,0 +1,94 @@
+type config = {
+  failure_threshold : float;
+  window : int;
+  cooldown : float;
+  half_open_probes : int;
+}
+
+let default_config =
+  { failure_threshold = 0.5; window = 16; cooldown = 0.05; half_open_probes = 2 }
+
+type state = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  mutable state : state;
+  outcomes : bool Queue.t;  (* sliding window of call successes, Closed only *)
+  mutable failures : int;  (* count of [false] entries in [outcomes] *)
+  mutable opened_at : float;
+  mutable probes_admitted : int;
+  mutable probe_successes : int;
+  mutable transitions : int;
+}
+
+let create ?(config = default_config) () =
+  if config.failure_threshold <= 0.0 || config.failure_threshold > 1.0 then
+    invalid_arg "Breaker.create: failure_threshold outside (0,1]";
+  if config.window <= 0 then invalid_arg "Breaker.create: window must be positive";
+  if config.cooldown < 0.0 then invalid_arg "Breaker.create: negative cooldown";
+  if config.half_open_probes <= 0 then
+    invalid_arg "Breaker.create: half_open_probes must be positive";
+  {
+    config;
+    state = Closed;
+    outcomes = Queue.create ();
+    failures = 0;
+    opened_at = neg_infinity;
+    probes_admitted = 0;
+    probe_successes = 0;
+    transitions = 0;
+  }
+
+let state t = t.state
+let transitions t = t.transitions
+
+let transition t state =
+  t.state <- state;
+  t.transitions <- t.transitions + 1;
+  Queue.clear t.outcomes;
+  t.failures <- 0;
+  t.probes_admitted <- 0;
+  t.probe_successes <- 0
+
+let allow t ~now =
+  match t.state with
+  | Closed -> true
+  | Open ->
+      if now -. t.opened_at >= t.config.cooldown then begin
+        transition t Half_open;
+        t.probes_admitted <- 1;
+        true
+      end
+      else false
+  | Half_open ->
+      if t.probes_admitted < t.config.half_open_probes then begin
+        t.probes_admitted <- t.probes_admitted + 1;
+        true
+      end
+      else false
+
+let record t ~now ~ok =
+  match t.state with
+  | Open -> ()
+  | Half_open ->
+      if not ok then begin
+        transition t Open;
+        t.opened_at <- now
+      end
+      else begin
+        t.probe_successes <- t.probe_successes + 1;
+        if t.probe_successes >= t.config.half_open_probes then transition t Closed
+      end
+  | Closed ->
+      Queue.push ok t.outcomes;
+      if not ok then t.failures <- t.failures + 1;
+      if Queue.length t.outcomes > t.config.window then
+        if not (Queue.pop t.outcomes) then t.failures <- t.failures - 1;
+      let n = Queue.length t.outcomes in
+      if
+        n >= t.config.window
+        && float_of_int t.failures /. float_of_int n >= t.config.failure_threshold
+      then begin
+        transition t Open;
+        t.opened_at <- now
+      end

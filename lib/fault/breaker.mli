@@ -1,0 +1,39 @@
+(** Per-downstream circuit breaker: closed / open / half-open.
+
+    Pure state machine — the caller passes the clock in, so it works
+    identically under the DES virtual clock and in unit tests. In [Closed]
+    it tracks a sliding window of the last [window] call outcomes and trips
+    to [Open] when the observed failure rate reaches [failure_threshold]
+    (once the window is full). [Open] fast-fails every call until [cooldown]
+    seconds have passed, then moves to [Half_open], which admits up to
+    [half_open_probes] probe calls: any probe failure re-opens the breaker,
+    [half_open_probes] consecutive successes close it. *)
+
+type config = {
+  failure_threshold : float;  (** trip when failures/window >= this, in (0,1] *)
+  window : int;  (** sliding window length, > 0 *)
+  cooldown : float;  (** seconds spent [Open] before probing *)
+  half_open_probes : int;  (** probe budget in [Half_open], > 0 *)
+}
+
+val default_config : config
+(** [{ failure_threshold = 0.5; window = 16; cooldown = 0.05; half_open_probes = 2 }] *)
+
+type state = Closed | Open | Half_open
+type t
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] on an out-of-range config. *)
+
+val state : t -> state
+
+val allow : t -> now:float -> bool
+(** May the caller attempt a call at time [now]? Performs the
+    [Open] -> [Half_open] transition once the cooldown has elapsed, and
+    accounts admitted half-open probes against the probe budget. *)
+
+val record : t -> now:float -> ok:bool -> unit
+(** Report the outcome of a call admitted by {!allow}. *)
+
+val transitions : t -> int
+(** Number of state changes so far (reported per tier via [Metrics]). *)

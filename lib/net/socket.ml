@@ -1,16 +1,28 @@
 open Ditto_sim
 
+type msg = { bytes : int; err : bool; arrived : float }
+type verdict = Deliver | Delay of float | Drop
+
 type endpoint = {
   engine : Engine.t;
-  inbox : (int * float) Queue.t;
+  inbox : msg Queue.t;
   mutable watchers : unit Engine.waker list;
   nic : Nic.t;
   latency : float;
   mutable peer : endpoint option;
+  mutable disruptor : (bytes:int -> verdict) option;
 }
 
 let make engine nic latency =
-  { engine; inbox = Queue.create (); watchers = []; nic; latency; peer = None }
+  {
+    engine;
+    inbox = Queue.create ();
+    watchers = [];
+    nic;
+    latency;
+    peer = None;
+    disruptor = None;
+  }
 
 let pair engine ~a_nic ~b_nic ~latency =
   let a = make engine a_nic latency and b = make engine b_nic latency in
@@ -18,32 +30,60 @@ let pair engine ~a_nic ~b_nic ~latency =
   b.peer <- Some a;
   (a, b)
 
+let set_disruptor ep f = ep.disruptor <- f
+
 let notify_watchers ep =
   let ws = ep.watchers in
   ep.watchers <- [];
   List.iter (fun w -> Engine.wake w ()) ws
 
-let send ep ~bytes =
+let send ?(err = false) ep ~bytes =
   match ep.peer with
   | None -> invalid_arg "Socket.send: unconnected"
-  | Some peer ->
+  | Some peer -> (
       Nic.transmit ep.nic ~bytes;
-      let deliver_at = Engine.time () +. ep.latency in
-      Engine.schedule ep.engine deliver_at (fun () ->
-          Nic.note_received peer.nic ~bytes;
-          Queue.push (bytes, deliver_at) peer.inbox;
-          notify_watchers peer)
+      let verdict = match ep.disruptor with None -> Deliver | Some f -> f ~bytes in
+      match verdict with
+      | Drop -> ()
+      | Deliver | Delay _ ->
+          let extra = match verdict with Delay d -> d | _ -> 0.0 in
+          let deliver_at = Engine.time () +. ep.latency +. extra in
+          Engine.schedule ep.engine deliver_at (fun () ->
+              Nic.note_received peer.nic ~bytes;
+              Queue.push { bytes; err; arrived = deliver_at } peer.inbox;
+              notify_watchers peer))
 
-let rec recv_timed ep =
+let rec recv_msg ep =
   match Queue.take_opt ep.inbox with
   | Some msg -> msg
   | None ->
       Engine.suspend (fun w -> ep.watchers <- w :: ep.watchers);
-      recv_timed ep
+      recv_msg ep
 
-let recv ep = fst (recv_timed ep)
-let try_recv_timed ep = Queue.take_opt ep.inbox
-let try_recv ep = Option.map fst (try_recv_timed ep)
+let recv_timed ep =
+  let m = recv_msg ep in
+  (m.bytes, m.arrived)
+
+let recv ep = (recv_msg ep).bytes
+let try_recv_msg ep = Queue.take_opt ep.inbox
+let try_recv_timed ep = Option.map (fun m -> (m.bytes, m.arrived)) (try_recv_msg ep)
+let try_recv ep = Option.map (fun m -> m.bytes) (try_recv_msg ep)
+
+let recv_msg_timeout ep ~timeout =
+  let deadline = Engine.time () +. timeout in
+  let rec go () =
+    match Queue.take_opt ep.inbox with
+    | Some msg -> Some msg
+    | None ->
+        let left = deadline -. Engine.time () in
+        if left <= 0.0 then None
+        else (
+          match Engine.suspend_timeout left (fun w -> ep.watchers <- w :: ep.watchers) with
+          | None -> None
+          | Some () -> go ())
+  in
+  go ()
+
 let pending ep = Queue.length ep.inbox
 
 module Epoll = struct
@@ -63,6 +103,9 @@ module Epoll = struct
 
   let ready t = List.filter (fun ep -> not (Queue.is_empty ep.inbox)) t.endpoints
 
+  let pending_total t =
+    List.fold_left (fun acc ep -> acc + Queue.length ep.inbox) 0 t.endpoints
+
   let register t w =
     t.waiters <- w :: List.filter (fun w' -> not (Engine.is_woken w')) t.waiters;
     List.iter (fun ep -> ep.watchers <- w :: ep.watchers) t.endpoints
@@ -75,6 +118,9 @@ module Epoll = struct
         | None ->
             Engine.suspend (fun w -> register t w);
             wait t
+        (* timeout:0. is a poll: report emptiness without suspending (no
+           engine effect is performed, so this is callable anywhere). *)
+        | Some d when d <= 0.0 -> []
         | Some d -> (
             match Engine.suspend_timeout d (fun w -> register t w) with
             | None -> []

@@ -4,9 +4,23 @@
     data). A send serialises through the local NIC, crosses the link
     latency, then lands in the peer's receive queue and wakes any epoll
     waiter — giving the I/O-multiplexing server model of §4.3.1 its real
-    blocking structure. *)
+    blocking structure.
+
+    For the chaos layer ({!Ditto_fault}), deliveries additionally carry an
+    error flag (a load-shed or failed RPC answers with [err = true]) and can
+    be vetoed or delayed per message by an installed {!set_disruptor}
+    callback. *)
 
 type endpoint
+
+type msg = { bytes : int; err : bool; arrived : float }
+(** [arrived] is the delivery time — the instant the message entered the
+    receive queue, for measuring server-side queueing. *)
+
+type verdict = Deliver | Delay of float | Drop
+(** Fate of one delivery, decided by a disruptor: deliver normally, deliver
+    after an extra one-way delay (seconds), or silently drop. The sender's
+    NIC still serialises dropped messages (the bytes left the host). *)
 
 val pair :
   Ditto_sim.Engine.t ->
@@ -16,18 +30,30 @@ val pair :
   endpoint * endpoint
 (** A connected socket; [latency] is the one-way propagation delay. *)
 
-val send : endpoint -> bytes:int -> unit
-(** Blocking send from within a process (NIC queueing + serialisation). *)
+val set_disruptor : endpoint -> (bytes:int -> verdict) option -> unit
+(** Install (or clear) a per-send delivery verdict for this direction of the
+    link. [None] (the default) delivers everything. *)
+
+val send : ?err:bool -> endpoint -> bytes:int -> unit
+(** Blocking send from within a process (NIC queueing + serialisation).
+    [err] marks the message as an application-level error response. *)
 
 val recv : endpoint -> int
 (** Blocking receive; returns the message size. *)
 
 val recv_timed : endpoint -> int * float
-(** Blocking receive returning (size, delivery time) — the instant the
-    message entered the receive queue, for measuring server-side queueing. *)
+(** Blocking receive returning (size, delivery time). *)
+
+val recv_msg : endpoint -> msg
+(** Blocking receive of the full message record. *)
+
+val recv_msg_timeout : endpoint -> timeout:float -> msg option
+(** Blocking receive with a deadline; [None] once [timeout] seconds pass
+    without a delivery. *)
 
 val try_recv : endpoint -> int option
 val try_recv_timed : endpoint -> (int * float) option
+val try_recv_msg : endpoint -> msg option
 val pending : endpoint -> int
 
 (** {1 I/O multiplexing} *)
@@ -40,5 +66,11 @@ module Epoll : sig
 
   val wait : ?timeout:float -> t -> endpoint list
   (** Block until at least one registered endpoint is readable; returns the
-      ready endpoints ([] only on timeout). *)
+      ready endpoints ([] only on timeout). A non-positive [timeout] polls:
+      it returns the currently ready endpoints — possibly [] — without
+      blocking or yielding. *)
+
+  val pending_total : t -> int
+  (** Total queued messages across all registered endpoints (the tier's
+      accept-queue depth, used for load shedding). *)
 end

@@ -20,6 +20,11 @@ let default_tolerances =
     ("latency avg", 10.0);
     ("latency p95", 12.0);
     ("latency p99", 15.0);
+    (* chaos keys: failure-mode fidelity moves with every queueing shift,
+       so the gate is wider than the steady-state rows *)
+    ("error_rate_pp", 4.0);
+    ("p99_err_pct", 20.0);
+    ("throughput_err_pct", 10.0);
   ]
 
 let last_component key =
@@ -56,9 +61,29 @@ let flatten json =
                  rows
            | _ -> [])
   in
-  errors @ scorecards
+  let chaos =
+    obj_entries (J.member "chaos" json)
+    |> List.map (fun (key, v) -> ("chaos/" ^ key, J.to_float v))
+  in
+  errors @ scorecards @ chaos
 
 let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
+
+let merge ~into:base current =
+  (* Tolerances the baseline pinned win, but metric families introduced
+     after the baseline was written (e.g. the chaos keys) get their
+     code-default slack instead of silently falling back to "default". *)
+  let tolerance_pp =
+    base.tolerance_pp
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k base.tolerance_pp)) default_tolerances
+  in
+  let metrics =
+    List.map
+      (fun (k, v) -> (k, match List.assoc_opt k current with Some v' -> v' | None -> v))
+      base.metrics
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k base.metrics)) current
+  in
+  { tolerance_pp; metrics }
 
 let diff t current =
   let regressions, checked =

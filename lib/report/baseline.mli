@@ -30,10 +30,21 @@ val tolerance_for : t -> string -> float
 
 val flatten : Ditto_util.Jsonx.t -> (string * float) list
 (** Extract comparable metrics from a [bench --json] document:
-    ["mean_error_pct/<axis>"] entries plus
-    ["scorecards/<app>/<tier>/<metric>"] row errors. *)
+    ["mean_error_pct/<axis>"] entries,
+    ["scorecards/<app>/<tier>/<metric>"] row errors, and
+    ["chaos/<app>/<plan>/<metric>"] failure-fidelity errors. *)
 
 val make : ?tolerance_pp:(string * float) list -> (string * float) list -> t
+(** A baseline with the given metrics. *)
+
+val merge : into:t -> (string * float) list -> t
+(** Overlay freshly measured metrics onto an existing baseline: keys in
+    [current] replace or extend [into]'s metrics, keys only in [into] are
+    kept — so a partial run (e.g. [--apps] or a chaos-only pass) can update
+    its slice without discarding the rest of the committed baseline.
+    Tolerances pinned by [into] are preserved; default tolerances for
+    metric families [into] predates are filled in. *)
+
 val diff : t -> (string * float) list -> regression list * int
 (** [diff baseline current] returns the regressions (current error exceeds
     baseline + tolerance) and the number of keys compared. Keys present on

@@ -1,6 +1,6 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 3
+let schema_version = 4
 
 type input = {
   domains : int;
@@ -11,6 +11,7 @@ type input = {
   tuning : (string * J.t) list;
   metrics : (string * float) list;
   scorecards : Scorecard.t list;
+  chaos : (string * float) list;
 }
 
 let num_obj kvs = J.Obj (List.map (fun (k, v) -> (k, J.Num v)) kvs)
@@ -33,6 +34,7 @@ let assemble i =
       ( "scorecards",
         J.Obj (List.map (fun (s : Scorecard.t) -> (s.Scorecard.app, Scorecard.to_json s)) i.scorecards)
       );
+      ("chaos", num_obj i.chaos);
     ]
 
 (* Shape checking: a tiny combinator layer over Jsonx keeps the error
@@ -109,4 +111,5 @@ let validate json =
   let* () = field path json "mean_error_pct" (obj_of num) in
   let* () = field path json "tuning" (obj_of any) in
   let* () = field path json "metrics" (obj_of num) in
-  field path json "scorecards" (obj_of scorecard)
+  let* () = field path json "scorecards" (obj_of scorecard) in
+  field path json "chaos" (obj_of num)

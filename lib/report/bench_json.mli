@@ -1,11 +1,13 @@
 (** Schema and assembly of the [bench --json] document.
 
-    Schema version 3 adds the embedded clone-accuracy scorecards (keyed by
-    app under ["scorecards"]) to the v2 fields; {!validate} is the shape
-    check the test suite and downstream tooling run against emitted files,
-    so schema drift fails loudly instead of silently. *)
+    Schema version 3 added the embedded clone-accuracy scorecards (keyed
+    by app under ["scorecards"]); version 4 adds the flat ["chaos"] section
+    (fidelity-under-failure metrics keyed ["<app>/<plan>/<metric>"]).
+    {!validate} is the shape check the test suite and downstream tooling
+    run against emitted files, so schema drift fails loudly instead of
+    silently. *)
 
-val schema_version : int  (** 3 *)
+val schema_version : int  (** 4 *)
 
 type input = {
   domains : int;
@@ -17,6 +19,9 @@ type input = {
       (** app -> {!Ditto_tune.Tuner.report_to_json} *)
   metrics : (string * float) list;  (** {!Ditto_obs.Obs.Metrics.snapshot} *)
   scorecards : Scorecard.t list;
+  chaos : (string * float) list;
+      (** "<app>/<plan>/<metric>" -> value, from [bench --chaos]; empty
+          when the chaos experiment did not run *)
 }
 
 val assemble : input -> Ditto_util.Jsonx.t

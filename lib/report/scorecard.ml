@@ -15,12 +15,23 @@ type row = {
   knob_group : string option;
 }
 
+type failure_row = {
+  f_metric : string;
+  f_actual : float;
+  f_synthetic : float;
+  f_delta : float;
+  f_pass : bool;
+}
+
+type failure_section = { fail_plan : string; failure_rows : failure_row list }
+
 type t = {
   app : string;
   label : string;
   target_pct : float;
   rows : row list;
   attribution : (string * float) list;
+  failure : failure_section option;
 }
 
 let err_pct ~actual ~synthetic =
@@ -79,7 +90,76 @@ let of_comparison ?(target_pct = 5.0) ~app ?tuning (c : Pipeline.comparison) =
     | Some (r : Ditto_tune.Tuner.report) ->
         List.map (fun (k, e) -> (k, 100.0 *. e)) r.Ditto_tune.Tuner.attribution
   in
-  { app; label = c.Pipeline.label; target_pct; rows; attribution }
+  { app; label = c.Pipeline.label; target_pct; rows; attribution; failure = None }
+
+(* Failure-fidelity rows. Rates compare in percentage points, latency and
+   throughput in relative percent; raw resilience counters (timeouts, shed,
+   ...) are noisy per-event tallies, so they pass within 50% of the larger
+   side or an absolute slack of 10 events. *)
+let of_chaos ?(target_pct = 5.0) ~app ?tuning (ch : Pipeline.chaos) =
+  let base = of_comparison ~target_pct ~app ?tuning ch.Pipeline.comparison in
+  let a_svc = ch.Pipeline.actual_service and s_svc = ch.Pipeline.synthetic_service in
+  let rate_row metric a s =
+    let delta = 100.0 *. Float.abs (s -. a) in
+    { f_metric = metric; f_actual = a; f_synthetic = s; f_delta = delta; f_pass = delta <= target_pct }
+  in
+  let rel_row metric a s =
+    let delta = err_pct ~actual:a ~synthetic:s in
+    { f_metric = metric; f_actual = a; f_synthetic = s; f_delta = delta; f_pass = delta <= target_pct }
+  in
+  let count_row metric a s =
+    let a = float_of_int a and s = float_of_int s in
+    let delta = Float.abs (s -. a) in
+    let slack = Float.max 10.0 (0.5 *. Float.max a s) in
+    { f_metric = metric; f_actual = a; f_synthetic = s; f_delta = delta; f_pass = delta <= slack }
+  in
+  let app_rows =
+    [
+      rate_row "error_rate" (Pipeline.error_rate a_svc) (Pipeline.error_rate s_svc);
+      rel_row "lat_p99" a_svc.Service.latency.Ditto_util.Stats.p99
+        s_svc.Service.latency.Ditto_util.Stats.p99;
+      rel_row "throughput" a_svc.Service.achieved_qps s_svc.Service.achieved_qps;
+      count_row "client_timeouts" a_svc.Service.client_timeouts s_svc.Service.client_timeouts;
+      count_row "client_retries" a_svc.Service.client_retries s_svc.Service.client_retries;
+    ]
+  in
+  let tier_rows =
+    List.concat_map
+      (fun (a_obs : Service.tier_obs) ->
+        match
+          List.find_opt
+            (fun (o : Service.tier_obs) -> o.Service.obs_name = a_obs.Service.obs_name)
+            s_svc.Service.tiers
+        with
+        | None -> []
+        | Some s_obs ->
+            let tier = a_obs.Service.obs_name in
+            List.filter_map
+              (fun (metric, a, s) ->
+                if a = 0 && s = 0 then None
+                else Some (count_row (tier ^ "/" ^ metric) a s))
+              [
+                ("timeouts", a_obs.Service.obs_timeouts, s_obs.Service.obs_timeouts);
+                ("retries", a_obs.Service.obs_retries, s_obs.Service.obs_retries);
+                ("shed", a_obs.Service.obs_shed, s_obs.Service.obs_shed);
+                ("failures", a_obs.Service.obs_failures, s_obs.Service.obs_failures);
+                ( "breaker_transitions",
+                  a_obs.Service.obs_breaker_transitions,
+                  s_obs.Service.obs_breaker_transitions );
+                ("link_drops", a_obs.Service.obs_link_drops, s_obs.Service.obs_link_drops);
+              ])
+      a_svc.Service.tiers
+  in
+  {
+    base with
+    label = ch.Pipeline.chaos_label;
+    failure =
+      Some
+        {
+          fail_plan = ch.Pipeline.plan.Ditto_fault.Plan.plan_name;
+          failure_rows = app_rows @ tier_rows;
+        };
+  }
 
 let passed t =
   List.for_all (fun r -> match r.knob_group with Some _ -> r.pass | None -> true) t.rows
@@ -96,16 +176,38 @@ let row_to_json r =
       ("knob_group", match r.knob_group with Some g -> J.Str g | None -> J.Null);
     ]
 
-let to_json t =
+let failure_row_to_json r =
   J.Obj
     [
-      ("app", J.Str t.app);
-      ("label", J.Str t.label);
-      ("target_pct", J.Num t.target_pct);
-      ("passed", J.Bool (passed t));
-      ("rows", J.List (List.map row_to_json t.rows));
-      ("attribution", J.Obj (List.map (fun (k, e) -> (k, J.Num e)) t.attribution));
+      ("metric", J.Str r.f_metric);
+      ("actual", J.Num r.f_actual);
+      ("synthetic", J.Num r.f_synthetic);
+      ("delta", J.Num r.f_delta);
+      ("pass", J.Bool r.f_pass);
     ]
+
+let to_json t =
+  J.Obj
+    ([
+       ("app", J.Str t.app);
+       ("label", J.Str t.label);
+       ("target_pct", J.Num t.target_pct);
+       ("passed", J.Bool (passed t));
+       ("rows", J.List (List.map row_to_json t.rows));
+       ("attribution", J.Obj (List.map (fun (k, e) -> (k, J.Num e)) t.attribution));
+     ]
+    @
+    match t.failure with
+    | None -> []
+    | Some f ->
+        [
+          ( "failure",
+            J.Obj
+              [
+                ("plan", J.Str f.fail_plan);
+                ("rows", J.List (List.map failure_row_to_json f.failure_rows));
+              ] );
+        ])
 
 let print t =
   let cells r =
@@ -129,4 +231,20 @@ let print t =
     Printf.printf "  residual tuning error by knob group:";
     List.iter (fun (k, e) -> Printf.printf " %s=%.1f%%" k e) t.attribution;
     print_newline ()
-  end
+  end;
+  match t.failure with
+  | None -> ()
+  | Some f ->
+      Table.print
+        ~title:(Printf.sprintf "Failure fidelity — %s under %s" t.app f.fail_plan)
+        ~header:[ "metric"; "actual"; "synthetic"; "delta"; "ok" ]
+        (List.map
+           (fun r ->
+             [
+               r.f_metric;
+               Table.fmt_float r.f_actual;
+               Table.fmt_float r.f_synthetic;
+               Table.fmt_float r.f_delta;
+               (if r.f_pass then "ok" else "FAIL");
+             ])
+           f.failure_rows)

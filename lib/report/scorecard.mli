@@ -20,6 +20,22 @@ type row = {
           service-level rows (throughput, latency) *)
 }
 
+(** One row of the failure-fidelity section (chaos runs): rates compare in
+    percentage points, latency/throughput in relative percent, resilience
+    counters (timeouts, retries, shed, breaker transitions, link drops)
+    with a lenient count slack. *)
+type failure_row = {
+  f_metric : string;
+      (** "error_rate" | "lat_p99" | "throughput" | "client_timeouts" |
+          "client_retries" | "<tier>/<counter>" *)
+  f_actual : float;
+  f_synthetic : float;
+  f_delta : float;  (** pp, relative %, or absolute count difference *)
+  f_pass : bool;
+}
+
+type failure_section = { fail_plan : string; failure_rows : failure_row list }
+
 type t = {
   app : string;
   label : string;  (** validation label, e.g. the load point *)
@@ -28,6 +44,9 @@ type t = {
   attribution : (string * float) list;
       (** residual tuning error (percent) per "tier/group", from
           {!Ditto_tune.Tuner.report.attribution} *)
+  failure : failure_section option;
+      (** present for {!of_chaos} scorecards: how faithfully the clone
+          degrades under the fault plan *)
 }
 
 val of_comparison :
@@ -38,6 +57,17 @@ val of_comparison :
   t
 (** Build the scorecard from a {!Ditto_core.Pipeline.validate} result.
     [target_pct] defaults to 5.0 (the paper's 95% accuracy bar). *)
+
+val of_chaos :
+  ?target_pct:float ->
+  app:string ->
+  ?tuning:Ditto_tune.Tuner.report ->
+  Ditto_core.Pipeline.chaos ->
+  t
+(** Scorecard for a {!Ditto_core.Pipeline.validate_under} run: the usual
+    degraded counter rows plus a {!failure_section} comparing error rate
+    (pp), degraded p99 / throughput (relative %) and per-tier resilience
+    counters between original and clone. *)
 
 val passed : t -> bool
 (** True when every counter row (those with a [knob_group]) passes;

@@ -22,26 +22,68 @@ let tag_int tags key =
   in
   go tags
 
+exception Ingest_error of { span_id : string; reason : string }
+
+let ingest_error span_id fmt =
+  Printf.ksprintf (fun reason -> raise (Ingest_error { span_id; reason })) fmt
+
 let span_of_json json =
+  let sid_hex = J.to_str (J.member "spanID" json) in
+  let span_id = id_of_hex sid_hex in
   let parent_span =
-    (* First CHILD_OF reference wins; spans without one are roots. *)
+    (* First CHILD_OF reference wins; spans without one are roots. A
+       reference that names the span itself or carries a non-hex id is
+       content corruption, not a shape error, so it names the span. *)
     let refs = match J.member "references" json with J.List l -> l | _ -> [] in
     List.find_map
       (fun r ->
         match J.member "refType" r with
-        | J.Str "CHILD_OF" -> Some (id_of_hex (J.to_str (J.member "spanID" r)))
+        | J.Str "CHILD_OF" -> (
+            match id_of_hex (J.to_str (J.member "spanID" r)) with
+            | p -> Some p
+            | exception J.Parse_error msg ->
+                ingest_error sid_hex "malformed parent reference: %s" msg)
         | _ -> None)
       refs
   in
+  if parent_span = Some span_id then ingest_error sid_hex "span is its own parent";
+  (match J.member "duration" json with
+  | J.Num d when d < 0.0 -> ingest_error sid_hex "negative duration %g" d
+  | _ -> ());
   let tags = match J.member "tags" json with J.List l -> l | _ -> [] in
   {
     Span.trace_id = id_of_hex (J.to_str (J.member "traceID" json));
-    span_id = id_of_hex (J.to_str (J.member "spanID" json));
+    span_id;
     parent_span;
     service = J.to_str (J.member "operationName" json);
     req_bytes = tag_int tags "req_bytes";
     resp_bytes = tag_int tags "resp_bytes";
   }
+
+(* Reject parent cycles before anything downstream (Dag.of_spans ancestry
+   walks) can loop on them. The walk is iterative and bounded by the
+   number of parented spans, so a cycle of any length is detected without
+   recursion depth entering the picture. *)
+let check_acyclic spans =
+  let parent = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Span.t) ->
+      Option.iter (fun p -> Hashtbl.replace parent s.Span.span_id p) s.Span.parent_span)
+    spans;
+  let bound = Hashtbl.length parent + 1 in
+  List.iter
+    (fun (s : Span.t) ->
+      let rec walk id steps =
+        if steps > bound then
+          ingest_error (Printf.sprintf "%x" s.Span.span_id) "cyclic parent references"
+        else
+          match Hashtbl.find_opt parent id with
+          | Some p -> walk p (steps + 1)
+          | None -> ()
+      in
+      walk s.Span.span_id 0)
+    spans;
+  spans
 
 let of_json json =
   match J.member "data" json with
@@ -52,6 +94,7 @@ let of_json json =
           | J.List spans -> List.map span_of_json spans
           | _ -> raise (J.Parse_error "trace entry without spans"))
         traces
+      |> check_acyclic
   | _ -> raise (J.Parse_error "expected {\"data\": [...]}")
 
 let of_string s = of_json (J.of_string s)

@@ -7,7 +7,16 @@
     [operationName] becomes the service name; [req_bytes]/[resp_bytes] are
     read from integer tags of those names and default to 0. *)
 
+exception Ingest_error of { span_id : string; reason : string }
+(** A structurally valid Jaeger document whose span content is broken:
+    a malformed [CHILD_OF] reference, a span that is its own parent or
+    sits on a parent cycle, or a negative [duration]. [span_id] is the
+    offending span's id as written in the document. Raised instead of
+    looping or overflowing in downstream DAG recovery. *)
+
 val of_json : Ditto_util.Jsonx.t -> Span.t list
 val of_string : string -> Span.t list
 (** Raise {!Ditto_util.Jsonx.Parse_error} on malformed input (bad JSON,
-    missing fields, non-hex ids). *)
+    missing fields, non-hex ids) and {!Ingest_error} on well-formed JSON
+    carrying broken span content. The returned spans are guaranteed
+    cycle-free, so {!Dag.of_spans} terminates on them. *)

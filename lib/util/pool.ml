@@ -93,7 +93,24 @@ let shutdown pool =
   Mutex.unlock pool.mutex;
   List.iter Domain.join domains
 
-let sequential_map f xs = List.map f xs
+(* Mirror the parallel path's failure semantics: run every task even after
+   one raises, then re-raise the first (submission-order) exception at the
+   join — so a failing batch has the same side effects at any pool size. *)
+let sequential_map f xs =
+  let first_error = ref None in
+  let results =
+    List.map
+      (fun x ->
+        try Some (f x)
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if !first_error = None then first_error := Some (e, bt);
+          None)
+      xs
+  in
+  match !first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> List.map (function Some r -> r | None -> assert false) results
 
 let map pool f xs =
   match xs with

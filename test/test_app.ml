@@ -284,6 +284,7 @@ let test_metrics_errors () =
       topdown =
         { Ditto_uarch.Counters.retiring = 0.25; frontend = 0.25; bad_speculation = 0.25; backend = 0.25 };
       counters = Ditto_uarch.Counters.create ();
+      faults = Metrics.no_faults;
     }
   in
   let errs = Metrics.error_pct ~actual:(mk 1.0 0.1) ~synthetic:(mk 1.1 0.1) in

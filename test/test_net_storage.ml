@@ -177,6 +177,27 @@ let test_epoll_timeout () =
   Engine.run engine;
   Alcotest.(check int) "timeout returns empty" 0 (List.length !result)
 
+let test_epoll_zero_timeout_polls () =
+  (* timeout:0. is a poll: with data queued it returns the ready endpoints,
+     and empty it returns [] instead of blocking. The empty-poll path must
+     perform no engine effect — calling it outside any process context
+     (below, after Engine.run has finished) would crash if it suspended. *)
+  let engine = Engine.create () in
+  let a, b = make_pair engine in
+  let ep = Socket.Epoll.create () in
+  Socket.Epoll.add ep b;
+  Engine.spawn engine (fun () ->
+      Alcotest.(check int) "empty poll returns immediately" 0
+        (List.length (Socket.Epoll.wait ~timeout:0.0 ep));
+      Alcotest.(check (float 1e-12)) "no virtual time consumed" 0.0 (Engine.time ());
+      Socket.send a ~bytes:3;
+      Engine.wait 1.0;
+      Alcotest.(check int) "queued data polls ready" 1
+        (List.length (Socket.Epoll.wait ~timeout:0.0 ep)));
+  Engine.run engine;
+  Alcotest.(check int) "callable outside process context" 1
+    (List.length (Socket.Epoll.wait ~timeout:0.0 ep))
+
 let test_epoll_add_while_waiting () =
   (* Regression: a connection attached after the worker parked in wait must
      still wake it (without this, first requests stall a full timeout). *)
@@ -237,6 +258,7 @@ let () =
         [
           Alcotest.test_case "ready and wait" `Quick test_epoll_ready_and_wait;
           Alcotest.test_case "timeout" `Quick test_epoll_timeout;
+          Alcotest.test_case "zero timeout polls" `Quick test_epoll_zero_timeout_polls;
           Alcotest.test_case "add while waiting" `Quick test_epoll_add_while_waiting;
           Alcotest.test_case "multiple endpoints" `Quick test_epoll_multiple_endpoints;
         ] );

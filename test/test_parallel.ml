@@ -32,6 +32,75 @@ let test_map_exception size () =
       Alcotest.(check (list int)) "usable after failure" [ 2; 4 ]
         (Pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
 
+(* {2 Failure paths}
+
+   The speculative tuner and the chaos harness lean on these guarantees: a
+   raising task must not leak domains or wedge the joiner, and when several
+   candidates fail the winner is decided by submission order, not by which
+   domain happened to crash first. *)
+
+exception Boom of int
+
+let test_map_exception_order size () =
+  (* Task 0 fails slowly, task 1 fails instantly: with 2+ domains task 1's
+     exception lands first in wall-clock order, but the join must still
+     re-raise task 0's — the deterministic, pool-size-independent choice. *)
+  with_pool size (fun pool ->
+      Alcotest.check_raises "lowest submission index wins" (Boom 0) (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 if i = 0 then begin
+                   Unix.sleepf 0.05;
+                   raise (Boom 0)
+                 end
+                 else raise (Boom i))
+               [ 0; 1; 2; 3 ])))
+
+let test_map_failure_runs_batch_to_completion size () =
+  (* One failure must not cancel siblings: every task still executes
+     exactly once (joiners would otherwise wait on abandoned slots). *)
+  with_pool size (fun pool ->
+      let ran = Array.make 8 false in
+      (try
+         ignore
+           (Pool.map pool
+              (fun i ->
+                ran.(i) <- true;
+                if i = 3 then failwith "mid-batch")
+              (List.init 8 (fun i -> i)))
+       with Failure _ -> ());
+      Alcotest.(check bool) "all siblings ran" true (Array.for_all Fun.id ran))
+
+let test_nested_map_failure size () =
+  (* An inner map raising from inside a pool task: the inner join re-raises
+     on the worker, the outer join re-raises to the caller, and nothing
+     deadlocks — the helping scheme keeps draining through the unwind. *)
+  with_pool size (fun pool ->
+      Alcotest.check_raises "inner failure surfaces" (Boom 42) (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 List.length
+                   (Pool.map pool
+                      (fun j -> if i = 2 && j = 1 then raise (Boom 42) else j)
+                      [ 0; 1; 2 ]))
+               (List.init 6 (fun i -> i))));
+      (* repeated failing batches leave no wedged worker behind *)
+      for _ = 1 to 3 do
+        try ignore (Pool.map pool (fun () -> failwith "again") [ (); (); () ])
+        with Failure _ -> ()
+      done;
+      Alcotest.(check (list int)) "pool still maps" [ 1; 2; 3 ]
+        (Pool.map pool succ [ 0; 1; 2 ]))
+
+let test_both_failure () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "left thunk's exception" (Boom 1) (fun () ->
+          ignore (Pool.both pool (fun () -> raise (Boom 1)) (fun () -> 2)));
+      let a, b = Pool.both pool (fun () -> 5) (fun () -> 6) in
+      Alcotest.(check (pair int int)) "usable after failure" (5, 6) (a, b))
+
 let test_both () =
   with_pool 4 (fun pool ->
       let a, b = Pool.both pool (fun () -> 1 + 2) (fun () -> "x" ^ "y") in
@@ -117,6 +186,15 @@ let () =
           Alcotest.test_case "map order (size 4)" `Quick (test_map_order 4);
           Alcotest.test_case "map exception (size 1)" `Quick (test_map_exception 1);
           Alcotest.test_case "map exception (size 4)" `Quick (test_map_exception 4);
+          Alcotest.test_case "exception order (size 1)" `Quick (test_map_exception_order 1);
+          Alcotest.test_case "exception order (size 4)" `Quick (test_map_exception_order 4);
+          Alcotest.test_case "failure runs batch (size 1)" `Quick
+            (test_map_failure_runs_batch_to_completion 1);
+          Alcotest.test_case "failure runs batch (size 4)" `Quick
+            (test_map_failure_runs_batch_to_completion 4);
+          Alcotest.test_case "nested map failure (size 1)" `Quick (test_nested_map_failure 1);
+          Alcotest.test_case "nested map failure (size 4)" `Quick (test_nested_map_failure 4);
+          Alcotest.test_case "both failure" `Quick test_both_failure;
           Alcotest.test_case "both" `Quick test_both;
           Alcotest.test_case "nested map" `Quick test_nested_map;
           Alcotest.test_case "env sizing" `Quick test_env_sizing;

@@ -191,6 +191,15 @@ let test_baseline_diff () =
   let llc = List.find (fun (r : Baseline.regression) -> r.Baseline.key <> "mean_error_pct/IPC") regs in
   Alcotest.(check (float 1e-9)) "llc tolerance from last component" 4.0 llc.Baseline.allowed_pp
 
+let test_baseline_merge () =
+  let base = Baseline.make [ ("a", 1.0); ("b", 2.0) ] in
+  let merged = Baseline.merge ~into:base [ ("b", 9.0); ("c", 3.0) ] in
+  (* replaced, kept, extended — in that order of interest *)
+  Alcotest.(check (float 1e-12)) "b replaced" 9.0 (List.assoc "b" merged.Baseline.metrics);
+  Alcotest.(check (float 1e-12)) "a kept" 1.0 (List.assoc "a" merged.Baseline.metrics);
+  Alcotest.(check (float 1e-12)) "c added" 3.0 (List.assoc "c" merged.Baseline.metrics);
+  Alcotest.(check int) "no duplicates" 3 (List.length merged.Baseline.metrics)
+
 let test_baseline_roundtrip () =
   let base = Baseline.make [ ("a/b", 1.5); ("c", 2.5) ] in
   let path = Filename.temp_file "ditto_base" ".json" in
@@ -216,6 +225,7 @@ let sample_doc () =
       tuning = [];
       metrics = [ ("sim.events", 1000.0) ];
       scorecards = [ card ];
+      chaos = [ ("redis/kill-mid-tier/error_rate_pp", 1.2) ];
     }
 
 let test_schema_valid () =
@@ -273,6 +283,8 @@ let test_flatten_keys () =
     (List.mem_assoc "mean_error_pct/IPC" flat);
   Alcotest.(check bool) "scorecard row key present" true
     (List.mem_assoc "scorecards/redis/redis/ipc" flat);
+  Alcotest.(check bool) "chaos key present" true
+    (List.mem_assoc "chaos/redis/kill-mid-tier/error_rate_pp" flat);
   Alcotest.(check bool) "all errors non-negative" true
     (List.for_all (fun (_, v) -> v >= 0.0) flat)
 
@@ -295,6 +307,7 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "diff" `Quick test_baseline_diff;
+          Alcotest.test_case "merge" `Quick test_baseline_merge;
           Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
         ] );
       ( "bench_json",

@@ -76,6 +76,72 @@ let test_dag_deep_chain () =
   Alcotest.(check string) "b calls c" "c" bc.Dag.callee;
   Alcotest.(check (list string)) "topological" [ "a"; "b"; "c" ] (Dag.topo_order dag)
 
+(* {1 Jaeger ingest hardening} *)
+
+(* Hand-written Jaeger documents: structurally valid JSON whose span
+   content is broken must raise the typed Ingest_error naming the span —
+   never Stack_overflow (cycles) or silent garbage (negative durations). *)
+let jaeger_doc spans =
+  Printf.sprintf {|{"data": [{"traceID": "1", "spans": [%s]}]}|} (String.concat ", " spans)
+
+let jaeger_span ?parent ?duration ~id () =
+  let refs =
+    match parent with
+    | None -> ""
+    | Some p -> Printf.sprintf {|, "references": [{"refType": "CHILD_OF", "spanID": "%s"}]|} p
+  in
+  let dur = match duration with None -> "" | Some d -> Printf.sprintf {|, "duration": %s|} d in
+  Printf.sprintf {|{"traceID": "1", "spanID": "%s", "operationName": "svc-%s"%s%s}|} id id refs
+    dur
+
+let check_ingest_error ~expect_span doc =
+  match Jaeger.of_string doc with
+  | spans -> Alcotest.failf "broken document accepted (%d spans)" (List.length spans)
+  | exception Jaeger.Ingest_error { span_id; reason = _ } ->
+      Alcotest.(check string) "offending span named" expect_span span_id
+
+let test_jaeger_valid_roundtrip () =
+  let doc =
+    jaeger_doc [ jaeger_span ~id:"a" (); jaeger_span ~id:"b" ~parent:"a" ~duration:"12.5" () ]
+  in
+  let spans = Jaeger.of_string doc in
+  Alcotest.(check int) "both spans" 2 (List.length spans);
+  Alcotest.(check bool) "one root" true (List.exists Span.root spans)
+
+let test_jaeger_self_parent () =
+  check_ingest_error ~expect_span:"a" (jaeger_doc [ jaeger_span ~id:"a" ~parent:"a" () ])
+
+let test_jaeger_cycle () =
+  (* b -> c -> d -> b: a cycle no single span's reference reveals. The old
+     recursive ancestry walk would never terminate on this. *)
+  check_ingest_error ~expect_span:"b"
+    (jaeger_doc
+       [
+         jaeger_span ~id:"a" ();
+         jaeger_span ~id:"b" ~parent:"c" ();
+         jaeger_span ~id:"c" ~parent:"d" ();
+         jaeger_span ~id:"d" ~parent:"b" ();
+       ])
+
+let test_jaeger_malformed_parent () =
+  check_ingest_error ~expect_span:"a"
+    (jaeger_doc [ jaeger_span ~id:"a" ~parent:"not-hex!" () ])
+
+let test_jaeger_negative_duration () =
+  check_ingest_error ~expect_span:"b"
+    (jaeger_doc [ jaeger_span ~id:"a" (); jaeger_span ~id:"b" ~parent:"a" ~duration:"-3" () ])
+
+let test_jaeger_long_chain_ok () =
+  (* A deep but acyclic chain must pass the cycle check (bound is the
+     parented-span count, not an arbitrary depth limit). *)
+  let n = 500 in
+  let spans =
+    jaeger_span ~id:"0" ()
+    :: List.init n (fun i ->
+           jaeger_span ~id:(Printf.sprintf "%x" (i + 1)) ~parent:(Printf.sprintf "%x" i) ())
+  in
+  Alcotest.(check int) "all ingested" (n + 1) (List.length (Jaeger.of_string (jaeger_doc spans)))
+
 (* {1 Collector over a real measured microservice} *)
 
 let collect_social () =
@@ -136,6 +202,15 @@ let () =
           Alcotest.test_case "no root" `Quick test_dag_no_root_rejected;
           Alcotest.test_case "deep chain" `Quick test_dag_deep_chain;
           Alcotest.test_case "pp" `Quick test_dag_pp_smoke;
+        ] );
+      ( "jaeger",
+        [
+          Alcotest.test_case "valid roundtrip" `Quick test_jaeger_valid_roundtrip;
+          Alcotest.test_case "self parent" `Quick test_jaeger_self_parent;
+          Alcotest.test_case "cycle" `Quick test_jaeger_cycle;
+          Alcotest.test_case "malformed parent ref" `Quick test_jaeger_malformed_parent;
+          Alcotest.test_case "negative duration" `Quick test_jaeger_negative_duration;
+          Alcotest.test_case "long acyclic chain" `Quick test_jaeger_long_chain_ok;
         ] );
       ( "collector",
         [
