@@ -19,9 +19,11 @@ echo "== dune build =="
 build_log="$tmpdir/build.log"
 dune build 2>&1 | tee "$build_log"
 # lib/obs, lib/report and lib/fault are the observability and chaos
-# layers: keep them warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault)"; then
-  echo "ci: FAIL — build warnings in lib/obs, lib/report or lib/fault" >&2
+# layers; lib/util, lib/uarch, lib/tune and bench carry the performance
+# architecture (pool futures, memo caches, machine pooling, the bench
+# DAG). Keep them all warning-clean.
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune)|bench/"; then
+  echo "ci: FAIL — build warnings in the gated modules" >&2
   exit 1
 fi
 
@@ -30,6 +32,17 @@ dune runtest
 
 echo "== bench smoke (micro kernels) =="
 dune exec bench/main.exe -- micro
+
+echo "== perf smoke (warm measurement memo beats the cold run) =="
+# perfsmoke clones redis once, then validates the same cell twice through
+# the runner: the second pass must be served by the measurement-phase memo
+# and come back faster. The experiment prints PERF-SMOKE-OK/FAIL.
+perf_log="$tmpdir/perfsmoke.log"
+dune exec bench/main.exe -- perfsmoke | tee "$perf_log"
+if ! grep -q "PERF-SMOKE-OK" "$perf_log"; then
+  echo "ci: FAIL — warm-memo run was not faster than the cold run" >&2
+  exit 1
+fi
 
 echo "== trace smoke (ditto_cli --trace, re-parsed with Jsonx) =="
 trace_file="$tmpdir/trace.json"

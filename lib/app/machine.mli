@@ -22,6 +22,13 @@ val create :
 
 val ncores : t -> int
 
+val release : t -> unit
+(** Return the machine's (memory hierarchy, cores) pair to a domain-local
+    free pool keyed on (platform, core count). A later {!create} with the
+    same key recycles the pair after an exhaustive reset, skipping the
+    dominant allocation cost; results stay bit-identical to a fresh build.
+    The caller must not use [t] after releasing it. *)
+
 val cycles_to_seconds : t -> float -> float
 (** Convert pipeline cycles to wall-clock seconds at the platform's
     frequency. *)

@@ -68,13 +68,26 @@ let housekeeping_rate = 2000.0
    never inside one), and each domain runs at most one measurement at a
    time, so per-domain state keeps concurrent runs from clobbering each
    other's touch marks. *)
-let touched_key : (int, unit) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+let touched_key : Bytes.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Bytes.make 256 '\000'))
 
 let exec_block core ~rng block ~iterations =
   let touched = Domain.DLS.get touched_key in
-  if not (Hashtbl.mem touched block.Ditto_isa.Block.uid) then begin
-    Hashtbl.add touched block.Ditto_isa.Block.uid ();
+  let uid = block.Ditto_isa.Block.uid in
+  let b = !touched in
+  let b =
+    (* Uids are a dense process-wide counter, so a byte per block stays
+       small; grow geometrically when a new spec pushes past the end. *)
+    if uid >= Bytes.length b then begin
+      let nb = Bytes.make (max (uid + 1) (2 * Bytes.length b)) '\000' in
+      Bytes.blit b 0 nb 0 (Bytes.length b);
+      touched := nb;
+      nb
+    end
+    else b
+  in
+  if Bytes.unsafe_get b uid = '\000' then begin
+    Bytes.unsafe_set b uid '\001';
     Ditto_isa.Block.reset_state block
   end;
   Core_model.exec_block core ~rng block ~iterations
@@ -100,7 +113,7 @@ let run_housekeeping cfg (machine : Machine.t) core_id rng scratch =
     in
     let block, iterations = Syscall.Kernel.housekeeping ~scale:cfg.syscall_scale () in
     let core = machine.Machine.cores.(core_id) in
-    for _ = 1 to min ticks 64 do
+    for _ = 1 to (if ticks < 64 then ticks else 64) do
       exec_block core ~rng block ~iterations
     done
   end
@@ -120,26 +133,27 @@ let run_request ?(profile = false) cfg (machine : Machine.t) stream ctr =
   let rng = stream.s_rng in
   Memory.set_counter machine.Machine.mem core_id ctr;
   let segs = ref [] in
-  let last_flush = ref ctr.Counters.cycles in
+  let last_flush = ref (Counters.cycles ctr) in
   let flush_cpu () =
-    let c = ctr.Counters.cycles in
+    let c = Counters.cycles ctr in
     if c > !last_flush then
       segs := Cpu (Machine.cycles_to_seconds machine (c -. !last_flush)) :: !segs;
     last_flush := c
   in
   let tier_name = stream.s_tier.Spec.tier_name in
   let phase = ref "recv" in
-  let last_prof = ref ctr.Counters.cycles in
+  let last_prof = ref (Counters.cycles ctr) in
   let prof frame =
     if profile then begin
-      let c = ctr.Counters.cycles in
+      let c = Counters.cycles ctr in
       Ditto_obs.Profiler.record ~stack:[ tier_name; !phase; frame ] ~cycles:(c -. !last_prof);
       last_prof := c
     end
   in
   let kernel kind =
     exec_kernel cfg core rng kind;
-    prof ("syscall:" ^ Syscall.name kind)
+    (* Build the frame label only when profiling: this runs per syscall. *)
+    if profile then prof ("syscall:" ^ Syscall.name kind)
   in
   let interp op =
     match op with
@@ -233,19 +247,19 @@ let measure_background cfg machine stream =
       Memory.set_counter machine.Machine.mem core_id stream.s_ctr;
       let ctr = stream.s_ctr in
       let segs = ref [] in
-      let last_flush = ref ctr.Counters.cycles in
+      let last_flush = ref (Counters.cycles ctr) in
       let flush_cpu () =
-        let c = ctr.Counters.cycles in
+        let c = Counters.cycles ctr in
         if c > !last_flush then
           segs := Cpu (Machine.cycles_to_seconds machine (c -. !last_flush)) :: !segs;
         last_flush := c
       in
       let profile = Ditto_obs.Profiler.enabled () in
       let tier_name = stream.s_tier.Spec.tier_name in
-      let last_prof = ref ctr.Counters.cycles in
+      let last_prof = ref (Counters.cycles ctr) in
       let prof frame =
         if profile then begin
-          let c = ctr.Counters.cycles in
+          let c = Counters.cycles ctr in
           Ditto_obs.Profiler.record
             ~stack:[ tier_name; "background"; frame ]
             ~cycles:(c -. !last_prof);
@@ -254,7 +268,7 @@ let measure_background cfg machine stream =
       in
       let kernel kind =
         exec_kernel cfg core rng kind;
-        prof ("syscall:" ^ Syscall.name kind)
+        if profile then prof ("syscall:" ^ Syscall.name kind)
       in
       List.iter
         (fun op ->
@@ -287,7 +301,8 @@ let measure_background cfg machine stream =
       Some (List.rev !segs)
 
 let run ?(config = default_config) ~(machine : Machine.t) ~seed ~requests tiers =
-  Domain.DLS.set touched_key (Hashtbl.create 256);
+  (let t = Domain.DLS.get touched_key in
+   Bytes.fill !t 0 (Bytes.length !t) '\000');
   let profile = Ditto_obs.Profiler.enabled () in
   if profile then Ditto_obs.Profiler.set_scale (Machine.cycles_to_seconds machine 1.0);
   let cfg = config in
@@ -340,7 +355,9 @@ let run ?(config = default_config) ~(machine : Machine.t) ~seed ~requests tiers 
   while remaining () do
     List.iter
       (fun stream ->
-        let burst = min cfg.interleave stream.s_remaining in
+        let burst =
+          if cfg.interleave < stream.s_remaining then cfg.interleave else stream.s_remaining
+        in
         for _ = 1 to burst do
           let core_id0 = stream.s_cores.(stream.s_rr mod Array.length stream.s_cores) in
           run_housekeeping cfg machine core_id0 stream.s_rng scratch;

@@ -54,3 +54,10 @@ val tier_metrics : output -> string -> Metrics.t
 val estimate_idle_per_request : qps:float -> workers:int -> float
 (** The mean per-worker idle gap used to scale kernel housekeeping
     pollution (exposed for tests). *)
+
+val measure_memo_stats : unit -> Ditto_uarch.Memo.stats
+(** Hit/miss statistics of this domain's measurement-phase memo. The
+    measurement phase is a deterministic function of (spec identity,
+    hosted tiers, platform, core count, page-cache size, measure scalars,
+    seed, requests) and is reused across runs with identical keys; memo
+    use is disabled under stressors or an active profiler. *)

@@ -18,7 +18,7 @@ type branch_spec = { m : int; n : int; invert : bool }
    Within each period of 2^(n+1) executions the first 2^(n+1-m) are taken;
    when m > n+1 only one period in 2^(m-n-1) contains a single taken slot. *)
 let branch_outcome ~m ~n k =
-  let m = max 0 m and n = max 0 n in
+  let m = if m > 0 then m else 0 and n = if n > 0 then n else 0 in
   let period_bits = n + 1 in
   let in_period = k land ((1 lsl period_bits) - 1) in
   if m <= period_bits then in_period < 1 lsl (period_bits - m)
@@ -117,36 +117,48 @@ let num_regs = 32
 (* Multiplicative hash onto a 64-byte-aligned slot of the window; constants
    from SplitMix64's finaliser so chains visit slots in a scattered order. *)
 let chase_next region ~start ~span addr =
-  let slots = max 1 (span / 64) in
+  let slots = if span > 64 then span / 64 else 1 in
   let h = (addr * 0x2545F4914F6CDD1D) land max_int in
   let slot = (h lsr 6) mod slots in
   region.region_base + start + (slot * 64)
 
-let resolve_mem ~rng temp =
+(* [resolve_mem_packed] returns [(addr lsl 1) lor shared] so the
+   per-instruction hot path of [Core_model.exec_block] gets address and
+   sharedness without allocating a tuple; No_mem packs to -2 (addr -1,
+   shared false). [resolve_mem] unpacks it for callers that want the pair. *)
+let resolve_mem_packed ~rng temp =
   match temp.mem with
-  | No_mem -> (-1, false)
-  | Fixed_offset { region; offset } -> (region.region_base + offset, region.shared)
+  | No_mem -> -2
+  | Fixed_offset { region; offset } ->
+      ((region.region_base + offset) lsl 1) lor Bool.to_int region.shared
   | Seq_stride { region; start; stride; span } ->
-      let span = max 64 span in
+      let span = if span > 64 then span else 64 in
       let pos = temp.seq_pos in
       temp.seq_pos <- pos + 1;
-      (region.region_base + start + (pos * stride mod span), region.shared)
+      ((region.region_base + start + (pos * stride mod span)) lsl 1)
+      lor Bool.to_int region.shared
   | Rand_uniform { region; start; span } ->
-      let lines = max 1 (span / 64) in
-      (region.region_base + start + (64 * Ditto_util.Rng.int rng lines), region.shared)
+      let lines = if span > 64 then span / 64 else 1 in
+      ((region.region_base + start + (64 * Ditto_util.Rng.int rng lines)) lsl 1)
+      lor Bool.to_int region.shared
   | Chase { region; start; span } ->
       (* A chain is (re-)entered at a random node every [chain_len] hops, so
          distinct requests walk distinct but internally serialised chains. *)
       let chain_len = 64 in
       let cur =
         if temp.chase_cur < 0 || temp.seq_pos mod chain_len = 0 then
-          region.region_base + start + (64 * Ditto_util.Rng.int rng (max 1 (span / 64)))
+          let lines = if span > 64 then span / 64 else 1 in
+          region.region_base + start + (64 * Ditto_util.Rng.int rng lines)
         else temp.chase_cur
       in
       temp.seq_pos <- temp.seq_pos + 1;
       let next = chase_next region ~start ~span cur in
       temp.chase_cur <- next;
-      (cur, region.shared)
+      (cur lsl 1) lor Bool.to_int region.shared
+
+let resolve_mem ~rng temp =
+  let p = resolve_mem_packed ~rng temp in
+  (p asr 1, p land 1 = 1)
 
 type event = {
   ev_index : int;

@@ -116,6 +116,11 @@ val resolve_mem : rng:Ditto_util.Rng.t -> temp -> int * bool
     [(-1, false)] when there is none. This is the single source of truth
     for address streams — the core model and the profilers both use it. *)
 
+val resolve_mem_packed : rng:Ditto_util.Rng.t -> temp -> int
+(** Allocation-free [resolve_mem]: the result is [(address lsl 1) lor
+    shared] ([-2] when there is no operand). For the per-instruction hot
+    path; identical stream advancement. *)
+
 (** One dynamic instruction event, as seen by profilers. *)
 type event = {
   ev_index : int;  (** template index within the block *)

@@ -138,14 +138,18 @@ module Kernel = struct
      its own copies, keeping parallel runs (Ditto_util.Pool) from racing on
      shared cursor state. Within a domain the usual touch-reset in
      Measure keeps sequential runs reproducible. *)
-  let memo_key : (string, (Block.t * int) list) Hashtbl.t Domain.DLS.key =
+  let memo_key : (int, (Block.t * int) list) Hashtbl.t Domain.DLS.key =
     Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
   let streams ?(scale = 0.25) kind =
     let memo = Domain.DLS.get memo_key in
     let idx, insts, footprint = profile kind in
     let bytes = payload_bytes kind in
-    let key = Printf.sprintf "%s/%d/%d" (name kind) (bucket bytes) (int_of_float (scale *. 1000.)) in
+    (* Packed int key: [idx] is unique per syscall kind, the payload bucket
+       is a log2 bin (< 2^8) and the scale a permille (< 2^24). [streams]
+       runs once per simulated syscall, so formatting a string key here
+       cost an allocation and a string hash on the hottest kernel path. *)
+    let key = (idx lsl 32) lor (bucket bytes lsl 24) lor int_of_float (scale *. 1000.) in
     match Hashtbl.find_opt memo key with
     | Some s -> s
     | None ->

@@ -25,6 +25,12 @@ let default_tolerances =
     ("error_rate_pp", 4.0);
     ("p99_err_pct", 20.0);
     ("throughput_err_pct", 10.0);
+    (* wall-clock budgets (absolute seconds of slack over the pinned
+       value, not percentage points): per-experiment stage budget, with a
+       wider gate on the whole-bench total since its noise is the sum of
+       the stages' *)
+    ("wall_seconds", 15.0);
+    ("experiments/total/wall_seconds", 45.0);
   ]
 
 let last_component key =
@@ -65,7 +71,26 @@ let flatten json =
     obj_entries (J.member "chaos" json)
     |> List.map (fun (key, v) -> ("chaos/" ^ key, J.to_float v))
   in
-  errors @ scorecards @ chaos
+  (* Wall-clock budgets: per-experiment stage seconds plus the bench
+     total, so `bench --check` gates performance regressions alongside
+     fidelity ones. The keys end in "wall_seconds" to pick up the
+     absolute-seconds tolerance entries. *)
+  let wall =
+    let per_experiment =
+      match J.member "experiments" json with
+      | J.List rows ->
+          List.map
+            (fun row ->
+              ( Printf.sprintf "experiments/%s/wall_seconds" (J.to_str (J.member "name" row)),
+                J.to_float (J.member "seconds" row) ))
+            rows
+      | _ -> []
+    in
+    match J.member "total_seconds" json with
+    | J.Num s -> per_experiment @ [ ("experiments/total/wall_seconds", s) ]
+    | _ -> per_experiment
+  in
+  errors @ scorecards @ chaos @ wall
 
 let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
 

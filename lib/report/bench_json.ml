@@ -1,11 +1,21 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 4
+let schema_version = 5
+
+(* Per-experiment scheduling telemetry (v5): how long the stage took, how
+   many domains the pool offered it, and what fraction of (domains x wall)
+   was spent executing tasks. *)
+type experiment = {
+  exp_name : string;
+  exp_seconds : float;
+  exp_domains : int;
+  exp_parallel_efficiency : float;
+}
 
 type input = {
   domains : int;
   total_seconds : float;
-  experiments : (string * float) list;
+  experiments : experiment list;
   clone_seconds : (string * float) list;
   mean_error_pct : (string * float) list;
   tuning : (string * J.t) list;
@@ -25,7 +35,14 @@ let assemble i =
       ( "experiments",
         J.List
           (List.map
-             (fun (n, s) -> J.Obj [ ("name", J.Str n); ("seconds", J.Num s) ])
+             (fun e ->
+               J.Obj
+                 [
+                   ("name", J.Str e.exp_name);
+                   ("seconds", J.Num e.exp_seconds);
+                   ("domains", J.int e.exp_domains);
+                   ("parallel_efficiency", J.Num e.exp_parallel_efficiency);
+                 ])
              i.experiments) );
       ("clone_seconds", num_obj i.clone_seconds);
       ("mean_error_pct", num_obj i.mean_error_pct);
@@ -75,7 +92,9 @@ let any _ _ = Ok ()
 
 let experiment path v =
   let* () = field path v "name" str in
-  field path v "seconds" num
+  let* () = field path v "seconds" num in
+  let* () = field path v "domains" num in
+  field path v "parallel_efficiency" num
 
 let scorecard_row path v =
   let* () = field path v "tier" str in

@@ -2,17 +2,29 @@
 
     Schema version 3 added the embedded clone-accuracy scorecards (keyed
     by app under ["scorecards"]); version 4 adds the flat ["chaos"] section
-    (fidelity-under-failure metrics keyed ["<app>/<plan>/<metric>"]).
+    (fidelity-under-failure metrics keyed ["<app>/<plan>/<metric>"]);
+    version 5 turns each ["experiments"] entry into an object carrying
+    scheduling telemetry ([domains], [parallel_efficiency]) alongside its
+    wall seconds.
     {!validate} is the shape check the test suite and downstream tooling
     run against emitted files, so schema drift fails loudly instead of
     silently. *)
 
-val schema_version : int  (** 4 *)
+val schema_version : int  (** 5 *)
+
+type experiment = {
+  exp_name : string;
+  exp_seconds : float;  (** stage wall-clock *)
+  exp_domains : int;  (** pool parallelism offered to the stage *)
+  exp_parallel_efficiency : float;
+      (** pool busy-time delta / (domains x wall); 1.0 = every domain was
+          executing tasks for the stage's whole duration *)
+}
 
 type input = {
   domains : int;
   total_seconds : float;
-  experiments : (string * float) list;  (** name -> wall seconds, in run order *)
+  experiments : experiment list;  (** in run order *)
   clone_seconds : (string * float) list;
   mean_error_pct : (string * float) list;
   tuning : (string * Ditto_util.Jsonx.t) list;

@@ -9,6 +9,13 @@ type t = {
   mutable time : float;
   mutable heap : event array;
   mutable size : int;
+  (* Events scheduled for the current instant bypass the heap into this
+     FIFO: wake/fork chains enqueue at [t.time], and sifting them through
+     the heap is pure churn. The clock cannot advance while [imm] is
+     non-empty (its entries are always at the global minimum time), and
+     [pop] merges [imm] against the heap top by (time, seq), so dispatch
+     order is bit-identical to the heap-only scheme. *)
+  imm : event Queue.t;
   mutable next_seq : int;
   mutable processed : int;
   mutable profile_label : string;
@@ -21,6 +28,7 @@ let create () =
     time = 0.0;
     heap = Array.make 256 dummy_event;
     size = 0;
+    imm = Queue.create ();
     next_seq = 0;
     processed = 0;
     profile_label = "run";
@@ -33,10 +41,7 @@ let events_processed t = t.processed
 
 let event_before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
-let push t at fn =
-  let at = Float.max at t.time in
-  let ev = { at; seq = t.next_seq; fn } in
-  t.next_seq <- t.next_seq + 1;
+let push_heap t ev =
   if t.size = Array.length t.heap then begin
     let bigger = Array.make (2 * t.size) dummy_event in
     Array.blit t.heap 0 bigger 0 t.size;
@@ -58,7 +63,13 @@ let push t at fn =
     else continue_up := false
   done
 
-let pop t =
+let push t at fn =
+  let at = Float.max at t.time in
+  let ev = { at; seq = t.next_seq; fn } in
+  t.next_seq <- t.next_seq + 1;
+  if at <= t.time then Queue.push ev t.imm else push_heap t ev
+
+let pop_heap t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
@@ -83,6 +94,16 @@ let pop t =
     done;
     Some top
   end
+
+let pop t =
+  match Queue.peek_opt t.imm with
+  | None -> pop_heap t
+  | Some iv ->
+      (* A heap event at the same instant but with a lower sequence number
+         predates everything in [imm]; otherwise the FIFO front is the
+         global (time, seq) minimum. *)
+      if t.size > 0 && event_before t.heap.(0) iv then pop_heap t
+      else Some (Queue.pop t.imm)
 
 let schedule t at fn = push t at fn
 

@@ -16,6 +16,7 @@ type t = {
   btb_mask : int;
   history_bits : int;
   mutable history : int;
+  mutable dirty : bool;
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
@@ -37,33 +38,44 @@ let create ?(history_bits = 12) ~entries ~btb_entries () =
     btb_mask = btb_entries - 1;
     history_bits;
     history = 0;
+    dirty = false;
   }
 
 let btb_lookup_update t pc =
+  t.dirty <- true;
   let idx = (pc lsr 2) land t.btb_mask in
-  let hit = t.btb.(idx) = pc in
-  if not hit then t.btb.(idx) <- pc;
+  let hit = Array.unsafe_get t.btb idx = pc in
+  if not hit then Array.unsafe_set t.btb idx pc;
   hit
 
+(* Saturating 2-bit update; int compares, not the polymorphic [min]/[max]
+   (which call the generic compare on every predictor lookup). *)
 let train counter taken =
-  if taken then min 3 (counter + 1) else max 0 (counter - 1)
+  if taken then if counter >= 3 then 3 else counter + 1
+  else if counter <= 0 then 0
+  else counter - 1
 
+(* All indices below are masked into range, so the predictor tables are
+   read and trained without bounds checks. *)
 let predict_and_update t ~pc ~taken =
+  t.dirty <- true;
   let gidx = ((pc lsr 2) lxor t.history) land t.gshare_mask in
   let lidx = (pc lsr 2) land t.local_mask in
-  let lhist = t.local_hist.(lidx) in
+  let lhist = Array.unsafe_get t.local_hist lidx in
   let pidx = (lhist lxor (pc lsr 2)) land t.pattern_mask in
-  let g_pred = t.gshare.(gidx) >= 2 in
-  let l_pred = t.local_pattern.(pidx) >= 2 in
-  let use_local = t.meta.(lidx) >= 2 in
+  let g_ctr = Array.unsafe_get t.gshare gidx in
+  let l_ctr = Array.unsafe_get t.local_pattern pidx in
+  let g_pred = g_ctr >= 2 in
+  let l_pred = l_ctr >= 2 in
+  let use_local = Array.unsafe_get t.meta lidx >= 2 in
   let predicted = if use_local then l_pred else g_pred in
   (* Train both components, the chooser, and the histories. *)
-  t.gshare.(gidx) <- train t.gshare.(gidx) taken;
-  t.local_pattern.(pidx) <- train t.local_pattern.(pidx) taken;
+  Array.unsafe_set t.gshare gidx (train g_ctr taken);
+  Array.unsafe_set t.local_pattern pidx (train l_ctr taken);
   (if g_pred <> l_pred then
      let local_right = l_pred = taken in
-     t.meta.(lidx) <- train t.meta.(lidx) local_right);
-  t.local_hist.(lidx) <- ((lhist lsl 1) lor (if taken then 1 else 0)) land 1023;
+     Array.unsafe_set t.meta lidx (train (Array.unsafe_get t.meta lidx) local_right));
+  Array.unsafe_set t.local_hist lidx (((lhist lsl 1) lor (if taken then 1 else 0)) land 1023);
   t.history <-
     ((t.history lsl 1) lor (if taken then 1 else 0)) land ((1 lsl t.history_bits) - 1);
   if predicted <> taken then `Mispredict
@@ -73,9 +85,12 @@ let predict_and_update t ~pc ~taken =
 let note_unconditional t ~pc = if btb_lookup_update t pc then `Correct else `Btb_miss
 
 let flush t =
-  Array.fill t.gshare 0 (Array.length t.gshare) 1;
-  Array.fill t.local_hist 0 (Array.length t.local_hist) 0;
-  Array.fill t.local_pattern 0 (Array.length t.local_pattern) 1;
-  Array.fill t.meta 0 (Array.length t.meta) 2;
-  Array.fill t.btb 0 (Array.length t.btb) (-1);
-  t.history <- 0
+  if t.dirty then begin
+    Array.fill t.gshare 0 (Array.length t.gshare) 1;
+    Array.fill t.local_hist 0 (Array.length t.local_hist) 0;
+    Array.fill t.local_pattern 0 (Array.length t.local_pattern) 1;
+    Array.fill t.meta 0 (Array.length t.meta) 2;
+    Array.fill t.btb 0 (Array.length t.btb) (-1);
+    t.history <- 0;
+    t.dirty <- false
+  end

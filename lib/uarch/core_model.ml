@@ -17,6 +17,9 @@ type t = {
   mutable last_fetch_line : int;
   mutable last_lock_done : float;
   mutable width_factor : float;
+  (* Whether any block executed since the last [reset]; untouched cores
+     skip the (large) predictor/ROB array fills on reset. *)
+  mutable used : bool;
 }
 
 let create mem ~core =
@@ -40,12 +43,41 @@ let create mem ~core =
     last_fetch_line = -1;
     last_lock_done = 0.0;
     width_factor = 1.0;
+    used = false;
   }
+
+(* Restore the pristine post-[create] state. Kept bit-identical to a fresh
+   core: every mutable field and array returns to its initial value, so a
+   recycled core (see [Ditto_app.Machine]) measures exactly like a new one. *)
+let reset t =
+  if t.used then begin
+    Array.fill t.reg_ready 0 (Array.length t.reg_ready) 0.0;
+    Array.fill t.port_free 0 (Array.length t.port_free) 0.0;
+    Array.fill t.rob 0 (Array.length t.rob) 0.0;
+    Array.fill t.mshr 0 (Array.length t.mshr) 0.0;
+    Branch_pred.flush t.bp;
+    t.used <- false
+  end;
+  t.rob_pos <- 0;
+  t.next_issue <- 0.0;
+  t.fetch_avail <- 0.0;
+  t.resteer_until <- 0.0;
+  t.max_done <- 0.0;
+  t.last_fetch_line <- -1;
+  t.last_lock_done <- 0.0;
+  t.width_factor <- 1.0
 
 let counters t = Memory.counters t.mem t.core
 let platform t = t.plat
 let set_width_factor t f = t.width_factor <- Float.max 0.1 f
-let now t = Float.max t.next_issue t.max_done
+
+(* Branchy float max/min for the hot loop: [Stdlib.Float.max] handles NaN
+   and signed zeros (via [signbit]) that simulated timestamps — finite,
+   non-negative, never produced as [-0.] — cannot exhibit, so these are
+   value-identical here and compile to a compare and a move. *)
+let[@inline] fmax (a : float) (b : float) = if a > b then a else b
+let[@inline] fmin (a : float) (b : float) = if a < b then a else b
+let now t = fmax t.next_issue t.max_done
 let drain t = t.next_issue <- now t
 
 let effective_width t = float_of_int t.plat.Platform.issue_width *. t.width_factor
@@ -53,8 +85,8 @@ let effective_width t = float_of_int t.plat.Platform.issue_width *. t.width_fact
 let choose_port t mask =
   let best = ref 0 and best_t = ref infinity in
   for p = 0 to Iform.port_count - 1 do
-    if mask land (1 lsl p) <> 0 && t.port_free.(p) < !best_t then begin
-      best_t := t.port_free.(p);
+    if mask land (1 lsl p) <> 0 && Array.unsafe_get t.port_free p < !best_t then begin
+      best_t := Array.unsafe_get t.port_free p;
       best := p
     end
   done;
@@ -65,17 +97,18 @@ let choose_port t mask =
 let mshr_admit t start latency =
   let best = ref 0 and best_t = ref infinity in
   for i = 0 to Array.length t.mshr - 1 do
-    if t.mshr.(i) < !best_t then begin
-      best_t := t.mshr.(i);
+    if Array.unsafe_get t.mshr i < !best_t then begin
+      best_t := Array.unsafe_get t.mshr i;
       best := i
     end
   done;
-  let start = Float.max start !best_t in
-  t.mshr.(!best) <- start +. latency;
+  let start = fmax start !best_t in
+  Array.unsafe_set t.mshr !best (start +. latency);
   start
 
 let exec_rep_string t ~width addr shared ~write_only ~count start =
   let ctr = Memory.counters t.mem t.core in
+  let cs = ctr.Counters.s in
   let chunks = max 1 (count / Cache.line_bytes) in
   let issue = ref start and done_t = ref start in
   for i = 0 to chunks - 1 do
@@ -85,60 +118,67 @@ let exec_rep_string t ~width addr shared ~write_only ~count start =
       else Memory.access_data t.mem ~core:t.core ~addr:a ~write:false ~shared
     in
     ignore (Memory.access_data t.mem ~core:t.core ~addr:(a + 0x40000) ~write:true ~shared:false);
-    done_t := Float.max !done_t (!issue +. float_of_int rl);
+    done_t := fmax !done_t (!issue +. float_of_int rl);
     issue := !issue +. (2.0 /. width);
-    ctr.Counters.slots_retiring <- ctr.Counters.slots_retiring +. 2.0;
+    cs.Counters.retiring <- cs.Counters.retiring +. 2.0;
     ctr.Counters.uops <- ctr.Counters.uops + 2
   done;
   (!issue, !done_t)
 
 let exec_block t ~rng (block : Block.t) ~iterations =
+  t.used <- true;
   let width = effective_width t in
   let plat = t.plat in
   let ctr = Memory.counters t.mem t.core in
+  let cs = ctr.Counters.s in
+  let rob_len = Array.length t.rob in
   let ntemps = Array.length block.Block.temps in
   let before = now t in
   for _iteration = 0 to iterations - 1 do
     for k = 0 to ntemps - 1 do
-      let temp = block.Block.temps.(k) in
+      let temp = Array.unsafe_get block.Block.temps k in
       let iform = temp.Block.iform in
-      let pc = block.Block.addrs.(k) in
+      let pc = Array.unsafe_get block.Block.addrs k in
       let base = t.next_issue in
       (* Instruction fetch: one i-cache access per new line. *)
       let line = pc land lnot (Cache.line_bytes - 1) in
       if line <> t.last_fetch_line then begin
         t.last_fetch_line <- line;
         let bubble = Memory.access_inst t.mem ~core:t.core ~addr:pc in
-        if bubble > 0 then t.fetch_avail <- Float.max t.fetch_avail base +. float_of_int bubble
+        if bubble > 0 then t.fetch_avail <- fmax t.fetch_avail base +. float_of_int bubble
       end;
-      let f = Float.max base t.fetch_avail in
+      let f = fmax base t.fetch_avail in
       (* Attribute the fetch gap: resteer shadow counts as bad speculation. *)
       let gap = f -. base in
       if gap > 0.0 then begin
-        let bad = Float.max 0.0 (Float.min f t.resteer_until -. base) in
-        ctr.Counters.slots_bad_spec <- ctr.Counters.slots_bad_spec +. (bad *. width);
-        ctr.Counters.slots_frontend <- ctr.Counters.slots_frontend +. ((gap -. bad) *. width)
+        let bad = fmax 0.0 (fmin f t.resteer_until -. base) in
+        cs.Counters.bad_spec <- cs.Counters.bad_spec +. (bad *. width);
+        cs.Counters.frontend <- cs.Counters.frontend +. ((gap -. bad) *. width)
       end;
       (* Register dependencies. *)
       let ready = ref f in
       let srcs = temp.Block.srcs in
       for s = 0 to Array.length srcs - 1 do
-        let r = srcs.(s) in
-        if r >= 0 && t.reg_ready.(r) > !ready then ready := t.reg_ready.(r)
+        let r = Array.unsafe_get srcs s in
+        (* Registers are validated at template construction (< num_regs). *)
+        if r >= 0 && Array.unsafe_get t.reg_ready r > !ready then
+          ready := Array.unsafe_get t.reg_ready r
       done;
       (* ROB backpressure: cannot dispatch past the window. *)
-      let rob_head = t.rob.(t.rob_pos) in
+      let rob_head = Array.unsafe_get t.rob t.rob_pos in
       if rob_head > !ready then ready := rob_head;
       (* Execution port. *)
       let port = choose_port t iform.Iform.ports in
-      if t.port_free.(port) > !ready then ready := t.port_free.(port);
+      if Array.unsafe_get t.port_free port > !ready then
+        ready := Array.unsafe_get t.port_free port;
       let start = !ready in
-      ctr.Counters.slots_backend <- ctr.Counters.slots_backend +. ((start -. f) *. width);
+      cs.Counters.backend <- cs.Counters.backend +. ((start -. f) *. width);
       let klass = iform.Iform.klass in
       ctr.Counters.insts <- ctr.Counters.insts + 1;
       let issue_after, done_t =
         if klass = Iclass.Rep_string then begin
-          let addr, shared = Block.resolve_mem ~rng temp in
+          let packed = Block.resolve_mem_packed ~rng temp in
+          let addr = packed asr 1 and shared = packed land 1 = 1 in
           let addr = if addr < 0 then 0 else addr in
           let write_only = temp.Block.srcs = [||] in
           exec_rep_string t ~width addr shared ~write_only
@@ -151,7 +191,8 @@ let exec_block t ~rng (block : Block.t) ~iterations =
             match temp.Block.mem with
             | Block.No_mem -> 0
             | _ ->
-                let addr, shared = Block.resolve_mem ~rng temp in
+                let packed = Block.resolve_mem_packed ~rng temp in
+                let addr = packed asr 1 and shared = packed land 1 = 1 in
                 let write = Iclass.is_memory_write klass && not (Iclass.is_memory_read klass) in
                 let lat = Memory.access_data t.mem ~core:t.core ~addr ~write ~shared in
                 if klass = Iclass.Lock_rmw then
@@ -165,13 +206,13 @@ let exec_block t ~rng (block : Block.t) ~iterations =
           in
           let start =
             if klass = Iclass.Lock_rmw then begin
-              let s = Float.max start t.last_lock_done in
+              let s = fmax start t.last_lock_done in
               s
             end
             else start
           in
           let exec_lat = float_of_int (iform.Iform.latency + mem_lat) in
-          let done_t = start +. Float.max 1.0 exec_lat in
+          let done_t = start +. fmax 1.0 exec_lat in
           if klass = Iclass.Lock_rmw then t.last_lock_done <- done_t;
           (* Port occupancy: dividers are unpipelined. *)
           let occupancy =
@@ -179,10 +220,9 @@ let exec_block t ~rng (block : Block.t) ~iterations =
             | Iclass.Int_div | Iclass.Float_div -> float_of_int iform.Iform.latency *. 0.6
             | _ -> 1.0
           in
-          t.port_free.(port) <- start +. occupancy;
+          Array.unsafe_set t.port_free port (start +. occupancy);
           ctr.Counters.uops <- ctr.Counters.uops + iform.Iform.uops;
-          ctr.Counters.slots_retiring <-
-            ctr.Counters.slots_retiring +. float_of_int iform.Iform.uops;
+          cs.Counters.retiring <- cs.Counters.retiring +. float_of_int iform.Iform.uops;
           (start +. (float_of_int iform.Iform.uops /. width), done_t)
         end
       in
@@ -200,12 +240,12 @@ let exec_block t ~rng (block : Block.t) ~iterations =
           | `Mispredict ->
               ctr.Counters.mispredicts <- ctr.Counters.mispredicts + 1;
               let redirect = done_t +. float_of_int plat.Platform.mispredict_penalty in
-              t.fetch_avail <- Float.max t.fetch_avail redirect;
-              t.resteer_until <- Float.max t.resteer_until redirect
+              t.fetch_avail <- fmax t.fetch_avail redirect;
+              t.resteer_until <- fmax t.resteer_until redirect
           | `Btb_miss ->
               ctr.Counters.btb_misses <- ctr.Counters.btb_misses + 1;
               let redirect = start +. float_of_int plat.Platform.btb_miss_penalty in
-              t.fetch_avail <- Float.max t.fetch_avail redirect)
+              t.fetch_avail <- fmax t.fetch_avail redirect)
       | Some _ | None ->
           if Iclass.is_control klass then begin
             ctr.Counters.branches <- ctr.Counters.branches + 1;
@@ -214,14 +254,15 @@ let exec_block t ~rng (block : Block.t) ~iterations =
             | `Btb_miss ->
                 ctr.Counters.btb_misses <- ctr.Counters.btb_misses + 1;
                 let redirect = start +. float_of_int plat.Platform.btb_miss_penalty in
-                t.fetch_avail <- Float.max t.fetch_avail redirect
+                t.fetch_avail <- fmax t.fetch_avail redirect
           end);
       (* Writeback and retirement bookkeeping. *)
-      if temp.Block.dst >= 0 then t.reg_ready.(temp.Block.dst) <- done_t;
-      t.rob.(t.rob_pos) <- done_t;
-      t.rob_pos <- (t.rob_pos + 1) mod Array.length t.rob;
+      if temp.Block.dst >= 0 then Array.unsafe_set t.reg_ready temp.Block.dst done_t;
+      Array.unsafe_set t.rob t.rob_pos done_t;
+      let rp = t.rob_pos + 1 in
+      t.rob_pos <- (if rp = rob_len then 0 else rp);
       if done_t > t.max_done then t.max_done <- done_t;
-      t.next_issue <- Float.max t.next_issue issue_after
+      t.next_issue <- fmax t.next_issue issue_after
     done
   done;
-  ctr.Counters.cycles <- ctr.Counters.cycles +. Float.max 0.0 (now t -. before)
+  cs.Counters.cycles <- cs.Counters.cycles +. fmax 0.0 (now t -. before)

@@ -18,6 +18,12 @@ val create : Memory.t -> core:int -> t
 val counters : t -> Counters.t
 val platform : t -> Platform.t
 
+val reset : t -> unit
+(** Restore the pristine post-{!create} state (issue cursors, ROB, ports,
+    MSHRs, branch predictor, width factor) so the core can be recycled
+    across runs with bit-identical results. Cores that executed nothing
+    since the last reset return immediately. *)
+
 val set_width_factor : t -> float -> unit
 (** Scale effective issue width (e.g. 0.5 when an SMT sibling is active,
     Fig. 10's hyperthreading interference). *)

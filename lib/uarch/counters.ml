@@ -1,7 +1,20 @@
+(* The float counters live in their own all-float record: OCaml stores such
+   records flat (unboxed doubles), so the per-instruction updates in
+   [Core_model.exec_block] are raw double stores — no box allocation, no
+   write barrier. Keeping them in the mixed int/float record cost one minor
+   allocation plus [caml_modify] per update, which dominated GC pressure in
+   the measurement hot loop. *)
+type slots = {
+  mutable cycles : float;
+  mutable retiring : float;
+  mutable frontend : float;
+  mutable bad_spec : float;
+  mutable backend : float;
+}
+
 type t = {
   mutable insts : int;
   mutable uops : int;
-  mutable cycles : float;
   mutable branches : int;
   mutable mispredicts : int;
   mutable btb_misses : int;
@@ -18,17 +31,13 @@ type t = {
   mutable coherence_misses : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
-  mutable slots_retiring : float;
-  mutable slots_frontend : float;
-  mutable slots_bad_spec : float;
-  mutable slots_backend : float;
+  s : slots;
 }
 
 let create () =
   {
     insts = 0;
     uops = 0;
-    cycles = 0.0;
     branches = 0;
     mispredicts = 0;
     btb_misses = 0;
@@ -45,16 +54,12 @@ let create () =
     coherence_misses = 0;
     bytes_read = 0;
     bytes_written = 0;
-    slots_retiring = 0.0;
-    slots_frontend = 0.0;
-    slots_bad_spec = 0.0;
-    slots_backend = 0.0;
+    s = { cycles = 0.0; retiring = 0.0; frontend = 0.0; bad_spec = 0.0; backend = 0.0 };
   }
 
 let reset t =
   t.insts <- 0;
   t.uops <- 0;
-  t.cycles <- 0.0;
   t.branches <- 0;
   t.mispredicts <- 0;
   t.btb_misses <- 0;
@@ -71,18 +76,19 @@ let reset t =
   t.coherence_misses <- 0;
   t.bytes_read <- 0;
   t.bytes_written <- 0;
-  t.slots_retiring <- 0.0;
-  t.slots_frontend <- 0.0;
-  t.slots_bad_spec <- 0.0;
-  t.slots_backend <- 0.0
+  t.s.cycles <- 0.0;
+  t.s.retiring <- 0.0;
+  t.s.frontend <- 0.0;
+  t.s.bad_spec <- 0.0;
+  t.s.backend <- 0.0
 
-let copy t = { t with insts = t.insts }
+(* The nested slots record is mutable, so a copy must not alias it. *)
+let copy t = { t with s = { t.s with cycles = t.s.cycles } }
 
 let sub a b =
   {
     insts = a.insts - b.insts;
     uops = a.uops - b.uops;
-    cycles = a.cycles -. b.cycles;
     branches = a.branches - b.branches;
     mispredicts = a.mispredicts - b.mispredicts;
     btb_misses = a.btb_misses - b.btb_misses;
@@ -99,16 +105,19 @@ let sub a b =
     coherence_misses = a.coherence_misses - b.coherence_misses;
     bytes_read = a.bytes_read - b.bytes_read;
     bytes_written = a.bytes_written - b.bytes_written;
-    slots_retiring = a.slots_retiring -. b.slots_retiring;
-    slots_frontend = a.slots_frontend -. b.slots_frontend;
-    slots_bad_spec = a.slots_bad_spec -. b.slots_bad_spec;
-    slots_backend = a.slots_backend -. b.slots_backend;
+    s =
+      {
+        cycles = a.s.cycles -. b.s.cycles;
+        retiring = a.s.retiring -. b.s.retiring;
+        frontend = a.s.frontend -. b.s.frontend;
+        bad_spec = a.s.bad_spec -. b.s.bad_spec;
+        backend = a.s.backend -. b.s.backend;
+      };
   }
 
 let acc into d =
   into.insts <- into.insts + d.insts;
   into.uops <- into.uops + d.uops;
-  into.cycles <- into.cycles +. d.cycles;
   into.branches <- into.branches + d.branches;
   into.mispredicts <- into.mispredicts + d.mispredicts;
   into.btb_misses <- into.btb_misses + d.btb_misses;
@@ -125,14 +134,17 @@ let acc into d =
   into.coherence_misses <- into.coherence_misses + d.coherence_misses;
   into.bytes_read <- into.bytes_read + d.bytes_read;
   into.bytes_written <- into.bytes_written + d.bytes_written;
-  into.slots_retiring <- into.slots_retiring +. d.slots_retiring;
-  into.slots_frontend <- into.slots_frontend +. d.slots_frontend;
-  into.slots_bad_spec <- into.slots_bad_spec +. d.slots_bad_spec;
-  into.slots_backend <- into.slots_backend +. d.slots_backend
+  into.s.cycles <- into.s.cycles +. d.s.cycles;
+  into.s.retiring <- into.s.retiring +. d.s.retiring;
+  into.s.frontend <- into.s.frontend +. d.s.frontend;
+  into.s.bad_spec <- into.s.bad_spec +. d.s.bad_spec;
+  into.s.backend <- into.s.backend +. d.s.backend
+
+let cycles t = t.s.cycles
 
 let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
-let ipc t = if t.cycles = 0.0 then 0.0 else float_of_int t.insts /. t.cycles
-let cpi t = if t.insts = 0 then 0.0 else t.cycles /. float_of_int t.insts
+let ipc t = if t.s.cycles = 0.0 then 0.0 else float_of_int t.insts /. t.s.cycles
+let cpi t = if t.insts = 0 then 0.0 else t.s.cycles /. float_of_int t.insts
 let branch_mpki t = if t.insts = 0 then 0.0 else 1000.0 *. ratio t.mispredicts t.insts
 let branch_miss_rate t = ratio t.mispredicts t.branches
 let itlb_mpki t = if t.insts = 0 then 0.0 else 1000.0 *. ratio t.itlb_misses t.insts
@@ -145,14 +157,14 @@ let llc_miss_rate t = ratio t.llc_misses t.llc_accesses
 type topdown = { retiring : float; frontend : float; bad_speculation : float; backend : float }
 
 let topdown t =
-  let total = t.slots_retiring +. t.slots_frontend +. t.slots_bad_spec +. t.slots_backend in
+  let total = t.s.retiring +. t.s.frontend +. t.s.bad_spec +. t.s.backend in
   if total <= 0.0 then { retiring = 0.; frontend = 0.; bad_speculation = 0.; backend = 0. }
   else
     {
-      retiring = t.slots_retiring /. total;
-      frontend = t.slots_frontend /. total;
-      bad_speculation = t.slots_bad_spec /. total;
-      backend = t.slots_backend /. total;
+      retiring = t.s.retiring /. total;
+      frontend = t.s.frontend /. total;
+      bad_speculation = t.s.bad_spec /. total;
+      backend = t.s.backend /. total;
     }
 
 let topdown_cpi t =

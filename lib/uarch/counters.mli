@@ -2,10 +2,21 @@
     metrics Ditto reads with Perf/VTune, plus top-down pipeline-slot
     accounting (Yasin's methodology, Fig. 2 of the paper). *)
 
+type slots = {
+  mutable cycles : float;
+  mutable retiring : float;
+  mutable frontend : float;
+  mutable bad_spec : float;
+  mutable backend : float;
+}
+(** The float counters, kept in an all-float record so OCaml stores them
+    flat: updating one from the simulation hot loop is a raw double store
+    (no box allocation, no write barrier). Mixed into the int record below
+    each update would allocate. *)
+
 type t = {
   mutable insts : int;
   mutable uops : int;
-  mutable cycles : float;
   mutable branches : int;
   mutable mispredicts : int;
   mutable btb_misses : int;
@@ -22,20 +33,23 @@ type t = {
   mutable coherence_misses : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
-  mutable slots_retiring : float;
-  mutable slots_frontend : float;
-  mutable slots_bad_spec : float;
-  mutable slots_backend : float;
+  s : slots;  (** cycle count and top-down slot accumulators *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
 val copy : t -> t
+(** Deep copy: the nested [slots] record is duplicated, never aliased. *)
+
 val sub : t -> t -> t
 (** [sub later earlier] is the counter delta between two snapshots. *)
 
 val acc : t -> t -> unit
 (** [acc into delta] accumulates [delta] into [into]. *)
+
+val cycles : t -> float
+(** [cycles t] is [t.s.cycles]. *)
 
 (** Derived metrics, as reported in the paper's figures. *)
 

@@ -1,3 +1,64 @@
+(* Coherence directory for shared lines: line -> (owner core, dirty),
+   packed as [owner lsl 1 lor dirty] in an open-addressed int table. The
+   directory sits on the per-access hot path; a Hashtbl here cost a
+   polymorphic hash, an option plus a tuple allocation per lookup and a
+   bucket rewrite per replace. Keys store [line + 1] so 0 can mean empty. *)
+type directory = {
+  mutable dir_keys : int array;
+  mutable dir_vals : int array;
+  mutable dir_mask : int;
+  mutable dir_count : int;
+}
+
+let dir_create n =
+  { dir_keys = Array.make n 0; dir_vals = Array.make n 0; dir_mask = n - 1; dir_count = 0 }
+
+let[@inline] dir_hash line mask =
+  let h = line * 0x9E3779B1 in
+  (h lxor (h lsr 16)) land mask
+
+let rec dir_slot keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = 0 || k = key then i else dir_slot keys mask key ((i + 1) land mask)
+
+(* Packed (owner, dirty) for [line], or -1 if the line has no owner. *)
+let dir_find d line =
+  let key = line + 1 in
+  let i = dir_slot d.dir_keys d.dir_mask key (dir_hash line d.dir_mask) in
+  if Array.unsafe_get d.dir_keys i = 0 then -1 else Array.unsafe_get d.dir_vals i
+
+let dir_resize d =
+  let old_keys = d.dir_keys and old_vals = d.dir_vals in
+  let n = (d.dir_mask + 1) * 2 in
+  d.dir_keys <- Array.make n 0;
+  d.dir_vals <- Array.make n 0;
+  d.dir_mask <- n - 1;
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then begin
+        let j = dir_slot d.dir_keys d.dir_mask k (dir_hash (k - 1) d.dir_mask) in
+        d.dir_keys.(j) <- k;
+        d.dir_vals.(j) <- old_vals.(i)
+      end)
+    old_keys
+
+let dir_replace d line v =
+  let key = line + 1 in
+  let i = dir_slot d.dir_keys d.dir_mask key (dir_hash line d.dir_mask) in
+  if Array.unsafe_get d.dir_keys i = 0 then begin
+    d.dir_keys.(i) <- key;
+    d.dir_vals.(i) <- v;
+    d.dir_count <- d.dir_count + 1;
+    if d.dir_count * 2 > d.dir_mask then dir_resize d
+  end
+  else d.dir_vals.(i) <- v
+
+let dir_reset d =
+  if d.dir_count > 0 then begin
+    Array.fill d.dir_keys 0 (Array.length d.dir_keys) 0;
+    d.dir_count <- 0
+  end
+
 type t = {
   plat : Platform.t;
   n : int;
@@ -9,37 +70,12 @@ type t = {
   itlbs : Tlb.t array;
   dtlbs : Tlb.t array;
   ctrs : Counters.t array;
-  (* Coherence directory for shared lines: line -> (owner core, dirty). *)
-  directory : (int, int * bool) Hashtbl.t;
+  directory : directory;
   hit_scratch : bool ref;
+  (* Per-core prefetch-fill callbacks, built once at [create] so
+     [Prefetcher.observe] on an L1d miss does not allocate a closure. *)
+  mutable prefetch_cb : (int -> unit) array;
 }
-
-let create (plat : Platform.t) ~ncores =
-  let mk_l1 bytes = Cache.create ~size_bytes:bytes ~assoc:plat.Platform.l1_assoc () in
-  {
-    plat;
-    n = ncores;
-    l1i = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1i_bytes);
-    l1d = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1d_bytes);
-    l2 =
-      Array.init ncores (fun _ ->
-          Cache.create ~size_bytes:plat.Platform.l2_bytes ~assoc:plat.Platform.l2_assoc ());
-    llc =
-      Cache.create ~replacement:Cache.Plru ~size_bytes:plat.Platform.llc_bytes
-        ~assoc:plat.Platform.llc_assoc ();
-    prefetchers = Array.init ncores (fun _ -> Prefetcher.create ());
-    itlbs = Array.init ncores (fun _ -> Tlb.create ~l1_entries:128 ());
-    dtlbs = Array.init ncores (fun _ -> Tlb.create ());
-    ctrs = Array.init ncores (fun _ -> Counters.create ());
-    directory = Hashtbl.create 4096;
-    hit_scratch = ref false;
-  }
-
-let ncores t = t.n
-let platform t = t.plat
-let counters t core = t.ctrs.(core)
-
-let set_counter t core ctr = t.ctrs.(core) <- ctr
 
 let line_of addr = addr land lnot (Cache.line_bytes - 1)
 
@@ -48,6 +84,38 @@ let prefetch_fill t core addr =
     Cache.access t.llc addr ~hit:t.hit_scratch;
     Cache.access t.l2.(core) addr ~hit:t.hit_scratch
   end
+
+let create (plat : Platform.t) ~ncores =
+  let mk_l1 bytes = Cache.create ~size_bytes:bytes ~assoc:plat.Platform.l1_assoc () in
+  let t =
+    {
+      plat;
+      n = ncores;
+      l1i = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1i_bytes);
+      l1d = Array.init ncores (fun _ -> mk_l1 plat.Platform.l1d_bytes);
+      l2 =
+        Array.init ncores (fun _ ->
+            Cache.create ~size_bytes:plat.Platform.l2_bytes ~assoc:plat.Platform.l2_assoc ());
+      llc =
+        Cache.create ~replacement:Cache.Plru ~size_bytes:plat.Platform.llc_bytes
+          ~assoc:plat.Platform.llc_assoc ();
+      prefetchers = Array.init ncores (fun _ -> Prefetcher.create ());
+      itlbs = Array.init ncores (fun _ -> Tlb.create ~l1_entries:128 ());
+      dtlbs = Array.init ncores (fun _ -> Tlb.create ());
+      ctrs = Array.init ncores (fun _ -> Counters.create ());
+      directory = dir_create 4096;
+      hit_scratch = ref false;
+      prefetch_cb = [||];
+    }
+  in
+  t.prefetch_cb <- Array.init ncores (fun c -> fun addr -> prefetch_fill t c addr);
+  t
+
+let ncores t = t.n
+let platform t = t.plat
+let counters t core = t.ctrs.(core)
+
+let set_counter t core ctr = t.ctrs.(core) <- ctr
 
 (* Invalidate a shared line in every other core's private caches (the
    directory does not track exact sharers; core counts are small). *)
@@ -68,9 +136,8 @@ let access_data t ~core ~addr ~write ~shared =
   let coherence_steal =
     shared
     &&
-    match Hashtbl.find_opt t.directory line with
-    | Some (owner, dirty) -> owner <> core && (dirty || write)
-    | None -> false
+    let v = dir_find t.directory line in
+    v >= 0 && v lsr 1 <> core && (v land 1 = 1 || write)
   in
   if coherence_steal then begin
     ignore (Cache.invalidate t.l1d.(core) line);
@@ -88,7 +155,7 @@ let access_data t ~core ~addr ~write ~shared =
     else begin
       ctr.Counters.l1d_misses <- ctr.Counters.l1d_misses + 1;
       ctr.Counters.l2_accesses <- ctr.Counters.l2_accesses + 1;
-      Prefetcher.observe t.prefetchers.(core) ~pc:addr ~addr:line (prefetch_fill t core);
+      Prefetcher.observe t.prefetchers.(core) ~pc:addr ~addr:line t.prefetch_cb.(core);
       Cache.access t.l2.(core) line ~hit;
       if !hit then p.Platform.lat_l2 + tlb_lat
       else begin
@@ -111,18 +178,16 @@ let access_data t ~core ~addr ~write ~shared =
   (* Update directory ownership for shared lines. *)
   if shared then begin
     if write then begin
-      (match Hashtbl.find_opt t.directory line with
-      | Some (owner, _) when owner <> core -> invalidate_others t core line
-      | Some _ | None -> ());
-      Hashtbl.replace t.directory line (core, true)
+      let v = dir_find t.directory line in
+      if v >= 0 && v lsr 1 <> core then invalidate_others t core line;
+      dir_replace t.directory line ((core lsl 1) lor 1)
     end
     else begin
-      match Hashtbl.find_opt t.directory line with
-      | Some (owner, true) when owner <> core ->
-          (* Downgrade: the reader now has a clean copy. *)
-          Hashtbl.replace t.directory line (core, false)
-      | Some _ -> ()
-      | None -> Hashtbl.replace t.directory line (core, false)
+      let v = dir_find t.directory line in
+      if v < 0 then dir_replace t.directory line (core lsl 1)
+      else if v land 1 = 1 && v lsr 1 <> core then
+        (* Downgrade: the reader now has a clean copy. *)
+        dir_replace t.directory line (core lsl 1)
     end
   end;
   latency
@@ -162,4 +227,13 @@ let flush t =
   Array.iter Prefetcher.flush t.prefetchers;
   Array.iter Tlb.flush t.itlbs;
   Array.iter Tlb.flush t.dtlbs;
-  Hashtbl.reset t.directory
+  dir_reset t.directory
+
+let reset t =
+  flush t;
+  (* Fresh counter records, exactly like [create]: the previous run's
+     results may still alias the old ones. *)
+  for i = 0 to t.n - 1 do
+    t.ctrs.(i) <- Counters.create ()
+  done;
+  t.hit_scratch := false

@@ -32,3 +32,7 @@ val access_inst : t -> core:int -> addr:int -> int
 val flush : t -> unit
 (** Cold-start all caches, prefetcher state and the directory (counters are
     preserved). *)
+
+val reset : t -> unit
+(** {!flush} plus fresh per-core counter records — the pristine
+    post-{!create} state, for recycling a hierarchy across runs. *)

@@ -1,6 +1,6 @@
 type entry = { mutable last_addr : int; mutable stride : int; mutable confidence : int }
 
-type t = { entries : entry array; mask : int; degree : int }
+type t = { entries : entry array; mask : int; degree : int; mutable dirty : bool }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
@@ -10,9 +10,11 @@ let create ?(table_entries = 64) ?(degree = 2) () =
     entries = Array.init n (fun _ -> { last_addr = -1; stride = 0; confidence = 0 });
     mask = n - 1;
     degree;
+    dirty = false;
   }
 
 let observe t ~pc ~addr fill =
+  t.dirty <- true;
   let e = t.entries.((pc lsr 2) land t.mask) in
   if e.last_addr >= 0 then begin
     let stride = addr - e.last_addr in
@@ -31,9 +33,12 @@ let observe t ~pc ~addr fill =
   e.last_addr <- addr
 
 let flush t =
-  Array.iter
-    (fun e ->
-      e.last_addr <- -1;
-      e.stride <- 0;
-      e.confidence <- 0)
-    t.entries
+  if t.dirty then begin
+    Array.iter
+      (fun e ->
+        e.last_addr <- -1;
+        e.stride <- 0;
+        e.confidence <- 0)
+      t.entries;
+    t.dirty <- false
+  end

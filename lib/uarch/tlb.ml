@@ -43,4 +43,6 @@ let misses t = t.misses
 
 let flush t =
   Cache.flush t.l1;
-  Cache.flush t.stlb
+  Cache.flush t.stlb;
+  t.lookups <- 0;
+  t.misses <- 0

@@ -10,19 +10,43 @@ type t = {
 (* Process-wide instrumentation. The counters are plain atomics bumped
    once per task (tasks are whole pipeline runs, so this is far off the
    hot path); the hook lets a higher layer (Ditto_obs) wrap tasks at
-   submission time without this library depending on it. *)
-type stats = { tasks_queued : int; tasks_stolen : int; tasks_by_workers : int }
+   submission time without this library depending on it. Busy/idle time
+   is kept in integer microseconds so it can be accumulated with
+   [fetch_and_add]. *)
+type stats = {
+  tasks_queued : int;
+  tasks_stolen : int;
+  tasks_by_workers : int;
+  busy_seconds : float;
+  idle_seconds : float;
+}
 
 let n_queued = Atomic.make 0
 let n_stolen = Atomic.make 0
 let n_by_workers = Atomic.make 0
+let busy_us = Atomic.make 0
+let idle_us = Atomic.make 0
 
 let stats () =
   {
     tasks_queued = Atomic.get n_queued;
     tasks_stolen = Atomic.get n_stolen;
     tasks_by_workers = Atomic.get n_by_workers;
+    busy_seconds = float_of_int (Atomic.get busy_us) *. 1e-6;
+    idle_seconds = float_of_int (Atomic.get idle_us) *. 1e-6;
   }
+
+(* Time one pool-executed application and charge it to [busy_seconds],
+   whichever path ran it (worker, helping submitter, or the sequential
+   fallbacks) — on a single-core host the bench's parallel-efficiency
+   figure would otherwise read zero. *)
+let timed f x =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      ignore (Atomic.fetch_and_add busy_us (int_of_float (dt *. 1e6))))
+    (fun () -> f x)
 
 let task_hook : ((unit -> unit) -> unit -> unit) ref = ref (fun task -> task)
 let set_task_hook f = task_hook := f
@@ -49,9 +73,14 @@ let worker_loop pool =
   let continue = ref true in
   while !continue do
     Mutex.lock pool.mutex;
-    while Queue.is_empty pool.queue && not pool.stop do
-      Condition.wait pool.work_available pool.mutex
-    done;
+    if Queue.is_empty pool.queue && not pool.stop then begin
+      let t0 = Unix.gettimeofday () in
+      while Queue.is_empty pool.queue && not pool.stop do
+        Condition.wait pool.work_available pool.mutex
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      ignore (Atomic.fetch_and_add idle_us (int_of_float (dt *. 1e6)))
+    end;
     match Queue.take_opt pool.queue with
     | Some task ->
         Mutex.unlock pool.mutex;
@@ -101,7 +130,7 @@ let sequential_map f xs =
   let results =
     List.map
       (fun x ->
-        try Some (f x)
+        try Some (timed f x)
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           if !first_error = None then first_error := Some (e, bt);
@@ -115,7 +144,7 @@ let sequential_map f xs =
 let map pool f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
+  | [ x ] -> [ timed f x ]
   | xs when pool.pool_size <= 1 || pool.stop -> sequential_map f xs
   | xs ->
       let items = Array.of_list xs in
@@ -126,7 +155,7 @@ let map pool f xs =
       let batch_mutex = Mutex.create () in
       let batch_done = Condition.create () in
       let run_one i =
-        (try results.(i) <- Some (f items.(i))
+        (try results.(i) <- Some (timed f items.(i))
          with e ->
            let bt = Printexc.get_raw_backtrace () in
            (* keep the submission-order-first error: index i only installs
@@ -178,6 +207,69 @@ let map pool f xs =
       | None -> ());
       Array.to_list
         (Array.map (function Some r -> r | None -> assert false) results)
+
+(* Futures: a single submitted task whose result is claimed later. Used by
+   the bench's experiment DAG — preclones are submitted cost-ordered and
+   each dependent stage awaits the future it needs, instead of a barrier
+   over a whole batch. *)
+type 'a future = {
+  fut_mutex : Mutex.t;
+  fut_done : Condition.t;
+  mutable fut_state : [ `Pending | `Ok of 'a | `Err of exn * Printexc.raw_backtrace ];
+}
+
+let submit pool f =
+  let fut = { fut_mutex = Mutex.create (); fut_done = Condition.create (); fut_state = `Pending } in
+  let task () =
+    let state = try `Ok (timed f ()) with e -> `Err (e, Printexc.get_raw_backtrace ()) in
+    Mutex.lock fut.fut_mutex;
+    fut.fut_state <- state;
+    Condition.broadcast fut.fut_done;
+    Mutex.unlock fut.fut_mutex
+  in
+  if pool.pool_size <= 1 || pool.stop then
+    (* Sequential pools execute eagerly at submission, preserving the
+       deterministic submit-order schedule tests pin against. *)
+    task ()
+  else begin
+    let wrap = !task_hook in
+    Mutex.lock pool.mutex;
+    Queue.push (wrap task) pool.queue;
+    Atomic.incr n_queued;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.mutex
+  end;
+  fut
+
+let await pool fut =
+  let state () =
+    Mutex.lock fut.fut_mutex;
+    let s = fut.fut_state in
+    Mutex.unlock fut.fut_mutex;
+    s
+  in
+  let rec loop () =
+    match state () with
+    | `Ok v -> v
+    | `Err (e, bt) -> Printexc.raise_with_backtrace e bt
+    | `Pending -> (
+        (* Help while waiting, exactly as [map] does, so awaiting from
+           inside a worker task cannot deadlock: if the queue is empty the
+           future's task is already running on some domain. *)
+        match try_pop pool with
+        | Some task ->
+            Atomic.incr n_stolen;
+            run_task task;
+            loop ()
+        | None ->
+            Mutex.lock fut.fut_mutex;
+            while fut.fut_state = `Pending do
+              Condition.wait fut.fut_done fut.fut_mutex
+            done;
+            Mutex.unlock fut.fut_mutex;
+            loop ())
+  in
+  loop ()
 
 let both pool f g =
   let a = ref None and b = ref None in

@@ -37,6 +37,21 @@ val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [both t f g] evaluates the two thunks, concurrently when the pool has
     capacity, and returns their results. *)
 
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue one task and return a handle to its eventual result. On a
+    sequential pool (size <= 1, or after {!shutdown}) the task runs
+    eagerly at submission, so the schedule is the deterministic
+    submission order at any pool size. *)
+
+val await : t -> 'a future -> 'a
+(** Claim a future's result, helping drain the pool's queue while it is
+    pending (so awaiting from inside a worker task cannot deadlock). If
+    the task raised, the exception is re-raised here with its original
+    backtrace. [await] may be called multiple times and from multiple
+    domains. *)
+
 val shutdown : t -> unit
 (** Drain queued tasks, stop the workers and join them. Idempotent. Calling
     {!map} after [shutdown] falls back to the sequential path. *)
@@ -57,12 +72,21 @@ type stats = {
   tasks_queued : int;  (** tasks pushed onto any pool's shared queue *)
   tasks_stolen : int;  (** tasks the submitting domain drained back while helping *)
   tasks_by_workers : int;  (** tasks executed by worker domains *)
+  busy_seconds : float;
+      (** cumulative wall-clock time spent executing pool tasks, on any
+          path — workers, helping submitters, and the sequential
+          fallbacks all count (the bench derives parallel efficiency
+          from deltas of this) *)
+  idle_seconds : float;
+      (** cumulative wall-clock time worker domains spent blocked waiting
+          for work *)
 }
 
 val stats : unit -> stats
 (** Process-wide task counters (across all pools, since process start).
     Tasks short-circuited by the sequential paths of {!map} (empty or
-    singleton lists, pool size <= 1) are not queued and not counted. *)
+    singleton lists, pool size <= 1) are not queued and not counted —
+    their execution time still lands in [busy_seconds]. *)
 
 val set_task_hook : ((unit -> unit) -> unit -> unit) -> unit
 (** Install a wrapper applied to every task at submission time — the

@@ -203,9 +203,9 @@ let test_clone_deterministic () =
 let test_counter_errors () =
   let a = Ditto_uarch.Counters.create () and b = Ditto_uarch.Counters.create () in
   a.Ditto_uarch.Counters.insts <- 1000;
-  a.Ditto_uarch.Counters.cycles <- 1000.0;
+  a.Ditto_uarch.Counters.s.Ditto_uarch.Counters.cycles <- 1000.0;
   b.Ditto_uarch.Counters.insts <- 1000;
-  b.Ditto_uarch.Counters.cycles <- 2000.0;
+  b.Ditto_uarch.Counters.s.Ditto_uarch.Counters.cycles <- 2000.0;
   let errs =
     Ditto_tune.Tuner.counter_errors ~original:a ~synthetic:b ~orig_requests:10
       ~synth_requests:10

@@ -123,6 +123,67 @@ let test_nested_map () =
         (List.init 8 (fun i -> (50 * i) + 15))
         sums)
 
+(* {1 Futures} *)
+
+let test_future_basic size () =
+  with_pool size (fun pool ->
+      let f1 = Pool.submit pool (fun () -> 6 * 7) in
+      let f2 = Pool.submit pool (fun () -> String.concat "-" [ "a"; "b" ]) in
+      Alcotest.(check int) "first future" 42 (Pool.await pool f1);
+      Alcotest.(check string) "second future" "a-b" (Pool.await pool f2);
+      (* await is idempotent *)
+      Alcotest.(check int) "re-await" 42 (Pool.await pool f1))
+
+let test_future_exception size () =
+  with_pool size (fun pool ->
+      let f = Pool.submit pool (fun () -> raise (Boom 7)) in
+      Alcotest.check_raises "exception surfaces at await" (Boom 7) (fun () ->
+          ignore (Pool.await pool f));
+      Alcotest.check_raises "and again on re-await" (Boom 7) (fun () ->
+          ignore (Pool.await pool f));
+      let ok = Pool.submit pool (fun () -> 5) in
+      Alcotest.(check int) "pool usable after failed future" 5 (Pool.await pool ok))
+
+let test_future_chain size () =
+  (* A dependent future awaiting its input (the bench's clone -> validate
+     DAG edge): the helping scheme keeps it deadlock-free at any size. *)
+  with_pool size (fun pool ->
+      let a = Pool.submit pool (fun () -> 10) in
+      let b = Pool.submit pool (fun () -> Pool.await pool a + 5) in
+      Alcotest.(check int) "chained futures" 15 (Pool.await pool b))
+
+(* {1 Stats: steal counts, busy and idle time} *)
+
+let test_stats_accumulate () =
+  let s0 = Pool.stats () in
+  with_pool 2 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun x ->
+             Unix.sleepf 0.01;
+             x)
+           [ 1; 2; 3; 4 ]));
+  let s1 = Pool.stats () in
+  Alcotest.(check int) "batch queued" (s0.Pool.tasks_queued + 4) s1.Pool.tasks_queued;
+  Alcotest.(check int) "every task ran on a worker or was stolen"
+    (s0.Pool.tasks_by_workers + s0.Pool.tasks_stolen + 4)
+    (s1.Pool.tasks_by_workers + s1.Pool.tasks_stolen);
+  Alcotest.(check bool) "busy time covers the sleeps" true
+    (s1.Pool.busy_seconds -. s0.Pool.busy_seconds >= 0.04);
+  Alcotest.(check bool) "idle time monotonic" true
+    (s1.Pool.idle_seconds >= s0.Pool.idle_seconds)
+
+let test_stats_sequential_busy () =
+  (* The sequential fallback still charges busy time (a 1-domain host would
+     otherwise report zero parallel efficiency). *)
+  let s0 = Pool.stats () in
+  with_pool 1 (fun pool -> ignore (Pool.map pool (fun x -> Unix.sleepf 0.01; x) [ 1; 2 ]));
+  let s1 = Pool.stats () in
+  Alcotest.(check int) "nothing queued on the sequential path" s0.Pool.tasks_queued
+    s1.Pool.tasks_queued;
+  Alcotest.(check bool) "busy time accrues anyway" true
+    (s1.Pool.busy_seconds -. s0.Pool.busy_seconds >= 0.02)
+
 let test_env_sizing () =
   Unix.putenv "DITTO_DOMAINS" "3";
   Alcotest.(check int) "env size" 3 (Pool.default_size ());
@@ -149,6 +210,41 @@ let seq_parallel =
     (let seq = with_pool 1 clone_with in
      let par = with_pool 4 clone_with in
      (seq, par))
+
+(* The memoization layer (measurement memo, tuner revalidation cache,
+   machine pooling) must be invisible to results: the {memo on, memo off} x
+   {sequential, 4-domain} matrix agrees bit-for-bit. The memo-on pair is
+   [seq_parallel]; this computes the memo-off pair. *)
+let seq_parallel_memo_off =
+  lazy
+    (Ditto_uarch.Memo.set_enabled false;
+     Fun.protect
+       ~finally:(fun () -> Ditto_uarch.Memo.set_enabled true)
+       (fun () ->
+         let seq = with_pool 1 clone_with in
+         let par = with_pool 4 clone_with in
+         (seq, par)))
+
+let test_memo_pool_matrix () =
+  let (r_on1, v_on1), (r_on4, v_on4) = Lazy.force seq_parallel in
+  let (r_off1, v_off1), (r_off4, v_off4) = Lazy.force seq_parallel_memo_off in
+  let params r =
+    match r.Pipeline.tuning with
+    | Some (rep : Ditto_tune.Tuner.report) -> rep.Ditto_tune.Tuner.final_params
+    | None -> Alcotest.fail "tuning report missing"
+  in
+  let baseline_p = params r_on1 and baseline_v = v_on1 in
+  List.iteri
+    (fun i (r, v) ->
+      let tag s = Printf.sprintf "%s (variant %d)" s i in
+      Alcotest.(check bool) (tag "final params match") true (params r = baseline_p);
+      Alcotest.(check bool) (tag "per-tier metrics match") true
+        (v.Pipeline.actual = baseline_v.Pipeline.actual
+        && v.Pipeline.synthetic = baseline_v.Pipeline.synthetic);
+      Alcotest.(check bool) (tag "end-to-end match") true
+        (v.Pipeline.actual_end_to_end = baseline_v.Pipeline.actual_end_to_end
+        && v.Pipeline.synthetic_end_to_end = baseline_v.Pipeline.synthetic_end_to_end))
+    [ (r_on4, v_on4); (r_off1, v_off1); (r_off4, v_off4) ]
 
 let test_clone_determinism () =
   let (r1, _), (r4, _) = Lazy.force seq_parallel in
@@ -197,12 +293,21 @@ let () =
           Alcotest.test_case "both failure" `Quick test_both_failure;
           Alcotest.test_case "both" `Quick test_both;
           Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "future basic (size 1)" `Quick (test_future_basic 1);
+          Alcotest.test_case "future basic (size 4)" `Quick (test_future_basic 4);
+          Alcotest.test_case "future exception (size 1)" `Quick (test_future_exception 1);
+          Alcotest.test_case "future exception (size 4)" `Quick (test_future_exception 4);
+          Alcotest.test_case "future chain (size 1)" `Quick (test_future_chain 1);
+          Alcotest.test_case "future chain (size 4)" `Quick (test_future_chain 4);
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+          Alcotest.test_case "stats on sequential path" `Quick test_stats_sequential_busy;
           Alcotest.test_case "env sizing" `Quick test_env_sizing;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "clone across pool sizes" `Slow test_clone_determinism;
           Alcotest.test_case "validate across pool sizes" `Slow test_validate_determinism;
+          Alcotest.test_case "memo x pool-size matrix" `Slow test_memo_pool_matrix;
           Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
         ] );
     ]

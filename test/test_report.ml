@@ -219,7 +219,15 @@ let sample_doc () =
     {
       Bench_json.domains = 1;
       total_seconds = 1.25;
-      experiments = [ ("scorecards", 1.0) ];
+      experiments =
+        [
+          {
+            Bench_json.exp_name = "scorecards";
+            exp_seconds = 1.0;
+            exp_domains = 1;
+            exp_parallel_efficiency = 0.9;
+          };
+        ];
       clone_seconds = [ ("redis", 0.8) ];
       mean_error_pct = [ ("IPC", 3.5) ];
       tuning = [];
@@ -285,6 +293,10 @@ let test_flatten_keys () =
     (List.mem_assoc "scorecards/redis/redis/ipc" flat);
   Alcotest.(check bool) "chaos key present" true
     (List.mem_assoc "chaos/redis/kill-mid-tier/error_rate_pp" flat);
+  Alcotest.(check (float 1e-12)) "experiment wall key" 1.0
+    (List.assoc "experiments/scorecards/wall_seconds" flat);
+  Alcotest.(check (float 1e-12)) "total wall key" 1.25
+    (List.assoc "experiments/total/wall_seconds" flat);
   Alcotest.(check bool) "all errors non-negative" true
     (List.for_all (fun (_, v) -> v >= 0.0) flat)
 

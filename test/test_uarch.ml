@@ -151,7 +151,7 @@ let test_prefetcher_random_silent () =
 let test_counters_derived () =
   let c = Counters.create () in
   c.Counters.insts <- 1000;
-  c.Counters.cycles <- 500.0;
+  c.Counters.s.Counters.cycles <- 500.0;
   c.Counters.branches <- 100;
   c.Counters.mispredicts <- 5;
   c.Counters.l1d_accesses <- 400;
@@ -175,10 +175,10 @@ let test_counters_sub_acc () =
 
 let test_topdown_normalised () =
   let c = Counters.create () in
-  c.Counters.slots_retiring <- 30.0;
-  c.Counters.slots_frontend <- 30.0;
-  c.Counters.slots_bad_spec <- 20.0;
-  c.Counters.slots_backend <- 20.0;
+  c.Counters.s.Counters.retiring <- 30.0;
+  c.Counters.s.Counters.frontend <- 30.0;
+  c.Counters.s.Counters.bad_spec <- 20.0;
+  c.Counters.s.Counters.backend <- 20.0;
   let td = Counters.topdown c in
   check_close "sums to 1" 1e-9 1.0
     (td.Counters.retiring +. td.Counters.frontend +. td.Counters.bad_speculation
@@ -348,7 +348,7 @@ let test_core_rep_string_scales () =
         [ Block.temp (Iform.by_name "REP_MOVSB") ~srcs:[| 6 |] ~rep_count:n
             ~mem:(Block.Seq_stride { region = heap; start = 0; stride = 64; span = 1 lsl 20 }) ]
     in
-    c.Counters.cycles
+    Counters.cycles c
   in
   Alcotest.(check bool) "bigger copies cost more" true (rep 4096 > rep 256)
 
