@@ -61,14 +61,35 @@ let wall = Unix.gettimeofday
 
 let pool = Ditto_util.Pool.default ()
 
-(* --apps filter: restricts the registry-wide experiments. *)
+(* --apps filter: restricts the registry-wide experiments. Entries accept
+   '*' globs (e.g. --apps 'synth-*'), and any pattern naming an extra
+   (synth graphs, DeathStarBench ports) pulls it into the run. *)
 let apps_filter : string list option ref = ref None
+
+let glob_match pattern name =
+  let np = String.length pattern and nn = String.length name in
+  (* backtracking wildcard match; patterns are tiny *)
+  let rec go p n star_p star_n =
+    if n = nn then
+      if p = np then true
+      else if pattern.[p] = '*' then go (p + 1) n star_p star_n
+      else false
+    else if p < np && pattern.[p] = '*' then go (p + 1) n (Some p) n
+    else if p < np && pattern.[p] = name.[n] then go (p + 1) (n + 1) star_p star_n
+    else
+      match star_p with
+      | Some sp -> go (sp + 1) (star_n + 1) star_p (star_n + 1)
+      | None -> false
+  in
+  go 0 0 None (-1)
 
 let registry_entries () =
   match !apps_filter with
   | None -> Registry.all
-  | Some names ->
-      List.filter (fun (e : Registry.entry) -> List.mem e.Registry.name names) Registry.all
+  | Some pats ->
+      List.filter
+        (fun (e : Registry.entry) -> List.exists (fun p -> glob_match p e.Registry.name) pats)
+        (Registry.all @ Registry.extras)
 
 let clones : (string, Service.load * Pipeline.clone_result) Hashtbl.t = Hashtbl.create 8
 let clone_secs : (string * float) list ref = ref []
@@ -863,6 +884,52 @@ let perfsmoke () =
   if (not (Ditto_uarch.Memo.enabled ())) || warm < cold then print_endline "  PERF-SMOKE-OK"
   else print_endline "  PERF-SMOKE-FAIL (warm run not faster than cold)"
 
+(* {1 Synth scale: production-shaped graphs through the full pipeline}
+
+   One experiment per registered graph size, so each stage lands its own
+   "experiments/<name>/wall_seconds" budget in the committed baseline and
+   `bench --check` gates scaling speed alongside fidelity. synth-100 is
+   cloned with tuning and contributes its scorecard to the fidelity gate
+   (the paper's 95% bar); the 500- and 1000-tier graphs run untuned —
+   their budgets pin that clone+validate stays far below the naive
+   per-tier extrapolation from social_network (~6.4 s/tier at BENCH_4,
+   i.e. ~6400 s for 1000 tiers; the committed budgets demand >= 5x better). *)
+
+let synth_one ~tune n =
+  let name = Ditto_gen.Topology.app_name n in
+  banner (fmt "Synth scale: %s (%s)" name (if tune then "tuned" else "untuned"));
+  let entry = Registry.by_name name in
+  let _, med, _ = entry.Registry.loads in
+  let load =
+    Ditto_loadgen.Workload.to_load entry.Registry.workload ~qps:med ~duration:0.4 ()
+  in
+  let t0 = wall () in
+  let result = Pipeline.clone ~pool ~tune ~platform:Platform.a ~load (entry.Registry.spec ()) in
+  let cloned = wall () -. t0 in
+  clone_secs := (name, cloned) :: !clone_secs;
+  let c = Pipeline.validate ~pool ~platform:Platform.a ~load ~label:"synth" result in
+  let card = Scorecard.of_comparison ~app:name ?tuning:result.Pipeline.tuning c in
+  Hashtbl.replace clones name (load, result);
+  (* A 1000-tier scorecard is ~12k rows; print the verdict, not the table. *)
+  let knob_rows =
+    List.filter (fun (r : Scorecard.row) -> r.Scorecard.knob_group <> None) card.Scorecard.rows
+  in
+  let knob_pass = List.length (List.filter (fun (r : Scorecard.row) -> r.Scorecard.pass) knob_rows) in
+  let secs = wall () -. t0 in
+  Printf.printf
+    "[synth] %s: clone %.1fs, clone+validate %.1fs (%.2f s/tier); scorecard %s (%d/%d counter \
+     rows within 5%%); peak heap events %d\n%!"
+    name cloned secs
+    (secs /. float_of_int n)
+    (if Scorecard.passed card then "PASS" else "FAIL")
+    knob_pass (List.length knob_rows)
+    (Ditto_sim.Engine.global_peak_heap_events ());
+  if tune then Hashtbl.replace scorecards_tbl name card
+
+let synth100 () = synth_one ~tune:true 100
+let synth500 () = synth_one ~tune:false 500
+let synth1000 () = synth_one ~tune:false 1000
+
 (* {1 Main} *)
 
 let all_experiments =
@@ -883,7 +950,11 @@ let all_experiments =
 
 (* Off the default path: chaos arms faults and resilience; perfsmoke is the
    CI warm-memo gate. Reachable by experiment name (or --chaos). *)
-let opt_in_experiments = [ ("chaos", chaos); ("perfsmoke", perfsmoke) ]
+let opt_in_experiments =
+  [
+    ("chaos", chaos); ("perfsmoke", perfsmoke); ("synth100", synth100); ("synth500", synth500);
+    ("synth1000", synth1000);
+  ]
 
 (* Which registry clones an experiment consumes, so the preclone pass can
    build exactly those concurrently before the (ordered, printing)
@@ -918,6 +989,31 @@ let run_check ~baseline_path current =
     exit 2
   end;
   let baseline = Baseline.load baseline_path in
+  (* A filtered run's total wall covers only the experiments it ran, so
+     gating it against the full-sweep pin would flag any subset slower
+     than the whole default sweep (the synth stages alone are). Rebuild
+     the pinned total as the sum of the pinned per-stage walls for the
+     stages present in [current]; if any stage is new to the baseline the
+     total is dropped and only the per-stage budgets gate. *)
+  let baseline =
+    let total_key = "experiments/total/wall_seconds" in
+    let is_stage_wall k =
+      k <> total_key
+      && String.starts_with ~prefix:"experiments/" k
+      && String.ends_with ~suffix:"/wall_seconds" k
+    in
+    let stage_keys = List.filter_map (fun (k, _) -> if is_stage_wall k then Some k else None) current in
+    let pinned = List.map (fun k -> List.assoc_opt k baseline.Baseline.metrics) stage_keys in
+    if List.mem_assoc total_key baseline.Baseline.metrics && stage_keys <> [] then
+      let metrics = List.remove_assoc total_key baseline.Baseline.metrics in
+      let metrics =
+        if List.for_all Option.is_some pinned then
+          (total_key, List.fold_left (fun acc v -> acc +. Option.get v) 0.0 pinned) :: metrics
+        else metrics
+      in
+      { baseline with Baseline.metrics }
+    else baseline
+  in
   let regressions, checked = Baseline.diff baseline current in
   match regressions with
   | [] ->
@@ -1097,6 +1193,13 @@ let () =
              metrics = Obs.Metrics.snapshot ();
              scorecards = cards;
              chaos = List.sort compare !chaos_acc;
+             peak_heap_events = Ditto_sim.Engine.global_peak_heap_events ();
+             tier_counts =
+               Hashtbl.fold
+                 (fun name (_, result) acc ->
+                   (name, List.length result.Pipeline.original.Ditto_app.Spec.tiers) :: acc)
+                 clones []
+               |> List.sort (fun (a, _) (b, _) -> compare a b);
            })
     end
   in

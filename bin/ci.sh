@@ -1,10 +1,11 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 18 test suites, a benchmark smoke run, a
+# Tier-1 gate: full build, the 20 test suites, a benchmark smoke run, a
 # self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
 # sampled-profiler smoke test, a chaos smoke test (fault injection +
-# resilience counters), and the fidelity regression gate (scorecards
-# diffed against the committed baseline, plus a proof that the gate rejects
-# a perturbed baseline).
+# resilience counters), a synth scaling smoke (100-tier generated graph
+# cloned + validated under a wall budget), and the fidelity regression
+# gate (scorecards diffed against the committed baseline, plus a proof
+# that the gate rejects a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
 set -eu
 
@@ -21,8 +22,9 @@ dune build 2>&1 | tee "$build_log"
 # lib/obs, lib/report and lib/fault are the observability and chaos
 # layers; lib/util, lib/uarch, lib/tune and bench carry the performance
 # architecture (pool futures, memo caches, machine pooling, the bench
-# DAG). Keep them all warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune)|bench/"; then
+# DAG); lib/sim, lib/app, lib/apps, lib/gen and lib/trace carry the
+# topology-synthesis scaling path. Keep them all warning-clean.
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace)|bench/"; then
   echo "ci: FAIL — build warnings in the gated modules" >&2
   exit 1
 fi
@@ -79,6 +81,25 @@ awk '
   }
   END { if (!seen) { print "ci: FAIL — no chaos-totals line" > "/dev/stderr"; exit 1 } }
 ' "$chaos_log"
+
+echo "== synth scaling smoke (100-tier generated graph, clone + validate) =="
+# A seeded 100-tier production-shaped graph must round-trip through Jaeger
+# (generate -> export -> recover DAG -> shape check), then clone and
+# validate end-to-end inside a wall budget. The command prints the
+# greppable SYNTH-SMOKE-OK line and exits non-zero if the recovered DAG
+# does not match the generator's ground truth.
+synth_log="$tmpdir/synth.log"
+synth_start=$(date +%s)
+dune exec bin/ditto_cli.exe -- synth synth-100 --no-tune | tee "$synth_log"
+synth_wall=$(( $(date +%s) - synth_start ))
+if ! grep -q "SYNTH-SMOKE-OK" "$synth_log"; then
+  echo "ci: FAIL — synth smoke did not reach SYNTH-SMOKE-OK" >&2
+  exit 1
+fi
+if [ "$synth_wall" -gt 240 ]; then
+  echo "ci: FAIL — synth smoke took ${synth_wall}s (budget 240s)" >&2
+  exit 1
+fi
 
 echo "== scorecard regression gate (vs bench/baselines/default.json) =="
 bench_json="$tmpdir/bench.json"

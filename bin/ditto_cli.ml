@@ -223,15 +223,62 @@ let chaos_app name qps no_tune plan_file only trace trace_jaeger =
   Printf.printf "chaos-totals: shed=%d retries=%d timeouts=%d errors=%d drops=%d\n" !shed
     !retries !timeouts !errors !drops
 
-let synth_profile path qps platform =
-  let profile = Ditto_profile.Profile_io.load path in
-  let clone = Ditto_gen.Clone.synth_app profile in
-  Printf.printf "regenerated %s (%d tiers) from %s\n" clone.Spec.app_name
-    (List.length clone.Spec.tiers) path;
-  let qps = Option.value ~default:1000.0 qps in
-  let load = Service.load ~qps ~duration:1.0 () in
-  let out = Runner.run (Runner.config (Platform.by_name platform)) ~load clone in
-  print_tiers out
+(* Scale round trip: generate a production-shaped graph, export its traces
+   through the Jaeger writer, recover the DAG from the re-ingested spans,
+   check it against the ground truth, then clone and validate the graph
+   end-to-end. The closing "SYNTH-SMOKE-OK" line is what CI asserts. *)
+let synth_topology n qps platform no_tune save =
+  let module Topology = Ditto_gen.Topology in
+  let t0 = Unix.gettimeofday () in
+  let t = Topology.generate (Topology.default ~tiers:n ()) in
+  Printf.printf "generated %s: %d tiers, %d edges, depth %d\n" t.Topology.name n
+    (List.length t.Topology.dag.Ditto_trace.Dag.edges)
+    (Array.fold_left max 0 t.Topology.layers);
+  let json = Ditto_trace.Jaeger.to_string (Topology.spans t) in
+  let recovered = Ditto_trace.Dag.of_spans (Ditto_trace.Jaeger.of_string json) in
+  if not (Topology.same_shape t.Topology.dag recovered) then begin
+    Printf.eprintf "synth: Jaeger round trip lost the DAG shape\n";
+    exit 1
+  end;
+  Printf.printf "trace round trip: %d bytes of Jaeger JSON -> DAG shape preserved\n"
+    (String.length json);
+  (* Enough default traffic that per-tier request counts converge even on
+     rare request-type paths: relative counter errors on a handful of
+     requests are single-event noise, not fidelity. *)
+  let qps = match qps with Some q -> q | None -> Float.max 50.0 (200_000.0 /. float_of_int n) in
+  let load =
+    Ditto_loadgen.Workload.to_load Ditto_loadgen.Workload.wrk2_open ~qps ~duration:0.5 ()
+  in
+  let plat = Platform.by_name platform in
+  let result = Pipeline.clone ~tune:(not no_tune) ~platform:plat ~load t.Topology.spec in
+  (match save with
+  | Some path ->
+      Ditto_profile.Profile_io.save path result.Pipeline.profile;
+      Printf.printf "profile saved to %s\n" path
+  | None -> ());
+  let c = Pipeline.validate ~platform:plat ~load ~label:"synth-validate" result in
+  let card =
+    Ditto_report.Scorecard.of_comparison ~app:t.Topology.name ?tuning:result.Pipeline.tuning c
+  in
+  Ditto_report.Scorecard.print card;
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "peak heap events: %d\n" (Ditto_sim.Engine.global_peak_heap_events ());
+  Printf.printf "SYNTH-SMOKE-OK tiers=%d pass=%b wall=%.1fs\n" n
+    (Ditto_report.Scorecard.passed card)
+    wall
+
+let synth_profile path qps platform no_tune save =
+  match Ditto_gen.Topology.parse_name path with
+  | Some n -> synth_topology n qps platform no_tune save
+  | None ->
+      let profile = Ditto_profile.Profile_io.load path in
+      let clone = Ditto_gen.Clone.synth_app profile in
+      Printf.printf "regenerated %s (%d tiers) from %s\n" clone.Spec.app_name
+        (List.length clone.Spec.tiers) path;
+      let qps = Option.value ~default:1000.0 qps in
+      let load = Service.load ~qps ~duration:1.0 () in
+      let out = Runner.run (Runner.config (Platform.by_name platform)) ~load clone in
+      print_tiers out
 
 let export_trace name out_path =
   let entry, _ = load_for name None 0.5 in
@@ -408,10 +455,13 @@ let list_apps () =
   List.iter
     (fun (e : Registry.entry) ->
       let low, med, high = e.Registry.loads in
-      Printf.printf "%-16s %-10s loads: %.0f / %.0f / %.0f qps; focus: %s\n" e.Registry.name
+      let tiers = List.length (e.Registry.spec ()).Spec.tiers in
+      Printf.printf "%-18s %4d tier%s  %-10s loads: %.0f / %.0f / %.0f qps; focus: %s\n"
+        e.Registry.name tiers
+        (if tiers = 1 then " " else "s")
         e.Registry.workload.Ditto_loadgen.Workload.gen_name low med high
         (String.concat ", " e.Registry.focus_tiers))
-    Registry.all
+    (Registry.all @ Registry.extras)
 
 open Cmdliner
 
@@ -465,8 +515,12 @@ let clone_cmd =
 
 let synth_cmd =
   Cmd.v
-    (Cmd.info "synth" ~doc:"Regenerate and run a clone from a shared profile file")
-    Term.(const synth_profile $ path_arg $ qps_arg $ platform_arg)
+    (Cmd.info "synth"
+       ~doc:
+         "Regenerate and run a clone from a shared profile file, or — given a synth-<n> name — \
+          generate an n-tier production-shaped graph, round-trip its traces through Jaeger, and \
+          clone + validate it")
+    Term.(const synth_profile $ path_arg $ qps_arg $ platform_arg $ no_tune_arg $ save_arg)
 
 let export_cmd =
   Cmd.v

@@ -5,19 +5,35 @@ type space = {
   shared : Ditto_isa.Block.region;
 }
 
-let max_tiers = 48
+let max_tiers = 2048
 let code_region_base = 0x1000_0000
 let code_stride = 0x0100_0000 (* 16MB of text per tier *)
 let heap_region_base = 0x8000_0000
 let heap_stride = 0x2000_0000 (* 512MB window per tier *)
 
+(* The legacy layout above holds 48 tiers: code [0x1000_0000, 0x4000_0000)
+   and heap/shared [0x8000_0000, 0x6_8000_0000). Synthesized thousand-tier
+   graphs spill into disjoint high regions — the first 48 indices keep the
+   historical addresses bit-identical (committed baselines depend on them),
+   indices beyond map above everything the legacy windows can reach. *)
+let legacy_tiers = 48
+let hi_code_region_base = 0x8_0000_0000 (* 32GB window: 2048 * 16MB text *)
+let hi_heap_region_base = 0x10_0000_0000 (* 512MB heap+shared per tier, unbounded above *)
+
 let space ~tier_index ~heap_bytes ~shared_bytes =
   assert (tier_index >= 0 && tier_index < max_tiers);
-  let heap_base = heap_region_base + (tier_index * heap_stride) in
+  let code_base, heap_base =
+    if tier_index < legacy_tiers then
+      ( code_region_base + (tier_index * code_stride),
+        heap_region_base + (tier_index * heap_stride) )
+    else
+      let hi = tier_index - legacy_tiers in
+      (hi_code_region_base + (hi * code_stride), hi_heap_region_base + (hi * heap_stride))
+  in
   let shared_base = heap_base + (heap_stride / 2) in
   {
     tier_index;
-    code_base = code_region_base + (tier_index * code_stride);
+    code_base;
     heap = Ditto_isa.Block.make_region ~base:heap_base ~bytes:heap_bytes ~shared:false;
     shared =
       Ditto_isa.Block.make_region ~base:shared_base ~bytes:(max 64 shared_bytes) ~shared:true;

@@ -106,36 +106,67 @@ let measure_memo_key : (measure_key, (string * Measure.tier_result) list) Memo.t
 
 let measure_memo_stats () = Memo.stats (Domain.DLS.get measure_memo_key)
 
+(* Above this many tiers on one machine, the measurement phase is sharded
+   across the Pool's domains. The threshold exceeds every hand-written app
+   (social_network tops out around 30 tiers), so committed baselines keep
+   their historical single-shard measurement bit-for-bit; only synthesized
+   wide graphs take the sharded path. *)
+let measure_shard_tiers = 32
+
 let run_inner cfg ~load (app : Spec.t) =
-  let engine = Ditto_sim.Engine.create () in
-  Ditto_sim.Engine.set_profile_label engine app.Spec.app_name;
   let tiers = app.Spec.tiers in
+  let ntiers = List.length tiers in
+  (* Pending events scale with workers + connections + in-flight requests:
+     pre-size the heap so thousand-tier graphs never pay repeated array
+     doubling inside the hot push path. *)
+  let engine = Ditto_sim.Engine.create ~capacity:(256 + (64 * ntiers)) () in
+  Ditto_sim.Engine.set_profile_label engine app.Spec.app_name;
   let page_cache_bytes =
     match cfg.page_cache_bytes with Some b -> Some b | None -> app.Spec.page_cache_hint
   in
   let make_machine () = Machine.create ?page_cache_bytes ?cores:cfg.cores engine cfg.platform in
-  let placements =
-    if cfg.cluster then List.map (fun (t : Spec.tier) -> (t.Spec.tier_name, make_machine ())) tiers
+  (* O(1) int/string-indexed routing: tier -> machine and tier -> space are
+     hash lookups, never tier-list scans (those made wide graphs O(n^2)). *)
+  let placement_tbl : (string, Machine.t) Hashtbl.t = Hashtbl.create (2 * ntiers) in
+  let machines =
+    if cfg.cluster then
+      List.map
+        (fun (t : Spec.tier) ->
+          let m = make_machine () in
+          Hashtbl.replace placement_tbl t.Spec.tier_name m;
+          m)
+        tiers
     else begin
       let m = make_machine () in
-      List.map (fun (t : Spec.tier) -> (t.Spec.tier_name, m)) tiers
+      List.iter (fun (t : Spec.tier) -> Hashtbl.replace placement_tbl t.Spec.tier_name m) tiers;
+      [ m ]
     end
   in
-  let placement name = List.assoc name placements in
-  let spaces =
-    List.mapi
-      (fun i (t : Spec.tier) ->
-        ( t.Spec.tier_name,
-          Layout.space ~tier_index:i ~heap_bytes:t.Spec.heap_bytes
-            ~shared_bytes:t.Spec.shared_bytes ))
-      tiers
+  let placement name = Hashtbl.find placement_tbl name in
+  let space_tbl : (string, Layout.space) Hashtbl.t = Hashtbl.create (2 * ntiers) in
+  List.iteri
+    (fun i (t : Spec.tier) ->
+      Hashtbl.replace space_tbl t.Spec.tier_name
+        (Layout.space ~tier_index:i ~heap_bytes:t.Spec.heap_bytes
+           ~shared_bytes:t.Spec.shared_bytes))
+    tiers;
+  (* Group tiers by machine (uid-keyed, order-preserving) for measurement. *)
+  let hosted_by_machine : (int, (Spec.tier * Layout.space) list ref) Hashtbl.t =
+    Hashtbl.create 16
   in
-  (* Group tiers by machine for the measurement phase. *)
-  let machines =
-    List.fold_left
-      (fun acc (_, m) -> if List.exists (fun m' -> m' == m) acc then acc else acc @ [ m ])
-      [] placements
-  in
+  List.iter
+    (fun (t : Spec.tier) ->
+      let m = placement t.Spec.tier_name in
+      let cell =
+        match Hashtbl.find_opt hosted_by_machine m.Machine.uid with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add hosted_by_machine m.Machine.uid c;
+            c
+      in
+      cell := (t, Hashtbl.find space_tbl t.Spec.tier_name) :: !cell)
+    tiers;
   let avg_workers =
     let total =
       List.fold_left (fun a (t : Spec.tier) -> a + t.Spec.thread_model.Spec.workers) 0 tiers
@@ -153,45 +184,81 @@ let run_inner cfg ~load (app : Spec.t) =
     }
   in
   let memoizable = cfg.stressor = None && not (Ditto_obs.Profiler.enabled ()) in
+  let app_uid = spec_uid app in
+  let measure_on m ~seed hosted =
+    let do_measure () =
+      Measure.run ~config:mcfg ~machine:m ~seed ~requests:cfg.requests hosted
+      |> List.map (fun (r : Measure.tier_result) -> (r.Measure.tier.Spec.tier_name, r))
+    in
+    if not memoizable then do_measure ()
+    else
+      let key =
+        {
+          mk_spec = app_uid;
+          mk_tiers = List.map (fun ((t : Spec.tier), _) -> t.Spec.tier_name) hosted;
+          mk_platform = cfg.platform;
+          mk_ncores = Machine.ncores m;
+          mk_page_cache = page_cache_bytes;
+          mk_syscall_scale = mcfg.Measure.syscall_scale;
+          mk_idle = mcfg.Measure.idle_per_request;
+          mk_smt = mcfg.Measure.smt_pressure;
+          mk_seed = seed;
+          mk_requests = cfg.requests;
+        }
+      in
+      Memo.find_or_add (Domain.DLS.get measure_memo_key) key do_measure
+  in
   let measured =
     Ditto_obs.Obs.Span.with_span ~name:"runner.measure" (fun () ->
         List.concat_map
           (fun m ->
             let hosted =
-              List.filter_map
-                (fun (t : Spec.tier) ->
-                  if placement t.Spec.tier_name == m then
-                    Some (t, List.assoc t.Spec.tier_name spaces)
-                  else None)
-                tiers
+              match Hashtbl.find_opt hosted_by_machine m.Machine.uid with
+              | Some cell -> List.rev !cell
+              | None -> []
             in
             if hosted = [] then []
+            else if List.length hosted <= measure_shard_tiers then
+              measure_on m ~seed:cfg.seed hosted
             else begin
-              let do_measure () =
-                Measure.run ~config:mcfg ~machine:m ~seed:cfg.seed ~requests:cfg.requests hosted
-                |> List.map (fun (r : Measure.tier_result) -> (r.Measure.tier.Spec.tier_name, r))
-              in
-              if not memoizable then do_measure ()
-              else
-                let key =
-                  {
-                    mk_spec = spec_uid app;
-                    mk_tiers = List.map (fun ((t : Spec.tier), _) -> t.Spec.tier_name) hosted;
-                    mk_platform = cfg.platform;
-                    mk_ncores = Machine.ncores m;
-                    mk_page_cache = page_cache_bytes;
-                    mk_syscall_scale = mcfg.Measure.syscall_scale;
-                    mk_idle = mcfg.Measure.idle_per_request;
-                    mk_smt = mcfg.Measure.smt_pressure;
-                    mk_seed = cfg.seed;
-                    mk_requests = cfg.requests;
-                  }
-                in
-                Memo.find_or_add (Domain.DLS.get measure_memo_key) key do_measure
+              (* Wide graphs: shard the hosted tiers into fixed-size groups
+                 and measure them across the Pool's domains, each shard on
+                 its own scratch machine (per-domain machine pooling keeps
+                 this cheap, and no mutable hardware state crosses domains).
+                 Shard boundaries and seeds depend only on the tier list, so
+                 results are bit-identical at any pool size. *)
+              let shards = ref [] and cur = ref [] and k = ref 0 and si = ref 0 in
+              List.iter
+                (fun t ->
+                  cur := t :: !cur;
+                  incr k;
+                  if !k = measure_shard_tiers then begin
+                    shards := (!si, List.rev !cur) :: !shards;
+                    incr si;
+                    cur := [];
+                    k := 0
+                  end)
+                hosted;
+              if !cur <> [] then shards := (!si, List.rev !cur) :: !shards;
+              let shards = List.rev !shards in
+              let pool = Ditto_util.Pool.default () in
+              Ditto_util.Pool.map pool
+                (fun (si, shard) ->
+                  let scratch_engine = Ditto_sim.Engine.create ~capacity:64 () in
+                  let sm =
+                    Machine.create ?page_cache_bytes ?cores:cfg.cores scratch_engine cfg.platform
+                  in
+                  let r = measure_on sm ~seed:(cfg.seed + (7919 * si)) shard in
+                  Machine.release sm;
+                  r)
+                shards
+              |> List.concat
             end)
           machines)
   in
-  let results name = List.assoc name measured in
+  let measured_tbl : (string, Measure.tier_result) Hashtbl.t = Hashtbl.create (2 * ntiers) in
+  List.iter (fun (name, r) -> Hashtbl.replace measured_tbl name r) measured;
+  let results name = Hashtbl.find measured_tbl name in
   let service =
     Ditto_obs.Obs.Span.with_span ~name:"runner.service" (fun () ->
         let r =
@@ -217,20 +284,20 @@ let run_inner cfg ~load (app : Spec.t) =
             Ditto_obs.Obs.Metrics.add fault_drops_c (sum (fun o -> o.Service.obs_link_drops)));
         r)
   in
+  let obs_tbl : (string, Service.tier_obs) Hashtbl.t = Hashtbl.create (2 * ntiers) in
+  List.iter (fun o -> Hashtbl.replace obs_tbl o.Service.obs_name o) service.Service.tiers;
   let per_tier =
     List.map
       (fun (t : Spec.tier) ->
         let name = t.Spec.tier_name in
         let r = results name in
         let c = r.Measure.counters in
-        let obs =
-          List.find (fun o -> o.Service.obs_name = name) service.Service.tiers
-        in
+        let obs = Hashtbl.find obs_tbl name in
         let lat =
           (* Single-tier services are measured at the client, like the
              paper's load generators; tiers of a microservice are measured
              server-side. *)
-          if List.length tiers = 1 then service.Service.latency else obs.Service.obs_latency
+          if ntiers = 1 then service.Service.latency else obs.Service.obs_latency
         in
         ( name,
           {
@@ -267,6 +334,9 @@ let run_inner cfg ~load (app : Spec.t) =
      (On an exception the machines are simply dropped — correct, just not
      reused.) *)
   List.iter Machine.release machines;
+  (* Drop the run's event storage so back-to-back wide clones never hold
+     two peak-sized heaps at once. *)
+  Ditto_sim.Engine.reset engine;
   { app; per_tier; end_to_end = service.Service.latency; service; measured }
 
 let run cfg ~load (app : Spec.t) =

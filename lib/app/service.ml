@@ -360,8 +360,14 @@ let background_thread sys rt ~tid period trace =
   loop ()
 
 let dedupe_machines rts =
+  let seen = Hashtbl.create 16 in
   List.fold_left
-    (fun acc rt -> if List.exists (fun m -> m == rt.machine) acc then acc else rt.machine :: acc)
+    (fun acc rt ->
+      if Hashtbl.mem seen rt.machine.Machine.uid then acc
+      else begin
+        Hashtbl.add seen rt.machine.Machine.uid ();
+        rt.machine :: acc
+      end)
     [] rts
 
 let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbps = 0.0)
@@ -436,18 +442,16 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     rts;
   let entry = Hashtbl.find registry app.Spec.entry in
   let machines = dedupe_machines rts in
-  let nic_before =
-    List.map
-      (fun m -> Nic.bytes_sent m.Machine.nic + Nic.bytes_received m.Machine.nic)
-      machines
-  in
-  let disk_before =
-    List.map
-      (fun m ->
-        Ditto_storage.Disk.bytes_read m.Machine.disk
-        + Ditto_storage.Disk.bytes_written m.Machine.disk)
-      machines
-  in
+  (* Pre-run NIC/disk odometers, keyed by machine uid so the teardown pass
+     below stays O(tiers) instead of re-scanning the machine list per tier. *)
+  let before : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace before m.Machine.uid
+        ( Nic.bytes_sent m.Machine.nic + Nic.bytes_received m.Machine.nic,
+          Ditto_storage.Disk.bytes_read m.Machine.disk
+          + Ditto_storage.Disk.bytes_written m.Machine.disk ))
+    machines;
   (* Client connections (the load generator is its own machine). *)
   let client_nic = Nic.create engine ~gbps:40.0 in
   let client_pair () =
@@ -565,19 +569,15 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
           Ditto_storage.Disk.bytes_read m.Machine.disk
           + Ditto_storage.Disk.bytes_written m.Machine.disk
         in
-        let idx =
-          let rec find i = function
-            | [] -> 0
-            | mm :: rest -> if mm == m then i else find (i + 1) rest
-          in
-          find 0 machines
+        let nic_b, disk_b =
+          match Hashtbl.find_opt before m.Machine.uid with Some v -> v | None -> (0, 0)
         in
         {
           obs_name = rt.spec.Spec.tier_name;
           obs_latency = Stats.summary rt.lat;
           obs_requests = rt.served;
-          obs_net_mbps = mbps (List.nth nic_before idx) nic_now;
-          obs_disk_mbps = mbps (List.nth disk_before idx) disk_now;
+          obs_net_mbps = mbps nic_b nic_now;
+          obs_disk_mbps = mbps disk_b disk_now;
           obs_timeouts = rt.timeouts;
           obs_retries = rt.retries;
           obs_shed = rt.shed;

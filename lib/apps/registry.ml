@@ -45,6 +45,23 @@ let all =
     };
   ]
 
+(* Synthesized production-scale graphs (DESIGN.md §11). Spec generation is
+   deferred behind the [spec] thunk, so listing the registry stays cheap;
+   loads scale inversely with graph width since every gateway request fans
+   out across the whole tier population. *)
+let synth_entry ~tiers ~loads =
+  {
+    name = Ditto_gen.Topology.app_name tiers;
+    spec =
+      (fun () ->
+        (Ditto_gen.Topology.generate (Ditto_gen.Topology.default ~tiers ())).Ditto_gen.Topology.spec);
+    workload = Ditto_loadgen.Workload.wrk2_open;
+    loads;
+    focus_tiers = [ "gateway" ];
+  }
+
+let synth_sizes = [ 100; 500; 1000 ]
+
 let extras =
   [
     {
@@ -61,6 +78,14 @@ let extras =
       loads = Media_service.loads;
       focus_tiers = [ "PageService"; "ReviewStorageService" ];
     };
+    (* Medium load must deliver enough requests per validation window that
+       the Bernoulli edge draws converge: per-request-type subgraphs see
+       only a popularity-weighted slice of the traffic, and near-zero
+       per-tier request counts turn the scorecard's relative errors into
+       single-event noise. *)
+    synth_entry ~tiers:100 ~loads:(500., 2000., 4000.);
+    synth_entry ~tiers:500 ~loads:(100., 400., 800.);
+    synth_entry ~tiers:1000 ~loads:(50., 200., 400.);
   ]
 
 let by_name name =

@@ -17,7 +17,12 @@ val all : entry list
 
 val extras : entry list
 (** Additional topologies beyond the paper's set (pipeline-generality
-    checks): DeathStarBench's Hotel Reservation and Media Service. *)
+    checks): DeathStarBench's Hotel Reservation and Media Service, plus
+    the synthesized production-scale graphs [synth-100/500/1000]
+    (DESIGN.md §11). *)
+
+val synth_sizes : int list
+(** Tier counts of the registered synthetic graphs. *)
 
 val by_name : string -> entry
 (** Searches [all] then [extras]. *)

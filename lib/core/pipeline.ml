@@ -28,7 +28,11 @@ let clone ?pool ?(tune = true) ?(requests = 220) ?(profile_requests = 160) ?(see
       (* Step 2: microservice topology from sampled end-to-end traces. *)
       let dag =
         if Spec.is_microservice original then begin
-          let results name = List.assoc name reference.Runner.measured in
+          let measured_tbl = Hashtbl.create 64 in
+          List.iter
+            (fun (name, r) -> Hashtbl.replace measured_tbl name r)
+            reference.Runner.measured;
+          let results name = Hashtbl.find measured_tbl name in
           Obs.Span.with_span ~name:"clone.dag" (fun () ->
               let spans =
                 Ditto_trace.Collector.collect ~entry:original.Spec.entry ~results ~samples:256
@@ -141,8 +145,12 @@ let validate_under ?pool ?(resilience = Spec.resilient ()) ?(client_timeout = 0.
   }
 
 let comparison_errors c =
+  (* Index the synthetic side once: on synth-1000 graphs the per-name
+     List.assoc scan turns this into an O(tiers^2) hot spot. *)
+  let synth_tbl = Hashtbl.create 64 in
+  List.iter (fun (name, m) -> Hashtbl.replace synth_tbl name m) c.synthetic;
   List.map
     (fun (name, actual) ->
-      let synthetic = List.assoc name c.synthetic in
+      let synthetic = Hashtbl.find synth_tbl name in
       (name, Metrics.error_pct ~actual ~synthetic))
     c.actual

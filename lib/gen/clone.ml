@@ -34,6 +34,19 @@ let synth_app ?(features = Body_gen.all_features) ?params ?(seed = 1009)
   let params_for name =
     match params with Some f -> f name | None -> Params.default
   in
+  (* Index downstream edges by caller once: Dag.downstreams filters the
+     whole edge list per call, which is O(tiers * edges) over the mapi
+     below — a real cost on synth-1000 graphs. *)
+  let downstream_tbl : (string, Ditto_trace.Dag.edge list ref) Hashtbl.t = Hashtbl.create 64 in
+  (match app.P.Tier_profile.dag with
+  | None -> ()
+  | Some dag ->
+      List.iter
+        (fun (e : Ditto_trace.Dag.edge) ->
+          match Hashtbl.find_opt downstream_tbl e.Ditto_trace.Dag.caller with
+          | Some cell -> cell := e :: !cell
+          | None -> Hashtbl.add downstream_tbl e.Ditto_trace.Dag.caller (ref [ e ]))
+        dag.Ditto_trace.Dag.edges);
   let tiers =
     List.mapi
       (fun i (tp : P.Tier_profile.t) ->
@@ -42,9 +55,9 @@ let synth_app ?(features = Body_gen.all_features) ?params ?(seed = 1009)
             ~shared_bytes:tp.P.Tier_profile.shared_bytes
         in
         let downstream =
-          match app.P.Tier_profile.dag with
+          match Hashtbl.find_opt downstream_tbl tp.P.Tier_profile.tier_name with
+          | Some cell -> List.rev !cell
           | None -> []
-          | Some dag -> Ditto_trace.Dag.downstreams dag tp.P.Tier_profile.tier_name
         in
         synth_tier ~features
           ~params:(params_for tp.P.Tier_profile.tier_name)

@@ -31,6 +31,12 @@ let default_tolerances =
        the stages' *)
     ("wall_seconds", 15.0);
     ("experiments/total/wall_seconds", 45.0);
+    (* synth-scale stages run for minutes, not seconds, so the 15s default
+       would gate them at ~2% — tighter than run-to-run engine variance.
+       Give them ~15% of their pinned walls instead. *)
+    ("experiments/synth100/wall_seconds", 120.0);
+    ("experiments/synth500/wall_seconds", 60.0);
+    ("experiments/synth1000/wall_seconds", 120.0);
   ]
 
 let last_component key =
@@ -102,19 +108,29 @@ let merge ~into:base current =
     base.tolerance_pp
     @ List.filter (fun (k, _) -> not (List.mem_assoc k base.tolerance_pp)) default_tolerances
   in
+  (* Hash-index both sides: with per-tier scorecard rows from synth-scale
+     graphs the metric list runs to thousands of keys, and the pairwise
+     assoc scans go quadratic. *)
+  let current_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace current_tbl k v) current;
+  let base_keys = Hashtbl.create 256 in
+  List.iter (fun (k, _) -> Hashtbl.replace base_keys k ()) base.metrics;
   let metrics =
     List.map
-      (fun (k, v) -> (k, match List.assoc_opt k current with Some v' -> v' | None -> v))
+      (fun (k, v) ->
+        (k, match Hashtbl.find_opt current_tbl k with Some v' -> v' | None -> v))
       base.metrics
-    @ List.filter (fun (k, _) -> not (List.mem_assoc k base.metrics)) current
+    @ List.filter (fun (k, _) -> not (Hashtbl.mem base_keys k)) current
   in
   { tolerance_pp; metrics }
 
 let diff t current =
+  let current_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace current_tbl k v) current;
   let regressions, checked =
     List.fold_left
       (fun (regs, n) (key, base) ->
-        match List.assoc_opt key current with
+        match Hashtbl.find_opt current_tbl key with
         | None -> (regs, n)
         | Some cur ->
             let allowed_pp = tolerance_for t key in

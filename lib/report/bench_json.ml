@@ -1,6 +1,6 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 5
+let schema_version = 6
 
 (* Per-experiment scheduling telemetry (v5): how long the stage took, how
    many domains the pool offered it, and what fraction of (domains x wall)
@@ -12,6 +12,9 @@ type experiment = {
   exp_parallel_efficiency : float;
 }
 
+(* v6 additions: the engine's process-wide event-heap high-water mark (the
+   synth scaling work pins DES memory behaviour) and each cloned app's
+   tier count, so wide-graph runs are self-describing. *)
 type input = {
   domains : int;
   total_seconds : float;
@@ -22,6 +25,8 @@ type input = {
   metrics : (string * float) list;
   scorecards : Scorecard.t list;
   chaos : (string * float) list;
+  peak_heap_events : int;
+  tier_counts : (string * int) list;
 }
 
 let num_obj kvs = J.Obj (List.map (fun (k, v) -> (k, J.Num v)) kvs)
@@ -52,6 +57,8 @@ let assemble i =
         J.Obj (List.map (fun (s : Scorecard.t) -> (s.Scorecard.app, Scorecard.to_json s)) i.scorecards)
       );
       ("chaos", num_obj i.chaos);
+      ("engine", J.Obj [ ("peak_heap_events", J.int i.peak_heap_events) ]);
+      ("tier_counts", J.Obj (List.map (fun (k, v) -> (k, J.int v)) i.tier_counts));
     ]
 
 (* Shape checking: a tiny combinator layer over Jsonx keeps the error
@@ -131,4 +138,8 @@ let validate json =
   let* () = field path json "tuning" (obj_of any) in
   let* () = field path json "metrics" (obj_of num) in
   let* () = field path json "scorecards" (obj_of scorecard) in
-  field path json "chaos" (obj_of num)
+  let* () = field path json "chaos" (obj_of num) in
+  let* () =
+    field path json "engine" (fun path v -> field path v "peak_heap_events" num)
+  in
+  field path json "tier_counts" (obj_of num)

@@ -5,12 +5,14 @@
     (fidelity-under-failure metrics keyed ["<app>/<plan>/<metric>"]);
     version 5 turns each ["experiments"] entry into an object carrying
     scheduling telemetry ([domains], [parallel_efficiency]) alongside its
-    wall seconds.
+    wall seconds; version 6 adds the ["engine"] section (the process-wide
+    event-heap high-water mark) and the ["tier_counts"] object (per cloned
+    app), so wide synthetic-graph runs are self-describing.
     {!validate} is the shape check the test suite and downstream tooling
     run against emitted files, so schema drift fails loudly instead of
     silently. *)
 
-val schema_version : int  (** 5 *)
+val schema_version : int  (** 6 *)
 
 type experiment = {
   exp_name : string;
@@ -34,6 +36,9 @@ type input = {
   chaos : (string * float) list;
       (** "<app>/<plan>/<metric>" -> value, from [bench --chaos]; empty
           when the chaos experiment did not run *)
+  peak_heap_events : int;
+      (** {!Ditto_sim.Engine.global_peak_heap_events} at document time *)
+  tier_counts : (string * int) list;  (** app -> tiers in the original spec *)
 }
 
 val assemble : input -> Ditto_util.Jsonx.t

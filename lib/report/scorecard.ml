@@ -55,15 +55,22 @@ let of_comparison ?(target_pct = 5.0) ~app ?tuning (c : Pipeline.comparison) =
       knob_group = Option.map Params.group_name (Params.group_of_metric metric);
     }
   in
+  (* Index the per-tier lists once; the assoc scans inside the per-tier
+     loop are O(tiers^2) on wide synthetic graphs. *)
+  let index pairs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (name, v) -> Hashtbl.replace tbl name v) pairs;
+    tbl
+  in
+  let synth_tbl = index c.Pipeline.synthetic in
+  let am_tbl = index c.Pipeline.actual_measured in
+  let sm_tbl = index c.Pipeline.synthetic_measured in
   let rows =
     List.concat_map
       (fun (tier, (a : Metrics.t)) ->
-        let s = List.assoc tier c.Pipeline.synthetic in
+        let s = Hashtbl.find synth_tbl tier in
         let measured_rows =
-          match
-            ( List.assoc_opt tier c.Pipeline.actual_measured,
-              List.assoc_opt tier c.Pipeline.synthetic_measured )
-          with
+          match (Hashtbl.find_opt am_tbl tier, Hashtbl.find_opt sm_tbl tier) with
           | Some am, Some sm -> [ mk tier "insts" (insts_per_req am) (insts_per_req sm) ]
           | _ -> []
         in
@@ -123,14 +130,14 @@ let of_chaos ?(target_pct = 5.0) ~app ?tuning (ch : Pipeline.chaos) =
       count_row "client_retries" a_svc.Service.client_retries s_svc.Service.client_retries;
     ]
   in
+  let s_obs_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Service.tier_obs) -> Hashtbl.replace s_obs_tbl o.Service.obs_name o)
+    s_svc.Service.tiers;
   let tier_rows =
     List.concat_map
       (fun (a_obs : Service.tier_obs) ->
-        match
-          List.find_opt
-            (fun (o : Service.tier_obs) -> o.Service.obs_name = a_obs.Service.obs_name)
-            s_svc.Service.tiers
-        with
+        match Hashtbl.find_opt s_obs_tbl a_obs.Service.obs_name with
         | None -> []
         | Some s_obs ->
             let tier = a_obs.Service.obs_name in

@@ -2,8 +2,11 @@ open Effect
 open Effect.Deep
 
 (* Pending events in a binary min-heap ordered by (time, sequence); the
-   sequence number makes same-time events FIFO and the heap total. *)
-type event = { at : float; seq : int; fn : unit -> unit }
+   sequence number makes same-time events FIFO and the heap total. The
+   callback is stored unapplied next to its argument (an existential pair)
+   so the hot wake path never allocates a wrapper closure: [wake w v] stores
+   [f] and [v] side by side instead of building [fun () -> f v]. *)
+type event = Ev : { at : float; seq : int; fn : 'a -> unit; arg : 'a } -> event
 
 type t = {
   mutable time : float;
@@ -18,32 +21,59 @@ type t = {
   imm : event Queue.t;
   mutable next_seq : int;
   mutable processed : int;
+  mutable peak_live : int;
+  initial_capacity : int;
   mutable profile_label : string;
 }
 
-let dummy_event = { at = 0.0; seq = 0; fn = ignore }
+let dummy_event = Ev { at = 0.0; seq = 0; fn = ignore; arg = () }
 
-let create () =
+(* Largest event-storage high-water mark seen by any engine in this
+   process, folded in when [run] returns (not on the push hot path). *)
+let global_peak = Atomic.make 0
+
+let rec fold_global_peak peak =
+  let cur = Atomic.get global_peak in
+  if peak > cur && not (Atomic.compare_and_set global_peak cur peak) then fold_global_peak peak
+
+let global_peak_heap_events () = Atomic.get global_peak
+
+let create ?(capacity = 256) () =
+  let capacity = max 16 capacity in
   {
     time = 0.0;
-    heap = Array.make 256 dummy_event;
+    heap = Array.make capacity dummy_event;
     size = 0;
     imm = Queue.create ();
     next_seq = 0;
     processed = 0;
+    peak_live = 0;
+    initial_capacity = capacity;
     profile_label = "run";
   }
+
+(* Drop the event arrays after a run so a pooled or still-referenced engine
+   does not pin peak memory between clones. Counters survive for stats. *)
+let reset t =
+  fold_global_peak t.peak_live;
+  t.heap <- Array.make 16 dummy_event;
+  t.size <- 0;
+  Queue.clear t.imm;
+  t.time <- 0.0
 
 let set_profile_label t label = t.profile_label <- label
 
 let now t = t.time
 let events_processed t = t.processed
+let peak_live_events t = t.peak_live
 
-let event_before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+let event_before (Ev a) (Ev b) = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
 let push_heap t ev =
   if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy_event in
+    (* Grow straight to at least the creation-time hint: a capacity guess
+       that proved too small once should not cost log2(n) further copies. *)
+    let bigger = Array.make (max (2 * t.size) t.initial_capacity) dummy_event in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end;
@@ -63,11 +93,16 @@ let push_heap t ev =
     else continue_up := false
   done
 
-let push t at fn =
+let push_app : type a. t -> float -> (a -> unit) -> a -> unit =
+ fun t at fn arg ->
   let at = Float.max at t.time in
-  let ev = { at; seq = t.next_seq; fn } in
+  let ev = Ev { at; seq = t.next_seq; fn; arg } in
   t.next_seq <- t.next_seq + 1;
-  if at <= t.time then Queue.push ev t.imm else push_heap t ev
+  if at <= t.time then Queue.push ev t.imm else push_heap t ev;
+  let live = t.size + Queue.length t.imm in
+  if live > t.peak_live then t.peak_live <- live
+
+let push t at fn = push_app t at fn ()
 
 let pop_heap t =
   if t.size = 0 then None
@@ -131,12 +166,12 @@ let rec exec t f =
               Some
                 (fun (k : (a, _) continuation) ->
                   let d = Float.max 0.0 d in
-                  push t (t.time +. d) (fun () -> continue k ()))
+                  push_app t (t.time +. d) (fun k -> continue k ()) k)
           | Now -> Some (fun (k : (a, _) continuation) -> continue k t.time)
           | Fork g ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  push t t.time (fun () -> exec t g);
+                  push_app t t.time (exec t) g;
                   continue k ())
           | Suspend register ->
               Some
@@ -149,7 +184,7 @@ let rec exec t f =
 
 let spawn t ?at f =
   let at = match at with Some a -> a | None -> t.time in
-  push t at (fun () -> exec t f)
+  push_app t at (exec t) f
 
 let events_counter = Ditto_obs.Obs.Metrics.counter "sim.events"
 
@@ -158,7 +193,7 @@ let run_loop ?until t =
   while !continue_run do
     match pop t with
     | None -> continue_run := false
-    | Some ev -> (
+    | Some (Ev ev) -> (
         match until with
         | Some limit when ev.at > limit ->
             (* Leave the event unprocessed conceptually; the clock stops at
@@ -168,7 +203,7 @@ let run_loop ?until t =
         | _ ->
             t.time <- ev.at;
             t.processed <- t.processed + 1;
-            ev.fn ())
+            ev.fn ev.arg)
   done
 
 (* Profiled variant: attribute every event's virtual-time advance to the
@@ -179,7 +214,7 @@ let run_loop_profiled ?until t =
   while !continue_run do
     match pop t with
     | None -> continue_run := false
-    | Some ev -> (
+    | Some (Ev ev) -> (
         match until with
         | Some limit when ev.at > limit ->
             t.time <- limit;
@@ -191,17 +226,21 @@ let run_loop_profiled ?until t =
             Ditto_obs.Profiler.record_sim
               ~stack:[ "des"; t.profile_label; "event" ]
               ~seconds:(ev.at -. before);
-            ev.fn ())
+            ev.fn ev.arg)
   done
 
 let run ?until t =
   let run_loop ?until t =
     if Ditto_obs.Profiler.enabled () then run_loop_profiled ?until t else run_loop ?until t
   in
-  if not (Ditto_obs.Obs.enabled ()) then run_loop ?until t
+  let finish_peak () = fold_global_peak t.peak_live in
+  if not (Ditto_obs.Obs.enabled ()) then (
+    run_loop ?until t;
+    finish_peak ())
   else begin
     let before = t.processed in
     let finish () =
+      finish_peak ();
       let events = t.processed - before in
       Ditto_obs.Obs.Metrics.add events_counter events;
       Ditto_obs.Obs.Span.add_attr "events" (Int events);
@@ -225,7 +264,7 @@ let wake w v =
     | None -> ()
     | Some f ->
         w.resume <- None;
-        push w.engine w.engine.time (fun () -> f v)
+        push_app w.engine w.engine.time f v
   end
 
 let is_woken w = w.woken

@@ -12,7 +12,18 @@
 type t
 (** An engine instance: virtual clock plus pending-event queue. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] builds an engine. [capacity] (default 256) is a
+    hint for the number of simultaneously pending events: the event heap is
+    pre-sized to it so wide runs (hundreds of tiers) never pay repeated
+    array doubling, and an undersized guess grows straight back to the hint
+    rather than by powers of two from the current size. *)
+
+val reset : t -> unit
+(** Drop the engine's event storage (heap array and immediate queue) and
+    rewind the clock, releasing peak memory once a run is over so pooled or
+    still-referenced engines don't pin it between back-to-back clones.
+    [events_processed] and {!peak_live_events} survive for reporting. *)
 
 val now : t -> float
 (** Current virtual time. *)
@@ -30,6 +41,16 @@ val run : ?until:float -> t -> unit
 
 val events_processed : t -> int
 (** Total events executed so far (for engine benchmarking). *)
+
+val peak_live_events : t -> int
+(** High-water mark of simultaneously pending events (heap + immediate
+    queue) over this engine's lifetime — the number [create]'s [?capacity]
+    hint should cover. *)
+
+val global_peak_heap_events : unit -> int
+(** Largest {!peak_live_events} observed by any engine in this process
+    (folded in when [run] returns or [reset] is called); exported by
+    [bench --json] as [engine.peak_heap_events]. *)
 
 val set_profile_label : t -> string -> unit
 (** Label under which this engine's event processing is sampled when

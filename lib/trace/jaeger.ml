@@ -85,6 +85,72 @@ let check_acyclic spans =
     spans;
   spans
 
+(* {1 Writer}
+
+   Emits the same subset of the Jaeger JSON API the reader above consumes:
+   hex ids, CHILD_OF references, operationName = service, req/resp byte
+   tags. [of_string (to_string spans)] recovers the spans exactly (modulo
+   list order within a trace), which is what the topology round-trip
+   (generate -> export -> recover DAG) leans on. *)
+
+let hex_id id = Printf.sprintf "%x" id
+
+let span_to_json (s : Span.t) =
+  let tag key value =
+    J.Obj [ ("key", J.Str key); ("type", J.Str "int64"); ("value", J.int value) ]
+  in
+  let references =
+    match s.Span.parent_span with
+    | None -> []
+    | Some p ->
+        [
+          J.Obj
+            [
+              ("refType", J.Str "CHILD_OF");
+              ("traceID", J.Str (hex_id s.Span.trace_id));
+              ("spanID", J.Str (hex_id p));
+            ];
+        ]
+  in
+  J.Obj
+    [
+      ("traceID", J.Str (hex_id s.Span.trace_id));
+      ("spanID", J.Str (hex_id s.Span.span_id));
+      ("operationName", J.Str s.Span.service);
+      ("references", J.List references);
+      ("startTime", J.int 0);
+      ("duration", J.int 1);
+      ("tags", J.List [ tag "req_bytes" s.Span.req_bytes; tag "resp_bytes" s.Span.resp_bytes ]);
+    ]
+
+let to_json spans =
+  (* Group spans into traces, preserving first-seen trace order and span
+     order within each trace. *)
+  let order = ref [] in
+  let by_trace : (int, Span.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.t) ->
+      match Hashtbl.find_opt by_trace s.Span.trace_id with
+      | Some cell -> cell := s :: !cell
+      | None ->
+          Hashtbl.add by_trace s.Span.trace_id (ref [ s ]);
+          order := s.Span.trace_id :: !order)
+    spans;
+  let traces =
+    List.rev_map
+      (fun tid ->
+        let spans = List.rev !(Hashtbl.find by_trace tid) in
+        J.Obj
+          [
+            ("traceID", J.Str (hex_id tid));
+            ("spans", J.List (List.map span_to_json spans));
+          ])
+      !order
+  in
+  J.Obj [ ("data", J.List traces) ]
+
+let to_string ?pretty spans = J.to_string ?pretty (to_json spans)
+
 let of_json json =
   match J.member "data" json with
   | J.List traces ->

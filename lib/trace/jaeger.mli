@@ -20,3 +20,11 @@ val of_string : string -> Span.t list
     missing fields, non-hex ids) and {!Ingest_error} on well-formed JSON
     carrying broken span content. The returned spans are guaranteed
     cycle-free, so {!Dag.of_spans} terminates on them. *)
+
+val to_json : Span.t list -> Ditto_util.Jsonx.t
+val to_string : ?pretty:bool -> Span.t list -> string
+(** Serialise spans back to the same Jaeger API subset [of_string] reads:
+    hex ids, [CHILD_OF] references, [operationName] = service, and
+    [req_bytes]/[resp_bytes] integer tags. [of_string (to_string spans)]
+    recovers the input spans (traces grouped, in-trace order preserved),
+    which the topology synthesis round-trip relies on. *)

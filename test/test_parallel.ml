@@ -267,6 +267,30 @@ let test_validate_determinism () =
   Alcotest.(check bool) "per-tier metrics identical" true
     (v1.Pipeline.actual = v4.Pipeline.actual && v1.Pipeline.synthetic = v4.Pipeline.synthetic)
 
+(* A generated wide graph (40 tiers > the runner's 32-tier sharding
+   threshold) goes down the tier-sharded measurement path; the shard split
+   is keyed on tier index, not pool size, so the clone/validate pair must
+   stay bit-identical between a sequential and a 4-domain pool. Untuned:
+   the tuner's determinism is already covered by the redis matrix. *)
+let synth_clone_with pool =
+  let app = (Ditto_gen.Topology.generate (Ditto_gen.Topology.default ~tiers:40 ())).Ditto_gen.Topology.spec in
+  let load = Service.load ~qps:120.0 ~open_loop:true ~duration:0.3 () in
+  let r =
+    Pipeline.clone ~pool ~tune:false ~requests:60 ~profile_requests:40 ~seed:7
+      ~platform:Platform.a ~load app
+  in
+  let v = Pipeline.validate ~pool ~platform:Platform.a ~load ~label:"det" r in
+  (r, v)
+
+let test_synth_determinism () =
+  let _, v1 = with_pool 1 synth_clone_with in
+  let _, v4 = with_pool 4 synth_clone_with in
+  Alcotest.(check bool) "sharded per-tier metrics identical" true
+    (v1.Pipeline.actual = v4.Pipeline.actual && v1.Pipeline.synthetic = v4.Pipeline.synthetic);
+  Alcotest.(check bool) "end-to-end identical" true
+    (v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end)
+
 let test_speculation_reported () =
   let (r1, _), _ = Lazy.force seq_parallel in
   match r1.Pipeline.tuning with
@@ -308,6 +332,7 @@ let () =
           Alcotest.test_case "clone across pool sizes" `Slow test_clone_determinism;
           Alcotest.test_case "validate across pool sizes" `Slow test_validate_determinism;
           Alcotest.test_case "memo x pool-size matrix" `Slow test_memo_pool_matrix;
+          Alcotest.test_case "synth graph across pool sizes" `Slow test_synth_determinism;
           Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
         ] );
     ]

@@ -234,6 +234,8 @@ let sample_doc () =
       metrics = [ ("sim.events", 1000.0) ];
       scorecards = [ card ];
       chaos = [ ("redis/kill-mid-tier/error_rate_pp", 1.2) ];
+      peak_heap_events = 4096;
+      tier_counts = [ ("redis", 1) ];
     }
 
 let test_schema_valid () =
@@ -264,6 +266,8 @@ let test_schema_drift_rejected () =
     [
       ("missing scorecards", drop "scorecards" doc);
       ("missing mean_error_pct", drop "mean_error_pct" doc);
+      ("missing engine section", drop "engine" doc);
+      ("missing tier_counts", drop "tier_counts" doc);
       ("old schema version", set "schema_version" (J.int 2) doc);
       ("stringly total_seconds", set "total_seconds" (J.Str "1.25") doc);
       ( "scorecard row missing err_pct",

@@ -1,0 +1,170 @@
+(* Tests for the production-scale microservice-graph generator:
+   structural invariants, determinism, distribution shape, and the
+   Jaeger round trip back to the ground-truth DAG. *)
+module Topology = Ditto_gen.Topology
+module Dag = Ditto_trace.Dag
+module Jaeger = Ditto_trace.Jaeger
+module Spec = Ditto_app.Spec
+
+let gen ?seed tiers = Topology.generate (Topology.default ?seed ~tiers ())
+
+(* {1 Structure} *)
+
+let test_sizes () =
+  List.iter
+    (fun n ->
+      let t = gen n in
+      Alcotest.(check int) "tier count" n (List.length t.Topology.spec.Spec.tiers);
+      Alcotest.(check int) "dag services" n (List.length t.Topology.dag.Dag.services);
+      Alcotest.(check string) "entry" "gateway" t.Topology.spec.Spec.entry)
+    [ 2; 10; 100; 500 ]
+
+let test_acyclic_and_layered () =
+  let t = gen 200 in
+  (* topo_order raises on a cyclic graph *)
+  let order = Dag.topo_order t.Topology.dag in
+  Alcotest.(check int) "topo covers all services" 200 (List.length order);
+  (* every edge points to a strictly deeper layer *)
+  let index = Hashtbl.create 256 in
+  List.iteri (fun i s -> Hashtbl.replace index s i) t.Topology.dag.Dag.services;
+  List.iter
+    (fun (e : Dag.edge) ->
+      let lu = t.Topology.layers.(Hashtbl.find index e.Dag.caller)
+      and lv = t.Topology.layers.(Hashtbl.find index e.Dag.callee) in
+      if lv <= lu then
+        Alcotest.failf "edge %s(layer %d) -> %s(layer %d) not strictly deeper" e.Dag.caller lu
+          e.Dag.callee lv)
+    t.Topology.dag.Dag.edges;
+  (* depth is respected and actually reached *)
+  let maxl = Array.fold_left max 0 t.Topology.layers in
+  Alcotest.(check int) "max depth reached" (gen 200).Topology.params.max_depth maxl
+
+let test_connected () =
+  let t = gen 300 in
+  (* every non-entry service has an incoming edge; reachability then
+     follows by layer induction, which test_acyclic_and_layered pins *)
+  let called = Hashtbl.create 512 in
+  List.iter (fun (e : Dag.edge) -> Hashtbl.replace called e.Dag.callee ()) t.Topology.dag.Dag.edges;
+  List.iter
+    (fun s ->
+      if s <> "gateway" && not (Hashtbl.mem called s) then
+        Alcotest.failf "service %s is unreachable" s)
+    t.Topology.dag.Dag.services
+
+let test_deterministic () =
+  let a = gen ~seed:7 120 and b = gen ~seed:7 120 in
+  Alcotest.(check bool) "same shape for same seed" true
+    (Topology.same_shape a.Topology.dag b.Topology.dag);
+  Alcotest.(check bool) "layers equal" true (a.Topology.layers = b.Topology.layers);
+  let c = gen ~seed:8 120 in
+  Alcotest.(check bool) "different seed, different graph" false
+    (Topology.same_shape a.Topology.dag c.Topology.dag)
+
+(* {1 Distribution shape} *)
+
+let test_fanout_heavy_tail () =
+  let t = gen 500 in
+  let out = Hashtbl.create 512 in
+  List.iter
+    (fun (e : Dag.edge) ->
+      if e.Dag.caller <> "gateway" then
+        Hashtbl.replace out e.Dag.caller (1 + Option.value ~default:0 (Hashtbl.find_opt out e.Dag.caller)))
+    t.Topology.dag.Dag.edges;
+  let degrees = Hashtbl.fold (fun _ d acc -> d :: acc) out [] in
+  let count p = List.length (List.filter p degrees) in
+  (* Pareto out-degree: most callers are narrow, but a real tail exists *)
+  Alcotest.(check bool) "majority out-degree <= 2" true
+    (2 * count (fun d -> d <= 2) > List.length degrees);
+  Alcotest.(check bool) "some caller fans out >= 4" true (count (fun d -> d >= 4) > 0)
+
+let test_reuse_heavy_tail () =
+  let t = gen 500 in
+  let indeg = Hashtbl.create 512 in
+  List.iter
+    (fun (e : Dag.edge) ->
+      Hashtbl.replace indeg e.Dag.callee
+        (1 + Option.value ~default:0 (Hashtbl.find_opt indeg e.Dag.callee)))
+    t.Topology.dag.Dag.edges;
+  let max_in = Hashtbl.fold (fun _ d m -> max d m) indeg 0 in
+  (* Zipf reuse: the most popular tier is called far above the mean
+     in-degree (edges/services ~ a small constant) *)
+  Alcotest.(check bool) "a hot shared tier exists" true (max_in >= 10)
+
+let test_call_budget_bounds_tree () =
+  let t = gen 400 in
+  let by_caller = Hashtbl.create 512 in
+  List.iter
+    (fun (e : Dag.edge) ->
+      if e.Dag.caller <> "gateway" then
+        Hashtbl.replace by_caller e.Dag.caller
+          (e.Dag.probability +. Option.value ~default:0.0 (Hashtbl.find_opt by_caller e.Dag.caller)))
+    t.Topology.dag.Dag.edges;
+  Hashtbl.iter
+    (fun caller sum ->
+      if sum > t.Topology.params.call_budget +. 1e-9 then
+        Alcotest.failf "caller %s exceeds call budget: %.3f" caller sum)
+    by_caller
+
+(* {1 Round trip} *)
+
+let test_spans_recover_dag () =
+  let t = gen 150 in
+  let recovered = Dag.of_spans (Topology.spans t) in
+  Alcotest.(check bool) "of_spans recovers the generated DAG" true
+    (Topology.same_shape t.Topology.dag recovered)
+
+let test_jaeger_round_trip () =
+  let t = gen 150 in
+  let spans = Topology.spans t in
+  let recovered = Dag.of_spans (Jaeger.of_string (Jaeger.to_string spans)) in
+  Alcotest.(check bool) "jaeger round trip preserves the DAG" true
+    (Topology.same_shape t.Topology.dag recovered);
+  (* and the spans themselves survive verbatim *)
+  let spans' = Jaeger.of_string (Jaeger.to_string spans) in
+  Alcotest.(check int) "span count" (List.length spans) (List.length spans');
+  Alcotest.(check bool) "spans identical" true (spans = spans')
+
+(* {1 Names} *)
+
+let test_names () =
+  Alcotest.(check string) "app_name" "synth-100" (Topology.app_name 100);
+  Alcotest.(check (option int)) "parse" (Some 1000) (Topology.parse_name "synth-1000");
+  Alcotest.(check (option int)) "reject prefix" None (Topology.parse_name "synthetic-3");
+  Alcotest.(check (option int)) "reject junk" None (Topology.parse_name "synth-x");
+  Alcotest.(check (option int)) "reject other" None (Topology.parse_name "redis")
+
+let test_registry_entries () =
+  List.iter
+    (fun n ->
+      let e = Ditto_apps.Registry.by_name (Topology.app_name n) in
+      let spec = e.Ditto_apps.Registry.spec () in
+      Alcotest.(check int) "registry spec tier count" n (List.length spec.Spec.tiers))
+    Ditto_apps.Registry.synth_sizes
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "acyclic layered" `Quick test_acyclic_and_layered;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "fanout heavy tail" `Quick test_fanout_heavy_tail;
+          Alcotest.test_case "reuse heavy tail" `Quick test_reuse_heavy_tail;
+          Alcotest.test_case "call budget" `Quick test_call_budget_bounds_tree;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "spans recover dag" `Quick test_spans_recover_dag;
+          Alcotest.test_case "jaeger round trip" `Quick test_jaeger_round_trip;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "naming" `Quick test_names;
+          Alcotest.test_case "registry" `Quick test_registry_entries;
+        ] );
+    ]
