@@ -853,6 +853,49 @@ let chaos () =
         (Plan.canonical ~duration ~tiers))
     (registry_entries ())
 
+(* {1 Timeline: transient fidelity from windowed telemetry (bench timeline)} *)
+
+(* Flat "<app>/<plan>/<metric>" keys for the --json "timeline" section
+   (schema v7), gated like the chaos keys. *)
+let timeline_acc : (string * float) list ref = ref []
+
+let timeline () =
+  banner "Timeline: transient fidelity under kill-mid-tier (windowed telemetry)";
+  (* The enable flag is global; validate_under runs both sides on this
+     pool, and the collectors are per-run, so concurrent runs do not
+     interfere — but scope the flag tightly anyway so unrelated stages
+     never pay collector allocations. *)
+  Ditto_obs.Timeseries.enable ();
+  Fun.protect ~finally:Ditto_obs.Timeseries.disable (fun () ->
+      List.iter
+        (fun (entry : Registry.entry) ->
+          let name = entry.Registry.name in
+          let load, result = get_clone name in
+          let tiers =
+            List.map
+              (fun (t : Spec.tier) -> t.Spec.tier_name)
+              result.Pipeline.original.Spec.tiers
+          in
+          let plan = Plan.kill_mid_tier ~duration ~tiers () in
+          let ch =
+            Pipeline.validate_under ~pool ~platform:Platform.a ~load ~plan
+              ~label:(fmt "timeline:%s" plan.Plan.plan_name)
+              result
+          in
+          match
+            ( ch.Pipeline.actual_service.Ditto_app.Service.timeline,
+              ch.Pipeline.synthetic_service.Ditto_app.Service.timeline )
+          with
+          | Some actual, Some clone ->
+              let tl =
+                Ditto_report.Timeline.of_timelines ~app:name ~plan:plan.Plan.plan_name
+                  ~actual ~clone ()
+              in
+              Ditto_report.Timeline.print tl;
+              timeline_acc := Ditto_report.Timeline.flat tl @ !timeline_acc
+          | _ -> Printf.printf "  %s: no timeline collected (telemetry disabled?)\n" name)
+        (registry_entries ()))
+
 (* {1 Perf smoke: the warm-memo fast path (gated by bin/ci.sh)} *)
 
 let perfsmoke () =
@@ -948,19 +991,20 @@ let all_experiments =
     ("micro", micro);
   ]
 
-(* Off the default path: chaos arms faults and resilience; perfsmoke is the
-   CI warm-memo gate. Reachable by experiment name (or --chaos). *)
+(* Off the default path: chaos arms faults and resilience; timeline adds
+   windowed telemetry on top; perfsmoke is the CI warm-memo gate.
+   Reachable by experiment name (or --chaos). *)
 let opt_in_experiments =
   [
-    ("chaos", chaos); ("perfsmoke", perfsmoke); ("synth100", synth100); ("synth500", synth500);
-    ("synth1000", synth1000);
+    ("chaos", chaos); ("timeline", timeline); ("perfsmoke", perfsmoke);
+    ("synth100", synth100); ("synth500", synth500); ("synth1000", synth1000);
   ]
 
 (* Which registry clones an experiment consumes, so the preclone pass can
    build exactly those concurrently before the (ordered, printing)
    experiment loop starts. fig11 and micro build their own specs. *)
 let clone_needs = function
-  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" ->
+  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" | "timeline" ->
       List.map (fun (e : Registry.entry) -> e.Registry.name) (registry_entries ())
   | "fig6" -> [ "social_network" ]
   | "fig9" -> [ "mongodb" ]
@@ -1193,6 +1237,7 @@ let () =
              metrics = Obs.Metrics.snapshot ();
              scorecards = cards;
              chaos = List.sort compare !chaos_acc;
+             timeline = List.sort compare !timeline_acc;
              peak_heap_events = Ditto_sim.Engine.global_peak_heap_events ();
              tier_counts =
                Hashtbl.fold

@@ -1,11 +1,12 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 20 test suites, a benchmark smoke run, a
+# Tier-1 gate: full build, the 21 test suites, a benchmark smoke run, a
 # self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
 # sampled-profiler smoke test, a chaos smoke test (fault injection +
 # resilience counters), a synth scaling smoke (100-tier generated graph
-# cloned + validated under a wall budget), and the fidelity regression
-# gate (scorecards diffed against the committed baseline, plus a proof
-# that the gate rejects a perturbed baseline).
+# cloned + validated under a wall budget), a timeline smoke (windowed
+# telemetry + transient-fidelity scorecard + OpenMetrics export), and the
+# fidelity regression gate (scorecards diffed against the committed
+# baseline, plus a proof that the gate rejects a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
 set -eu
 
@@ -24,7 +25,7 @@ dune build 2>&1 | tee "$build_log"
 # architecture (pool futures, memo caches, machine pooling, the bench
 # DAG); lib/sim, lib/app, lib/apps, lib/gen and lib/trace carry the
 # topology-synthesis scaling path. Keep them all warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace)|bench/"; then
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace)|bench/|bin/"; then
   echo "ci: FAIL — build warnings in the gated modules" >&2
   exit 1
 fi
@@ -98,6 +99,28 @@ if ! grep -q "SYNTH-SMOKE-OK" "$synth_log"; then
 fi
 if [ "$synth_wall" -gt 240 ]; then
   echo "ci: FAIL — synth smoke took ${synth_wall}s (budget 240s)" >&2
+  exit 1
+fi
+
+echo "== timeline smoke (windowed telemetry + transient-fidelity scorecard) =="
+# A short kill-mid-tier run on memcached with telemetry on: the command
+# must print the greppable TIMELINE-SMOKE-OK line with a strictly
+# positive reconvergence time (a fault fired, so by construction
+# reconvergence is at least the remainder of the fault window), and the
+# OpenMetrics export must be a complete document (ends with # EOF).
+timeline_log="$tmpdir/timeline.log"
+om_file="$tmpdir/timeline.om"
+dune exec bin/ditto_cli.exe -- timeline memcached --no-tune --openmetrics "$om_file" | tee "$timeline_log"
+if ! grep -q "TIMELINE-SMOKE-OK" "$timeline_log"; then
+  echo "ci: FAIL — timeline smoke did not reach TIMELINE-SMOKE-OK" >&2
+  exit 1
+fi
+if ! grep -Eq 'reconverge_ms=[1-9][0-9]*' "$timeline_log"; then
+  echo "ci: FAIL — reconvergence time not strictly positive under a fault plan" >&2
+  exit 1
+fi
+if ! grep -q '^# EOF' "$om_file"; then
+  echo "ci: FAIL — OpenMetrics export incomplete (no # EOF terminator)" >&2
   exit 1
 fi
 

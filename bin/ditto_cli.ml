@@ -15,9 +15,17 @@
          (default: the three canonical plans) with identical resilience
          armour, print the failure scorecards and a greppable
          "chaos-totals:" counter line
+     ditto-cli timeline <app> [--plan FILE] [--no-tune] [--qps N]
+                        [--openmetrics FILE] [--trace FILE]
+         transient fidelity: run original and clone under a fault plan
+         (default: kill-mid-tier) with windowed DES-clock telemetry,
+         print the per-window scorecard with time-to-reconvergence and a
+         greppable "TIMELINE-SMOKE-OK" line; optionally export the
+         timelines as OpenMetrics text or Chrome counter events
      ditto-cli inspect-trace <trace.json>
          parse a Chrome or Jaeger trace back and summarise it
-         (span counts, recovered DAG, top-10 slowest spans)
+         (span counts, counter series min/mean/max, recovered DAG,
+         top-10 slowest spans)
      ditto-cli profile <app> [--qps N] [--original] [--out FILE] [--top N] [--period CYC]
          sampled profile of the clone's (or original's) execution, written
          as a collapsed-stack file for flamegraph.pl / inferno
@@ -223,6 +231,108 @@ let chaos_app name qps no_tune plan_file only trace trace_jaeger =
   Printf.printf "chaos-totals: shed=%d retries=%d timeouts=%d errors=%d drops=%d\n" !shed
     !retries !timeouts !errors !drops
 
+(* Transient fidelity: clone the app, enable the windowed telemetry layer,
+   run original and clone side by side under one fault plan, and print the
+   per-window scorecard (worst/mean window error, time-to-reconvergence).
+   The closing "TIMELINE-SMOKE-OK" line is what CI greps; reconverge_ms is
+   nonzero whenever the plan fired a fault (reconvergence is measured to
+   the end of a window, never less than the remainder of the fault
+   window). *)
+let timeline_app name qps no_tune plan_file openmetrics trace =
+  let module Plan = Ditto_fault.Plan in
+  let module Ts = Ditto_obs.Timeseries in
+  let module Tl = Ditto_report.Timeline in
+  let module J = Ditto_util.Jsonx in
+  if trace <> None then Obs.enable ();
+  let entry, load = load_for name qps 0.8 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pipeline.clone ~tune:(not no_tune) ~platform:Platform.a ~load (entry.Registry.spec ())
+  in
+  Printf.printf "cloned %s in %.1fs\n" name (Unix.gettimeofday () -. t0);
+  let tiers =
+    List.map (fun (t : Spec.tier) -> t.Spec.tier_name) result.Pipeline.original.Spec.tiers
+  in
+  let plan =
+    match plan_file with
+    | Some path -> (
+        match
+          let p = Plan.load path in
+          Plan.validate ~tiers p;
+          p
+        with
+        | p -> p
+        | exception Sys_error msg ->
+            Printf.eprintf "timeline: %s\n" msg;
+            exit 2
+        | exception Ditto_util.Jsonx.Parse_error msg ->
+            Printf.eprintf "timeline: %s: %s\n" path msg;
+            exit 2
+        | exception Invalid_argument msg ->
+            Printf.eprintf "timeline: %s: %s\n" path msg;
+            exit 2)
+    | None -> Plan.kill_mid_tier ~duration:load.Service.duration ~tiers ()
+  in
+  Ts.enable ();
+  let ch =
+    Fun.protect ~finally:Ts.disable (fun () ->
+        Pipeline.validate_under ~platform:Platform.a ~load ~plan
+          ~label:(Printf.sprintf "timeline:%s" plan.Plan.plan_name)
+          result)
+  in
+  match
+    ( ch.Pipeline.actual_service.Service.timeline,
+      ch.Pipeline.synthetic_service.Service.timeline )
+  with
+  | Some actual, Some clone ->
+      let tl = Tl.of_timelines ~app:name ~plan:plan.Plan.plan_name ~actual ~clone () in
+      Tl.print tl;
+      (match openmetrics with
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Ts.openmetrics
+                   [
+                     ([ ("app", name); ("side", "actual") ], actual);
+                     ([ ("app", name); ("side", "clone") ], clone);
+                   ]));
+          Printf.printf "openmetrics: wrote %s\n" path
+      | None -> ());
+      (match trace with
+      | Some path ->
+          (* Counter tracks (simulated-clock timestamps) land in their own
+             per-side processes next to the wall-clock pipeline spans. *)
+          let counters =
+            Ts.chrome_events ~pid:100 ~process_name:(name ^ " actual (sim time)") actual
+            @ Ts.chrome_events ~pid:101 ~process_name:(name ^ " clone (sim time)") clone
+          in
+          let doc =
+            match Obs.Export.to_chrome () with
+            | J.Obj kvs ->
+                J.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       match (k, v) with
+                       | "traceEvents", J.List evs -> (k, J.List (evs @ counters))
+                       | _ -> (k, v))
+                     kvs)
+            | j -> j
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (J.to_string doc));
+          Printf.printf "trace: wrote %s (%d span(s) + %d counter event(s))\n" path
+            (List.length (Obs.Export.spans ()))
+            (List.length counters)
+      | None -> ());
+      Printf.printf
+        "TIMELINE-SMOKE-OK windows=%d worst=%.1f%% mean=%.1f%% reconverge_ms=%d reconverged=%b\n"
+        (List.length tl.Tl.rows) tl.Tl.worst_window_err_pct tl.Tl.mean_window_err_pct
+        (int_of_float (Float.round (tl.Tl.reconverge_seconds *. 1e3)))
+        tl.Tl.reconverged
+  | _ ->
+      Printf.eprintf "timeline: no telemetry collected (Timeseries disabled?)\n";
+      exit 1
+
 (* Scale round trip: generate a production-shaped graph, export its traces
    through the Jaeger writer, recover the DAG from the re-ingested spans,
    check it against the ground truth, then clone and validate the graph
@@ -344,6 +454,47 @@ let inspect_trace path =
                 in
                 Printf.printf "  domain %d: %d span(s)\n" tid n)
               tids;
+            (* Counter ("C"-phase) series, e.g. the windowed telemetry
+               tracks: summarise instead of ignoring. *)
+            let counters = List.filter (fun e -> J.member "ph" e = J.Str "C") events in
+            if counters <> [] then begin
+              let tbl : (string, float list) Hashtbl.t = Hashtbl.create 32 in
+              List.iter
+                (fun e ->
+                  let name = J.to_str (J.member "name" e) in
+                  match J.member "args" e with
+                  | J.Obj kvs ->
+                      List.iter
+                        (fun (k, v) ->
+                          match v with
+                          | J.Num x ->
+                              let key = if k = "value" then name else name ^ "." ^ k in
+                              let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+                              Hashtbl.replace tbl key (x :: cur)
+                          | _ -> ())
+                        kvs
+                  | _ -> ())
+                counters;
+              let rows =
+                Hashtbl.fold (fun k vs acc -> (k, vs) :: acc) tbl []
+                |> List.sort (fun (a, _) (b, _) -> compare a b)
+                |> List.map (fun (k, vs) ->
+                       let n = float_of_int (List.length vs) in
+                       let sum = List.fold_left ( +. ) 0.0 vs in
+                       [
+                         k;
+                         Printf.sprintf "%d" (List.length vs);
+                         Printf.sprintf "%.3f" (List.fold_left Float.min infinity vs);
+                         Printf.sprintf "%.3f" (sum /. n);
+                         Printf.sprintf "%.3f" (List.fold_left Float.max neg_infinity vs);
+                       ])
+              in
+              Printf.printf "  %d counter event(s) in %d series\n" (List.length counters)
+                (List.length rows);
+              Ditto_util.Table.print ~title:"counter series"
+                ~header:[ "series"; "samples"; "min"; "mean"; "max" ]
+                rows
+            end;
             print_slowest
               (List.map
                  (fun e ->
@@ -452,14 +603,47 @@ let profile_app name qps original out top period =
   end
 
 let list_apps () =
+  (* Committed-gate summary per app: which baseline key families (steady
+     scorecard, chaos, timeline) and wall budgets the regression gate in
+     bench/baselines/default.json already pins for it. *)
+  let module Baseline = Ditto_report.Baseline in
+  let baseline =
+    let path = "bench/baselines/default.json" in
+    if Sys.file_exists path then
+      match Baseline.load path with b -> Some b | exception _ -> None
+    else None
+  in
+  let gates name =
+    match baseline with
+    | None -> "(no baseline)"
+    | Some b ->
+        let keys = List.map fst b.Baseline.metrics in
+        let has prefix = List.exists (fun k -> String.starts_with ~prefix k) keys in
+        let fams =
+          List.filter_map
+            (fun (label, prefix) -> if has prefix then Some label else None)
+            [
+              ("scorecard", Printf.sprintf "scorecards/%s/" name);
+              ("chaos", Printf.sprintf "chaos/%s/" name);
+              ("timeline", Printf.sprintf "timeline/%s/" name);
+              (* synth graph wall budgets: experiments/synth100/... for
+                 app "synth-100" *)
+              ( "wall",
+                Printf.sprintf "experiments/%s/wall_seconds"
+                  (String.concat "" (String.split_on_char '-' name)) );
+            ]
+        in
+        if fams = [] then "-" else String.concat "+" fams
+  in
   List.iter
     (fun (e : Registry.entry) ->
       let low, med, high = e.Registry.loads in
       let tiers = List.length (e.Registry.spec ()).Spec.tiers in
-      Printf.printf "%-18s %4d tier%s  %-10s loads: %.0f / %.0f / %.0f qps; focus: %s\n"
+      Printf.printf
+        "%-18s %4d tier%s  %-10s loads: %.0f / %.0f / %.0f qps; gates: %-24s focus: %s\n"
         e.Registry.name tiers
         (if tiers = 1 then " " else "s")
-        e.Registry.workload.Ditto_loadgen.Workload.gen_name low med high
+        e.Registry.workload.Ditto_loadgen.Workload.gen_name low med high (gates e.Registry.name)
         (String.concat ", " e.Registry.focus_tiers))
     (Registry.all @ Registry.extras)
 
@@ -557,6 +741,23 @@ let chaos_cmd =
       const chaos_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ only_arg $ trace_arg
       $ trace_jaeger_arg)
 
+let openmetrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "openmetrics" ] ~docv:"FILE"
+        ~doc:"Write both windowed timelines (actual + clone) as an OpenMetrics text exposition")
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Transient fidelity: windowed DES-clock telemetry under a fault plan (default \
+          kill-mid-tier), with time-to-reconvergence")
+    Term.(
+      const timeline_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ openmetrics_arg
+      $ trace_arg)
+
 let original_arg =
   Arg.(value & flag & info [ "original" ] ~doc:"Profile the original instead of its clone")
 
@@ -591,6 +792,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; chaos_cmd; inspect_cmd;
-            profile_cmd; list_cmd;
+            run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; chaos_cmd; timeline_cmd;
+            inspect_cmd; profile_cmd; list_cmd;
           ]))

@@ -284,6 +284,22 @@ let run_inner cfg ~load (app : Spec.t) =
             Ditto_obs.Obs.Metrics.add fault_drops_c (sum (fun o -> o.Service.obs_link_drops)));
         r)
   in
+  (* The windowed timeline carries request counts; the measured
+     instructions-per-request basis lets exporters derive rate-form uarch
+     series (insts/s) per window without having counted during the DES
+     phase. *)
+  (match service.Service.timeline with
+  | None -> ()
+  | Some ts ->
+      List.iter
+        (fun (t : Spec.tier) ->
+          let r = results t.Spec.tier_name in
+          let insts_per_req =
+            float_of_int r.Measure.counters.Counters.insts
+            /. float_of_int (max 1 r.Measure.requests_measured)
+          in
+          Ditto_obs.Timeseries.set_rate_basis ts ~tier:t.Spec.tier_name ~insts_per_req)
+        tiers);
   let obs_tbl : (string, Service.tier_obs) Hashtbl.t = Hashtbl.create (2 * ntiers) in
   List.iter (fun o -> Hashtbl.replace obs_tbl o.Service.obs_name o) service.Service.tiers;
   let per_tier =

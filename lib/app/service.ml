@@ -44,6 +44,9 @@ type result = {
   client_retries : int;
   elapsed : float;
   tiers : tier_obs list;
+  timeline : Ditto_obs.Timeseries.t option;
+      (** windowed telemetry; [Some] only when {!Ditto_obs.Timeseries} was
+          enabled when the run started *)
 }
 
 type tier_rt = {
@@ -73,6 +76,10 @@ type sys = {
   registry : (string, tier_rt) Hashtbl.t;
   tids : int ref;
   inj : Injector.t option;
+  tl : Ditto_obs.Timeseries.t option;
+      (** windowed telemetry collector; [None] (the default — the
+          {!Ditto_obs.Timeseries.enabled} flag is off) keeps every hook to
+          a single option match and the event stream byte-identical *)
 }
 
 let fresh_tid counter =
@@ -91,12 +98,23 @@ let tier_down sys rt =
   | None -> false
   | Some inj -> not (Injector.tier_up inj rt.spec.Spec.tier_name)
 
+let ts_counter sys rt c =
+  match sys.tl with
+  | None -> ()
+  | Some ts ->
+      Ditto_obs.Timeseries.record_counter ts ~tier:rt.spec.Spec.tier_name ~at:(Engine.time ()) c
+
 let run_cpu sys rt ~tid s =
   let s =
     match sys.inj with
     | None -> s
     | Some inj -> s *. Injector.slow_factor inj rt.spec.Spec.tier_name
   in
+  (match sys.tl with
+  | None -> ()
+  | Some ts ->
+      Ditto_obs.Timeseries.record_cpu ts ~tier:rt.spec.Spec.tier_name ~at:(Engine.time ())
+        ~seconds:s);
   Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
 
 (* Accept-queue depth for load shedding: undelivered messages plus requests
@@ -118,6 +136,7 @@ let rec handle sys rt ~tid ep ~arrived =
     match rt.spec.Spec.resilience.Spec.queue_bound with
     | Some bound when backlog rt > bound ->
         rt.shed <- rt.shed + 1;
+        ts_counter sys rt Ditto_obs.Timeseries.Shed;
         Socket.send ~err:true ep ~bytes:err_bytes
     | _ ->
         let trace =
@@ -128,11 +147,18 @@ let rec handle sys rt ~tid ep ~arrived =
         rt.inflight <- rt.inflight - 1;
         if ok then begin
           Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
-          Stats.add rt.lat (Engine.time () -. arrived);
-          rt.served <- rt.served + 1
+          let now = Engine.time () in
+          Stats.add rt.lat (now -. arrived);
+          rt.served <- rt.served + 1;
+          match sys.tl with
+          | None -> ()
+          | Some ts ->
+              Ditto_obs.Timeseries.record_latency ts ~tier:rt.spec.Spec.tier_name ~at:now
+                ~seconds:(now -. arrived)
         end
         else begin
           rt.failures <- rt.failures + 1;
+          ts_counter sys rt Ditto_obs.Timeseries.Failures;
           Socket.send ~err:true ep ~bytes:err_bytes
         end
 
@@ -220,6 +246,7 @@ and downstream sys rt ~tid target req_bytes _resp_bytes =
                   not m.Socket.err
               | None ->
                   rt.timeouts <- rt.timeouts + 1;
+                  ts_counter sys rt Ditto_obs.Timeseries.Timeouts;
                   false)
         in
         (match breaker with
@@ -232,6 +259,7 @@ and downstream sys rt ~tid target req_bytes _resp_bytes =
     else if n >= res.Spec.max_retries then false
     else begin
       rt.retries <- rt.retries + 1;
+      ts_counter sys rt Ditto_obs.Timeseries.Retries;
       let backoff = res.Spec.retry_backoff *. (2.0 ** float_of_int n) in
       if backoff > 0.0 then Engine.wait (backoff *. (0.5 +. Rng.float rt.rng 1.0));
       go (n + 1)
@@ -384,7 +412,17 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
            so fault coin-flips never perturb the tiers' trace selection. *)
         Some (Injector.create ~engine ~seed:(seed + 104729) plan)
   in
-  let sys = { registry; tids; inj } in
+  let tl =
+    if not (Ditto_obs.Timeseries.enabled ()) then None
+    else
+      (* [Engine.now] here equals the load-phase start: the clock cannot
+         advance before [Engine.run] below. *)
+      Some
+        (Ditto_obs.Timeseries.create ~start:(Engine.now engine) ~duration:l.duration
+           ~tiers:(List.map (fun (t : Spec.tier) -> t.Spec.tier_name) app.Spec.tiers)
+           ())
+  in
+  let sys = { registry; tids; inj; tl } in
   let rts =
     List.map
       (fun (tier : Spec.tier) ->
@@ -475,6 +513,44 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
   (match inj with Some i -> Injector.arm i ~at:(Engine.now engine) | None -> ());
   let t_start = Engine.now engine in
   let t_end = t_start +. l.duration in
+  (match tl with
+  | None -> ()
+  | Some ts ->
+      (* Fault markers come straight from the plan (injection times are
+         data, not runtime events), and a zero-virtual-time read-only
+         ticker samples every tier's accept-queue depth once per window.
+         The ticker only shifts engine sequence numbers uniformly, so the
+         relative order of all service events — and hence every simulated
+         result — is unchanged by enabling telemetry. *)
+      (match fault_plan with
+      | None -> ()
+      | Some plan ->
+          List.iter
+            (fun (ev : Plan.event) ->
+              let label =
+                match ev.Plan.kind with
+                | Plan.Crash _ -> "crash"
+                | Plan.Slowdown _ -> "slowdown"
+                | Plan.Link _ -> "link"
+                | Plan.Partition _ -> "partition"
+              in
+              Ditto_obs.Timeseries.mark ts ~at:(t_start +. ev.Plan.at)
+                ~label:(label ^ ":" ^ ev.Plan.tier))
+            plan.Plan.events);
+      let w = Ditto_obs.Timeseries.window_seconds ts in
+      Engine.every engine ~start:t_start ~period:w ~until:(t_end -. (0.5 *. w)) (fun at ->
+          List.iter
+            (fun rt ->
+              Ditto_obs.Timeseries.record_queue ts ~tier:rt.spec.Spec.tier_name ~at
+                ~depth:(backlog rt))
+            rts));
+  let ts_client c =
+    match tl with
+    | None -> ()
+    | Some ts ->
+        Ditto_obs.Timeseries.record_counter ts ~tier:Ditto_obs.Timeseries.client_tier
+          ~at:(Engine.time ()) c
+  in
   let lat = Stats.create () in
   let completed = ref 0 in
   let client_errors = ref 0 in
@@ -492,30 +568,47 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
         | None ->
             Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
             ignore (Socket.recv !conn);
-            Stats.add lat (Engine.time () -. t0);
-            incr completed
+            let now = Engine.time () in
+            Stats.add lat (now -. t0);
+            incr completed;
+            (match tl with
+            | None -> ()
+            | Some ts ->
+                Ditto_obs.Timeseries.record_latency ts
+                  ~tier:Ditto_obs.Timeseries.client_tier ~at:now ~seconds:(now -. t0))
         | Some timeout ->
             let rec go n =
               Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
               match Socket.recv_msg_timeout !conn ~timeout with
               | Some m when not m.Socket.err ->
-                  Stats.add lat (Engine.time () -. t0);
-                  incr completed
+                  let now = Engine.time () in
+                  Stats.add lat (now -. t0);
+                  incr completed;
+                  (match tl with
+                  | None -> ()
+                  | Some ts ->
+                      Ditto_obs.Timeseries.record_latency ts
+                        ~tier:Ditto_obs.Timeseries.client_tier ~at:now ~seconds:(now -. t0))
               | outcome ->
                   (match outcome with
                   | None ->
                       (* Poison the timed-out connection: a late reply must
                          not answer the next request. *)
                       incr client_timeouts;
+                      ts_client Ditto_obs.Timeseries.Timeouts;
                       let a, b = client_pair () in
                       attach sys entry b;
                       conn := a
                   | Some _ -> (* error response; the conn stays paired *) ());
                   if n < l.client_retries then begin
                     incr client_retries_used;
+                    ts_client Ditto_obs.Timeseries.Retries;
                     go (n + 1)
                   end
-                  else incr client_errors
+                  else begin
+                    incr client_errors;
+                    ts_client Ditto_obs.Timeseries.Failures
+                  end
             in
             go 0)
   in
@@ -601,4 +694,5 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     client_retries = !client_retries_used;
     elapsed;
     tiers;
+    timeline = tl;
   }

@@ -62,6 +62,12 @@ type result = {
   client_retries : int;  (** client retry attempts used *)
   elapsed : float;
   tiers : tier_obs list;
+  timeline : Ditto_obs.Timeseries.t option;
+      (** windowed per-tier telemetry on the DES clock (plus a
+          {!Ditto_obs.Timeseries.client_tier} end-to-end series and fault
+          markers from the plan); [Some] only when
+          {!Ditto_obs.Timeseries.enabled} was set when the run started.
+          Enabling telemetry does not perturb any other field. *)
 }
 
 val run :

@@ -1,0 +1,100 @@
+(* DDSketch-style log-bucketed histogram. See the .mli for the error-bound
+   argument; the key invariant here is that every operation is
+   deterministic given the sequence of added values: bucket indices come
+   from [log]/[ceil] on the value alone, counts are integers, and queries
+   sort the bucket keys before walking them so Hashtbl iteration order
+   never leaks into results. *)
+
+(* Values at or below this threshold collapse into the zero bucket: the
+   log-bucket index of a denormal-small latency would be a huge negative
+   int for no informational gain. *)
+let tiny = 1e-12
+
+type t = {
+  alpha : float;
+  gamma : float;
+  log_gamma : float;
+  counts : (int, int) Hashtbl.t;
+  mutable zero : int;
+  mutable n : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(alpha = 0.01) () =
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg "Histogram.create: alpha must be in (0, 1)";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  {
+    alpha;
+    gamma;
+    log_gamma = log gamma;
+    counts = Hashtbl.create 64;
+    zero = 0;
+    n = 0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let alpha t = t.alpha
+let count t = t.n
+let zero_count t = t.zero
+let min_value t = if t.n = 0 then 0.0 else t.vmin
+let max_value t = if t.n = 0 then 0.0 else t.vmax
+
+let bucket_of t v = int_of_float (Float.ceil (log v /. t.log_gamma))
+
+let add t v =
+  t.n <- t.n + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if v <= tiny then t.zero <- t.zero + 1
+  else
+    let i = bucket_of t v in
+    let c = match Hashtbl.find_opt t.counts i with Some c -> c | None -> 0 in
+    Hashtbl.replace t.counts i (c + 1)
+
+let buckets t =
+  Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Midpoint estimate for bucket [i], which covers (gamma^(i-1), gamma^i]:
+   2 gamma^i / (gamma + 1) = the value x with
+   x / gamma^(i-1) = gamma^i / x', i.e. equidistant in relative terms from
+   both bucket edges, giving relative error <= alpha at either edge. *)
+let estimate t i = 2.0 *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.0)
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if t.n = 0 then 0.0
+  else
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    if rank <= t.zero then 0.0
+    else
+      let rec walk acc = function
+        | [] -> t.vmax (* all counts consumed: the rank is the maximum *)
+        | (i, c) :: rest ->
+            let acc = acc + c in
+            if acc >= rank then estimate t i else walk acc rest
+      in
+      walk t.zero (buckets t)
+
+let merge a b =
+  if a.alpha <> b.alpha then invalid_arg "Histogram.merge: alpha mismatch";
+  let t = create ~alpha:a.alpha () in
+  let blend src =
+    Hashtbl.iter
+      (fun i c ->
+        let c0 = match Hashtbl.find_opt t.counts i with Some c0 -> c0 | None -> 0 in
+        Hashtbl.replace t.counts i (c0 + c))
+      src.counts;
+    t.zero <- t.zero + src.zero;
+    t.n <- t.n + src.n;
+    if src.n > 0 then begin
+      if src.vmin < t.vmin then t.vmin <- src.vmin;
+      if src.vmax > t.vmax then t.vmax <- src.vmax
+    end
+  in
+  blend a;
+  blend b;
+  t

@@ -1,0 +1,54 @@
+(** Log-bucketed streaming quantile histogram (DDSketch-style).
+
+    Positive values are mapped to geometric buckets: with
+    [gamma = (1 + alpha) / (1 - alpha)], value [v > 0] lands in bucket
+    [i = ceil (log_gamma v)], i.e. the bucket covering
+    [(gamma^(i-1), gamma^i]]. A quantile query walks the buckets in index
+    order and returns the bucket midpoint estimate
+    [2 * gamma^i / (gamma + 1)].
+
+    Error bound: for any [v] in bucket [i],
+    [gamma^(i-1) < v <= gamma^i], and the estimate
+    [x = 2 gamma^i / (gamma + 1)] satisfies
+    [|x - v| / v <= (gamma - 1) / (gamma + 1) = alpha] — so every
+    reported quantile is within relative error [alpha] of some sample at
+    the same rank (the bucket walk preserves ranks exactly; only the
+    representative value inside the bucket is approximate).
+
+    Values [<= min_positive] (including zero and negatives) are counted in
+    a dedicated zero bucket and reported as [0.]. Merging adds integer
+    bucket counts, so [merge] is associative and commutative — unlike
+    float summation — and the result is bit-identical regardless of merge
+    order. All state is per-value-deterministic: no wall clock, no
+    randomness, no hash-order dependence (queries sort bucket indices). *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] is the relative-error bound, default [0.01] (1%). Must be in
+    (0, 1). *)
+
+val alpha : t -> float
+val add : t -> float -> unit
+val count : t -> int
+val min_value : t -> float
+(** Exact smallest added value; [0.] when empty. *)
+
+val max_value : t -> float
+(** Exact largest added value; [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0, 1]: nearest-rank quantile — the
+    estimate for the sample at (1-based) rank
+    [max 1 (ceil (q * count))]. Returns [0.] on an empty histogram.
+    Raises [Invalid_argument] if [q] is outside [0, 1]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples; inputs are unchanged.
+    Raises [Invalid_argument] if the two [alpha]s differ. *)
+
+val buckets : t -> (int * int) list
+(** Sorted [(bucket_index, count)] pairs, excluding the zero bucket —
+    a deterministic serialisation of the sketch state. *)
+
+val zero_count : t -> int

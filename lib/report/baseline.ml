@@ -25,6 +25,13 @@ let default_tolerances =
     ("error_rate_pp", 4.0);
     ("p99_err_pct", 20.0);
     ("throughput_err_pct", 10.0);
+    (* timeline keys: single-window errors are noisier than whole-run
+       aggregates (a 25 ms window holds ~1/24 of the samples), and
+       reconvergence moves in whole windows — its tolerance is absolute
+       seconds, sized to ~10 windows of a default 0.6 s run *)
+    ("worst_window_err_pct", 30.0);
+    ("mean_window_err_pct", 10.0);
+    ("reconverge_seconds", 0.25);
     (* wall-clock budgets (absolute seconds of slack over the pinned
        value, not percentage points): per-experiment stage budget, with a
        wider gate on the whole-bench total since its noise is the sum of
@@ -77,6 +84,10 @@ let flatten json =
     obj_entries (J.member "chaos" json)
     |> List.map (fun (key, v) -> ("chaos/" ^ key, J.to_float v))
   in
+  let timeline =
+    obj_entries (J.member "timeline" json)
+    |> List.map (fun (key, v) -> ("timeline/" ^ key, J.to_float v))
+  in
   (* Wall-clock budgets: per-experiment stage seconds plus the bench
      total, so `bench --check` gates performance regressions alongside
      fidelity ones. The keys end in "wall_seconds" to pick up the
@@ -96,7 +107,7 @@ let flatten json =
     | J.Num s -> per_experiment @ [ ("experiments/total/wall_seconds", s) ]
     | _ -> per_experiment
   in
-  errors @ scorecards @ chaos @ wall
+  errors @ scorecards @ chaos @ timeline @ wall
 
 let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
 

@@ -1,6 +1,6 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 6
+let schema_version = 7
 
 (* Per-experiment scheduling telemetry (v5): how long the stage took, how
    many domains the pool offered it, and what fraction of (domains x wall)
@@ -14,7 +14,10 @@ type experiment = {
 
 (* v6 additions: the engine's process-wide event-heap high-water mark (the
    synth scaling work pins DES memory behaviour) and each cloned app's
-   tier count, so wide-graph runs are self-describing. *)
+   tier count, so wide-graph runs are self-describing. v7 adds the flat
+   transient-fidelity keys from the windowed telemetry layer
+   (timeline/<app>/<plan>/{worst_window_err_pct,mean_window_err_pct,
+   reconverge_seconds}). *)
 type input = {
   domains : int;
   total_seconds : float;
@@ -25,6 +28,7 @@ type input = {
   metrics : (string * float) list;
   scorecards : Scorecard.t list;
   chaos : (string * float) list;
+  timeline : (string * float) list;
   peak_heap_events : int;
   tier_counts : (string * int) list;
 }
@@ -57,6 +61,7 @@ let assemble i =
         J.Obj (List.map (fun (s : Scorecard.t) -> (s.Scorecard.app, Scorecard.to_json s)) i.scorecards)
       );
       ("chaos", num_obj i.chaos);
+      ("timeline", num_obj i.timeline);
       ("engine", J.Obj [ ("peak_heap_events", J.int i.peak_heap_events) ]);
       ("tier_counts", J.Obj (List.map (fun (k, v) -> (k, J.int v)) i.tier_counts));
     ]
@@ -139,6 +144,7 @@ let validate json =
   let* () = field path json "metrics" (obj_of num) in
   let* () = field path json "scorecards" (obj_of scorecard) in
   let* () = field path json "chaos" (obj_of num) in
+  let* () = field path json "timeline" (obj_of num) in
   let* () =
     field path json "engine" (fun path v -> field path v "peak_heap_events" num)
   in

@@ -7,12 +7,14 @@
     scheduling telemetry ([domains], [parallel_efficiency]) alongside its
     wall seconds; version 6 adds the ["engine"] section (the process-wide
     event-heap high-water mark) and the ["tier_counts"] object (per cloned
-    app), so wide synthetic-graph runs are self-describing.
+    app), so wide synthetic-graph runs are self-describing; version 7 adds
+    the flat ["timeline"] section (transient-fidelity metrics from the
+    windowed telemetry layer, keyed ["<app>/<plan>/<metric>"]).
     {!validate} is the shape check the test suite and downstream tooling
     run against emitted files, so schema drift fails loudly instead of
     silently. *)
 
-val schema_version : int  (** 6 *)
+val schema_version : int  (** 7 *)
 
 type experiment = {
   exp_name : string;
@@ -36,6 +38,9 @@ type input = {
   chaos : (string * float) list;
       (** "<app>/<plan>/<metric>" -> value, from [bench --chaos]; empty
           when the chaos experiment did not run *)
+  timeline : (string * float) list;
+      (** "<app>/<plan>/<metric>" -> value ({!Timeline.flat}), from
+          [bench timeline]; empty when that experiment did not run *)
   peak_heap_events : int;
       (** {!Ditto_sim.Engine.global_peak_heap_events} at document time *)
   tier_counts : (string * int) list;  (** app -> tiers in the original spec *)

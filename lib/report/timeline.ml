@@ -1,0 +1,166 @@
+module Ts = Ditto_obs.Timeseries
+module Table = Ditto_util.Table
+
+type window_row = {
+  w_index : int;
+  w_start : float;
+  w_actual_qps : float;
+  w_clone_qps : float;
+  w_actual_p95 : float;
+  w_clone_p95 : float;
+  w_err_pct : float;
+}
+
+type t = {
+  app : string;
+  plan : string option;
+  window_seconds : float;
+  threshold_pct : float;
+  rows : window_row list;
+  worst_window_err_pct : float;
+  mean_window_err_pct : float;
+  fault_at : float option;
+  reconverged : bool;
+  reconverge_seconds : float;
+  tier_worst : (string * float) list;
+}
+
+(* Same relative-error convention as Scorecard: an actual of zero scores 0
+   when the clone agrees and 100 when it does not, so crashed windows
+   (both sides serving nothing) count as perfect agreement instead of a
+   division by zero. *)
+let err_pct ~actual ~synthetic =
+  if actual = 0.0 then if synthetic = 0.0 then 0.0 else 100.0
+  else 100.0 *. Float.abs (synthetic -. actual) /. actual
+
+let of_timelines ~app ?plan ?(threshold_pct = 25.0) ~actual ~clone () =
+  let n = Ts.windows actual in
+  if Ts.windows clone <> n || Ts.window_seconds clone <> Ts.window_seconds actual then
+    invalid_arg "Timeline.of_timelines: window grids differ";
+  let w = Ts.window_seconds actual in
+  let rows =
+    List.init n (fun i ->
+        let a = Ts.row actual ~tier:Ts.client_tier i in
+        let c = Ts.row clone ~tier:Ts.client_tier i in
+        let a_qps = float_of_int a.Ts.r_completed /. w in
+        let c_qps = float_of_int c.Ts.r_completed /. w in
+        let qps_err = err_pct ~actual:a_qps ~synthetic:c_qps in
+        let p95_err = err_pct ~actual:a.Ts.r_p95 ~synthetic:c.Ts.r_p95 in
+        {
+          w_index = i;
+          w_start = float_of_int i *. w;
+          w_actual_qps = a_qps;
+          w_clone_qps = c_qps;
+          w_actual_p95 = a.Ts.r_p95;
+          w_clone_p95 = c.Ts.r_p95;
+          w_err_pct = Float.max qps_err p95_err;
+        })
+  in
+  let errs = List.map (fun r -> r.w_err_pct) rows in
+  let worst = List.fold_left Float.max 0.0 errs in
+  let mean =
+    if errs = [] then 0.0 else List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs)
+  in
+  let fault_at =
+    match Ts.marks actual with
+    | [] -> None
+    | (at, _) :: rest ->
+        let first = List.fold_left (fun acc (a, _) -> Float.min acc a) at rest in
+        Some (first -. Ts.start_time actual)
+  in
+  let arr = Array.of_list rows in
+  let reconverged, reconverge_seconds =
+    match fault_at with
+    | None -> (true, 0.0)
+    | Some f ->
+        (* first window whose span contains (or follows) the fault *)
+        let wf = max 0 (min (n - 1) (int_of_float (f /. w))) in
+        let compliant i = arr.(i).w_err_pct <= threshold_pct in
+        let rec find j =
+          if j >= n then None
+          else if compliant j && (j + 1 >= n || compliant (j + 1)) then Some j
+          else find (j + 1)
+        in
+        (* reconvergence = fault time -> end of the first window opening a
+           compliant streak; always >= the remainder of the fault window,
+           hence strictly positive *)
+        (match find wf with
+        | Some j -> (true, (float_of_int (j + 1) *. w) -. f)
+        | None -> (false, (float_of_int n *. w) -. f))
+  in
+  let tier_worst =
+    List.filter_map
+      (fun tier ->
+        if tier = Ts.client_tier then None
+        else
+          let worst = ref 0.0 in
+          for i = 0 to n - 1 do
+            let a = float_of_int (Ts.row actual ~tier i).Ts.r_completed /. w in
+            let c = float_of_int (Ts.row clone ~tier i).Ts.r_completed /. w in
+            worst := Float.max !worst (err_pct ~actual:a ~synthetic:c)
+          done;
+          Some (tier, !worst))
+      (Ts.tiers actual)
+  in
+  {
+    app;
+    plan;
+    window_seconds = w;
+    threshold_pct;
+    rows;
+    worst_window_err_pct = worst;
+    mean_window_err_pct = mean;
+    fault_at;
+    reconverged;
+    reconverge_seconds;
+    tier_worst;
+  }
+
+let print t =
+  let fault_window =
+    match t.fault_at with
+    | None -> -1
+    | Some f -> int_of_float (f /. t.window_seconds)
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Printf.sprintf "%s%.0f ms" (if r.w_index = fault_window then "*" else "") (r.w_start *. 1e3);
+          Table.fmt_float r.w_actual_qps;
+          Table.fmt_float r.w_clone_qps;
+          Printf.sprintf "%.3f" (r.w_actual_p95 *. 1e3);
+          Printf.sprintf "%.3f" (r.w_clone_p95 *. 1e3);
+          Table.fmt_pct r.w_err_pct;
+        ])
+      t.rows
+  in
+  let title =
+    Printf.sprintf "transient fidelity: %s%s (%d windows x %.1f ms)" t.app
+      (match t.plan with None -> "" | Some p -> " under " ^ p)
+      (List.length t.rows) (t.window_seconds *. 1e3)
+  in
+  Table.print ~title
+    ~header:[ "window"; "qps actual"; "qps clone"; "p95 actual (ms)"; "p95 clone (ms)"; "err" ]
+    rows;
+  (match t.fault_at with
+  | None -> ()
+  | Some f ->
+      Printf.printf "  fault at %.0f ms (window %d, flagged *): %s after %.0f ms\n" (f *. 1e3)
+        fault_window
+        (if t.reconverged then "reconverged" else "NOT reconverged by run end")
+        (t.reconverge_seconds *. 1e3));
+  Printf.printf "  worst window %.1f%%, mean %.1f%% (threshold %.0f%%)\n" t.worst_window_err_pct
+    t.mean_window_err_pct t.threshold_pct;
+  List.iter
+    (fun (tier, e) -> Printf.printf "  tier %-14s worst window throughput err %.1f%%\n" tier e)
+    t.tier_worst
+
+let flat t =
+  let plan = Option.value ~default:"steady" t.plan in
+  let key m = Printf.sprintf "%s/%s/%s" t.app plan m in
+  [
+    (key "worst_window_err_pct", t.worst_window_err_pct);
+    (key "mean_window_err_pct", t.mean_window_err_pct);
+    (key "reconverge_seconds", t.reconverge_seconds);
+  ]

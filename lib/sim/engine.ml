@@ -142,6 +142,19 @@ let pop t =
 
 let schedule t at fn = push t at fn
 
+let every t ~start ~period ~until f =
+  if not (period > 0.0) then invalid_arg "Engine.every: period must be positive";
+  (* tick times are start + k*period, recomputed from k each arm, so a
+     long chain of ticks carries no accumulated float error *)
+  let rec arm k =
+    let at = start +. (float_of_int k *. period) in
+    if at <= until then
+      push t at (fun () ->
+          f at;
+          arm (k + 1))
+  in
+  arm 0
+
 type 'a waker = {
   engine : t;
   mutable resume : ('a -> unit) option;

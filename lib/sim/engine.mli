@@ -35,6 +35,15 @@ val schedule : t -> float -> (unit -> unit) -> unit
 val spawn : t -> ?at:float -> (unit -> unit) -> unit
 (** Start a new process at absolute time [at] (default: now). *)
 
+val every : t -> start:float -> period:float -> until:float -> (float -> unit) -> unit
+(** [every t ~start ~period ~until f] runs callback [f at] at each tick
+    [at = start + k * period] for [k = 0, 1, ...] while [at <= until].
+    Tick times are computed from [k] (not by accumulating [period]) so
+    long chains don't drift. Like {!schedule} callbacks, [f] runs outside
+    process context: it must not perform engine effects — it receives the
+    tick's virtual time as its argument instead of reading the clock.
+    Raises [Invalid_argument] if [period] is not positive. *)
+
 val run : ?until:float -> t -> unit
 (** Drain the event queue, advancing the clock; stop early once the clock
     would exceed [until]. *)

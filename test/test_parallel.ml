@@ -291,6 +291,29 @@ let test_synth_determinism () =
     (v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
     && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end)
 
+(* Telemetry must be invisible to simulation results: the windowed
+   collector only adds read-only, zero-virtual-time ticker events, so a
+   telemetry-on run agrees bit-for-bit with the telemetry-off baseline
+   ([seq_parallel]) and across pool sizes. *)
+let telemetry_clone_with pool =
+  Ditto_obs.Timeseries.enable ();
+  Fun.protect ~finally:Ditto_obs.Timeseries.disable (fun () -> clone_with pool)
+
+let test_telemetry_invariance () =
+  let (_, v_off), _ = Lazy.force seq_parallel in
+  let _, v1 = with_pool 1 telemetry_clone_with in
+  let _, v4 = with_pool 4 telemetry_clone_with in
+  Alcotest.(check bool) "telemetry-on matches telemetry-off baseline" true
+    (v1.Pipeline.actual = v_off.Pipeline.actual
+    && v1.Pipeline.synthetic = v_off.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v_off.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v_off.Pipeline.synthetic_end_to_end);
+  Alcotest.(check bool) "telemetry-on identical across pool sizes" true
+    (v1.Pipeline.actual = v4.Pipeline.actual
+    && v1.Pipeline.synthetic = v4.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end)
+
 let test_speculation_reported () =
   let (r1, _), _ = Lazy.force seq_parallel in
   match r1.Pipeline.tuning with
@@ -333,6 +356,7 @@ let () =
           Alcotest.test_case "validate across pool sizes" `Slow test_validate_determinism;
           Alcotest.test_case "memo x pool-size matrix" `Slow test_memo_pool_matrix;
           Alcotest.test_case "synth graph across pool sizes" `Slow test_synth_determinism;
+          Alcotest.test_case "telemetry on/off x pool sizes" `Slow test_telemetry_invariance;
           Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
         ] );
     ]

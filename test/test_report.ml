@@ -234,6 +234,7 @@ let sample_doc () =
       metrics = [ ("sim.events", 1000.0) ];
       scorecards = [ card ];
       chaos = [ ("redis/kill-mid-tier/error_rate_pp", 1.2) ];
+      timeline = [ ("redis/kill-mid-tier/worst_window_err_pct", 3.0) ];
       peak_heap_events = 4096;
       tier_counts = [ ("redis", 1) ];
     }
@@ -268,6 +269,8 @@ let test_schema_drift_rejected () =
       ("missing mean_error_pct", drop "mean_error_pct" doc);
       ("missing engine section", drop "engine" doc);
       ("missing tier_counts", drop "tier_counts" doc);
+      ("missing timeline", drop "timeline" doc);
+      ("stringly timeline value", set "timeline" (J.Obj [ ("k", J.Str "3") ]) doc);
       ("old schema version", set "schema_version" (J.int 2) doc);
       ("stringly total_seconds", set "total_seconds" (J.Str "1.25") doc);
       ( "scorecard row missing err_pct",
@@ -297,6 +300,8 @@ let test_flatten_keys () =
     (List.mem_assoc "scorecards/redis/redis/ipc" flat);
   Alcotest.(check bool) "chaos key present" true
     (List.mem_assoc "chaos/redis/kill-mid-tier/error_rate_pp" flat);
+  Alcotest.(check bool) "timeline key present" true
+    (List.mem_assoc "timeline/redis/kill-mid-tier/worst_window_err_pct" flat);
   Alcotest.(check (float 1e-12)) "experiment wall key" 1.0
     (List.assoc "experiments/scorecards/wall_seconds" flat);
   Alcotest.(check (float 1e-12)) "total wall key" 1.25
