@@ -896,6 +896,37 @@ let timeline () =
           | _ -> Printf.printf "  %s: no timeline collected (telemetry disabled?)\n" name)
         (registry_entries ()))
 
+(* {1 Critpath: critical-path divergence from request tracing (bench critpath)} *)
+
+(* Flat "critpath/<app>/<plan>/..." keys for the --json "critpath" section
+   (schema v8), gated like the timeline keys. *)
+let critpath_acc : (string * float) list ref = ref []
+
+let critpath () =
+  banner "Critpath: critical-path divergence from sampled request traces";
+  (* Same flag discipline as the timeline stage: the enable flag is
+     global but the collectors are per-run, so scope it tightly. *)
+  Ditto_obs.Reqtrace.enable ();
+  Fun.protect ~finally:Ditto_obs.Reqtrace.disable (fun () ->
+      List.iter
+        (fun (entry : Registry.entry) ->
+          let name = entry.Registry.name in
+          let load, result = get_clone name in
+          let c =
+            Pipeline.validate ~pool ~platform:Platform.a ~load
+              ~label:(fmt "critpath:%s" name) result
+          in
+          match
+            ( c.Pipeline.actual_service.Ditto_app.Service.reqtrace,
+              c.Pipeline.synthetic_service.Ditto_app.Service.reqtrace )
+          with
+          | Some _, Some _ ->
+              let d = Ditto_report.Critpath.of_comparison ~app:name c in
+              Ditto_report.Critpath.print d;
+              critpath_acc := Ditto_report.Critpath.flat d @ !critpath_acc
+          | _ -> Printf.printf "  %s: no request traces collected (tracing disabled?)\n" name)
+        (registry_entries ()))
+
 (* {1 Perf smoke: the warm-memo fast path (gated by bin/ci.sh)} *)
 
 let perfsmoke () =
@@ -996,7 +1027,8 @@ let all_experiments =
    Reachable by experiment name (or --chaos). *)
 let opt_in_experiments =
   [
-    ("chaos", chaos); ("timeline", timeline); ("perfsmoke", perfsmoke);
+    ("chaos", chaos); ("timeline", timeline); ("critpath", critpath);
+    ("perfsmoke", perfsmoke);
     ("synth100", synth100); ("synth500", synth500); ("synth1000", synth1000);
   ]
 
@@ -1004,7 +1036,8 @@ let opt_in_experiments =
    build exactly those concurrently before the (ordered, printing)
    experiment loop starts. fig11 and micro build their own specs. *)
 let clone_needs = function
-  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" | "timeline" ->
+  | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" | "timeline"
+  | "critpath" ->
       List.map (fun (e : Registry.entry) -> e.Registry.name) (registry_entries ())
   | "fig6" -> [ "social_network" ]
   | "fig9" -> [ "mongodb" ]
@@ -1238,6 +1271,7 @@ let () =
              scorecards = cards;
              chaos = List.sort compare !chaos_acc;
              timeline = List.sort compare !timeline_acc;
+             critpath = List.sort compare !critpath_acc;
              peak_heap_events = Ditto_sim.Engine.global_peak_heap_events ();
              tier_counts =
                Hashtbl.fold

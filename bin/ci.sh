@@ -1,12 +1,14 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 21 test suites, a benchmark smoke run, a
+# Tier-1 gate: full build, the 22 test suites, a benchmark smoke run, a
 # self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
 # sampled-profiler smoke test, a chaos smoke test (fault injection +
 # resilience counters), a synth scaling smoke (100-tier generated graph
 # cloned + validated under a wall budget), a timeline smoke (windowed
-# telemetry + transient-fidelity scorecard + OpenMetrics export), and the
-# fidelity regression gate (scorecards diffed against the committed
-# baseline, plus a proof that the gate rejects a perturbed baseline).
+# telemetry + transient-fidelity scorecard + OpenMetrics export), a
+# critpath smoke (request-level critical-path tracing + divergence
+# attribution + Jaeger round-trip), and the fidelity regression gate
+# (scorecards diffed against the committed baseline, plus a proof that
+# the gate rejects a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
 set -eu
 
@@ -24,8 +26,10 @@ dune build 2>&1 | tee "$build_log"
 # layers; lib/util, lib/uarch, lib/tune and bench carry the performance
 # architecture (pool futures, memo caches, machine pooling, the bench
 # DAG); lib/sim, lib/app, lib/apps, lib/gen and lib/trace carry the
-# topology-synthesis scaling path. Keep them all warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace)|bench/|bin/"; then
+# topology-synthesis scaling path; lib/core and lib/net carry the
+# pipeline and the socket layer the request-trace context rides on.
+# Keep them all warning-clean.
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace|core|net)|bench/|bin/"; then
   echo "ci: FAIL — build warnings in the gated modules" >&2
   exit 1
 fi
@@ -121,6 +125,33 @@ if ! grep -Eq 'reconverge_ms=[1-9][0-9]*' "$timeline_log"; then
 fi
 if ! grep -q '^# EOF' "$om_file"; then
   echo "ci: FAIL — OpenMetrics export incomplete (no # EOF terminator)" >&2
+  exit 1
+fi
+
+echo "== critpath smoke (critical-path divergence + Jaeger round-trip) =="
+# Request-level tracing on redis: the command must print a top divergence
+# row (CRITPATH worst=...) and the greppable CRITPATH-SMOKE-OK line, and
+# the Jaeger export of the sampled traces must re-ingest cleanly through
+# inspect-trace (non-empty roots report, client entry tier in the DAG).
+critpath_log="$tmpdir/critpath.log"
+critpath_jaeger="$tmpdir/critpath.jaeger.json"
+dune exec bin/ditto_cli.exe -- critpath redis --no-tune --jaeger "$critpath_jaeger" | tee "$critpath_log"
+if ! grep -q "CRITPATH-SMOKE-OK" "$critpath_log"; then
+  echo "ci: FAIL — critpath smoke did not reach CRITPATH-SMOKE-OK" >&2
+  exit 1
+fi
+if ! grep -Eq 'CRITPATH worst=[^ ]+/[^ ]+ err_pp=' "$critpath_log"; then
+  echo "ci: FAIL — critpath smoke printed no top divergence row" >&2
+  exit 1
+fi
+inspect_log="$tmpdir/critpath.inspect.log"
+dune exec bin/ditto_cli.exe -- inspect-trace "$critpath_jaeger" | tee "$inspect_log"
+if ! grep -Eq '[1-9][0-9]* root\(s\)' "$inspect_log"; then
+  echo "ci: FAIL — Jaeger export re-ingest found no trace roots" >&2
+  exit 1
+fi
+if ! grep -q 'client' "$inspect_log"; then
+  echo "ci: FAIL — Jaeger export re-ingest lost the client entry tier" >&2
   exit 1
 fi
 

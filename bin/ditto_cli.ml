@@ -22,10 +22,17 @@
          print the per-window scorecard with time-to-reconvergence and a
          greppable "TIMELINE-SMOKE-OK" line; optionally export the
          timelines as OpenMetrics text or Chrome counter events
+     ditto-cli critpath <app> [--plan FILE] [--no-tune] [--qps N] [--jaeger FILE]
+         request-level critical-path tracing: run original and clone with
+         deterministic request sampling, extract each sampled request's
+         critical path, and print the actual-vs-clone divergence scorecard
+         (tier x segment contribution errors) with a greppable
+         "CRITPATH-SMOKE-OK" line; optionally export the actual side's
+         sampled span trees as Jaeger JSON (re-ingestable by inspect-trace)
      ditto-cli inspect-trace <trace.json>
          parse a Chrome or Jaeger trace back and summarise it
-         (span counts, counter series min/mean/max, recovered DAG,
-         top-10 slowest spans)
+         (span counts, counter series min/mean/max, all roots with
+         per-root span counts, recovered DAG, top-10 slowest spans)
      ditto-cli profile <app> [--qps N] [--original] [--out FILE] [--top N] [--period CYC]
          sampled profile of the clone's (or original's) execution, written
          as a collapsed-stack file for flamegraph.pl / inferno
@@ -333,6 +340,86 @@ let timeline_app name qps no_tune plan_file openmetrics trace =
       Printf.eprintf "timeline: no telemetry collected (Timeseries disabled?)\n";
       exit 1
 
+(* Request-level critical-path tracing: clone the app, enable deterministic
+   request sampling, run original and clone side by side (steady state, or
+   under a --plan fault file), extract each sampled request's critical
+   path, and print the divergence scorecard ranking tier x segment pairs
+   by contribution error. The closing "CRITPATH-SMOKE-OK" line is what CI
+   greps; --jaeger exports the actual side's sampled span trees in the
+   same Jaeger JSON the inspect-trace command re-ingests. *)
+let critpath_app name qps no_tune plan_file jaeger =
+  let module Plan = Ditto_fault.Plan in
+  let module Rq = Ditto_obs.Reqtrace in
+  let module Cp = Ditto_report.Critpath in
+  let entry, load = load_for name qps 0.8 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pipeline.clone ~tune:(not no_tune) ~platform:Platform.a ~load (entry.Registry.spec ())
+  in
+  Printf.printf "cloned %s in %.1fs\n" name (Unix.gettimeofday () -. t0);
+  let tiers =
+    List.map (fun (t : Spec.tier) -> t.Spec.tier_name) result.Pipeline.original.Spec.tiers
+  in
+  let plan =
+    match plan_file with
+    | Some path -> (
+        match
+          let p = Plan.load path in
+          Plan.validate ~tiers p;
+          p
+        with
+        | p -> Some p
+        | exception Sys_error msg ->
+            Printf.eprintf "critpath: %s\n" msg;
+            exit 2
+        | exception Ditto_util.Jsonx.Parse_error msg ->
+            Printf.eprintf "critpath: %s: %s\n" path msg;
+            exit 2
+        | exception Invalid_argument msg ->
+            Printf.eprintf "critpath: %s: %s\n" path msg;
+            exit 2)
+    | None -> None
+  in
+  Rq.enable ();
+  let c =
+    Fun.protect ~finally:Rq.disable (fun () ->
+        match plan with
+        | None -> Pipeline.validate ~platform:Platform.a ~load ~label:"critpath" result
+        | Some plan ->
+            let ch =
+              Pipeline.validate_under ~platform:Platform.a ~load ~plan
+                ~label:(Printf.sprintf "critpath:%s" plan.Plan.plan_name)
+                result
+            in
+            ch.Pipeline.comparison)
+  in
+  match
+    (c.Pipeline.actual_service.Service.reqtrace, c.Pipeline.synthetic_service.Service.reqtrace)
+  with
+  | Some actual, Some clone_rq ->
+      let d =
+        Cp.of_comparison ~app:name
+          ?plan:(Option.map (fun (p : Plan.t) -> p.Plan.plan_name) plan)
+          c
+      in
+      Cp.print d;
+      (match jaeger with
+      | Some path ->
+          Rq.write_jaeger path actual;
+          Printf.printf "jaeger: wrote %s (%d sampled trace(s) of %d request(s))\n" path
+            (Rq.sampled actual) (Rq.requests_seen actual)
+      | None -> ());
+      let worst_s, err =
+        match Cp.worst d with
+        | Some r -> (Printf.sprintf "%s/%s" r.Cp.d_tier r.Cp.d_segment, r.Cp.d_err_pp)
+        | None -> ("none", 0.0)
+      in
+      Printf.printf "CRITPATH-SMOKE-OK actual_traces=%d clone_traces=%d worst=%s err_pp=%+.2f\n"
+        (Rq.sampled actual) (Rq.sampled clone_rq) worst_s err
+  | _ ->
+      Printf.eprintf "critpath: no request traces collected (Reqtrace disabled?)\n";
+      exit 1
+
 (* Scale round trip: generate a production-shaped graph, export its traces
    through the Jaeger writer, recover the DAG from the re-ingested spans,
    check it against the ground truth, then clone and validate the graph
@@ -517,13 +604,30 @@ let inspect_trace path =
                 in
                 Printf.printf "%s: Jaeger trace, %d span(s) in %d trace(s)\n" path
                   (List.length spans) (List.length traces);
-                if List.exists Ditto_trace.Span.root spans then begin
-                  let dag = Ditto_trace.Dag.of_spans spans in
-                  Printf.printf "  DAG: entry=%s services=%d edges=%d\n"
-                    dag.Ditto_trace.Dag.entry
-                    (List.length dag.Ditto_trace.Dag.services)
-                    (List.length dag.Ditto_trace.Dag.edges)
-                end;
+                (match Ditto_trace.Dag.roots spans with
+                | [] -> ()
+                | roots ->
+                    (* Report every root, not just the one the DAG recovery
+                       happens to pick first: a critpath export has one
+                       root per sampled request, so identical
+                       (service, span-count) shapes are aggregated. *)
+                    let groups : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
+                    List.iter
+                      (fun ((s : Ditto_trace.Span.t), count) ->
+                        let key = (s.Ditto_trace.Span.service, count) in
+                        let c = Option.value ~default:0 (Hashtbl.find_opt groups key) in
+                        Hashtbl.replace groups key (c + 1))
+                      roots;
+                    Printf.printf "  %d root(s):\n" (List.length roots);
+                    Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups []
+                    |> List.sort compare
+                    |> List.iter (fun ((service, count), n) ->
+                           Printf.printf "    %s: %d trace(s) x %d span(s)\n" service n count);
+                    let dag = Ditto_trace.Dag.of_spans spans in
+                    Printf.printf "  DAG: entry=%s services=%d edges=%d\n"
+                      dag.Ditto_trace.Dag.entry
+                      (List.length dag.Ditto_trace.Dag.services)
+                      (List.length dag.Ditto_trace.Dag.edges));
                 (* Re-ingested Span.t drops duration, so read the raw spans. *)
                 let tag_of s key =
                   List.find_map
@@ -604,8 +708,8 @@ let profile_app name qps original out top period =
 
 let list_apps () =
   (* Committed-gate summary per app: which baseline key families (steady
-     scorecard, chaos, timeline) and wall budgets the regression gate in
-     bench/baselines/default.json already pins for it. *)
+     scorecard, chaos, timeline, critpath) and wall budgets the regression
+     gate in bench/baselines/default.json already pins for it. *)
   let module Baseline = Ditto_report.Baseline in
   let baseline =
     let path = "bench/baselines/default.json" in
@@ -626,6 +730,7 @@ let list_apps () =
               ("scorecard", Printf.sprintf "scorecards/%s/" name);
               ("chaos", Printf.sprintf "chaos/%s/" name);
               ("timeline", Printf.sprintf "timeline/%s/" name);
+              ("critpath", Printf.sprintf "critpath/%s/" name);
               (* synth graph wall budgets: experiments/synth100/... for
                  app "synth-100" *)
               ( "wall",
@@ -758,6 +863,23 @@ let timeline_cmd =
       const timeline_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ openmetrics_arg
       $ trace_arg)
 
+let jaeger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jaeger" ] ~docv:"FILE"
+        ~doc:
+          "Export the actual side's sampled request span trees as Jaeger JSON (re-ingestable \
+           by $(b,inspect-trace))")
+
+let critpath_cmd =
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Request-level critical-path tracing: actual-vs-clone divergence attribution per tier \
+          x segment")
+    Term.(const critpath_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ jaeger_arg)
+
 let original_arg =
   Arg.(value & flag & info [ "original" ] ~doc:"Profile the original instead of its clone")
 
@@ -793,5 +915,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; chaos_cmd; timeline_cmd;
-            inspect_cmd; profile_cmd; list_cmd;
+            critpath_cmd; inspect_cmd; profile_cmd; list_cmd;
           ]))

@@ -282,6 +282,12 @@ let run_inner cfg ~load (app : Spec.t) =
               (r.Service.client_retries + sum (fun o -> o.Service.obs_retries));
             Ditto_obs.Obs.Metrics.add fault_shed_c (sum (fun o -> o.Service.obs_shed));
             Ditto_obs.Obs.Metrics.add fault_drops_c (sum (fun o -> o.Service.obs_link_drops)));
+        (match r.Service.reqtrace with
+        | None -> ()
+        | Some c ->
+            Ditto_obs.Obs.Span.add_attr "reqtrace_sampled" (Int (Ditto_obs.Reqtrace.sampled c));
+            Ditto_obs.Obs.Span.add_attr "reqtrace_requests"
+              (Int (Ditto_obs.Reqtrace.requests_seen c)));
         r)
   in
   (* The windowed timeline carries request counts; the measured

@@ -6,6 +6,7 @@ module Dist = Ditto_util.Dist
 module Breaker = Ditto_fault.Breaker
 module Injector = Ditto_fault.Injector
 module Plan = Ditto_fault.Plan
+module Rq = Ditto_obs.Reqtrace
 
 type load = {
   qps : float;
@@ -47,6 +48,9 @@ type result = {
   timeline : Ditto_obs.Timeseries.t option;
       (** windowed telemetry; [Some] only when {!Ditto_obs.Timeseries} was
           enabled when the run started *)
+  reqtrace : Ditto_obs.Reqtrace.t option;
+      (** sampled request span trees; [Some] only when
+          {!Ditto_obs.Reqtrace} was enabled when the run started *)
 }
 
 type tier_rt = {
@@ -80,6 +84,10 @@ type sys = {
       (** windowed telemetry collector; [None] (the default — the
           {!Ditto_obs.Timeseries.enabled} flag is off) keeps every hook to
           a single option match and the event stream byte-identical *)
+  rq : Ditto_obs.Reqtrace.t option;
+      (** request-trace collector, same discipline: [None] keeps every
+          hook to a single option match; when [Some], hooks only fire for
+          sampled requests (their span id rides [Socket.msg.meta]) *)
 }
 
 let fresh_tid counter =
@@ -103,6 +111,23 @@ let ts_counter sys rt c =
   | None -> ()
   | Some ts ->
       Ditto_obs.Timeseries.record_counter ts ~tier:rt.spec.Spec.tier_name ~at:(Engine.time ()) c
+
+(* Reqtrace helpers: every disabled-path call is one option match (and the
+   per-request [span]/[rpc] guard keeps unsampled requests free too). *)
+let rq_seg sys ~span kind ~t0 =
+  match sys.rq with
+  | Some c when span <> 0 -> Rq.segment c ~span kind ~start:t0 ~dur:(Engine.time () -. t0)
+  | _ -> ()
+
+let rq_rpc_end sys rpc ?bytes outcome =
+  match sys.rq with
+  | Some c when rpc <> 0 -> Rq.rpc_end c ~span:rpc ?bytes ~at:(Engine.time ()) outcome
+  | _ -> ()
+
+let rq_server_end sys span ?bytes outcome =
+  match sys.rq with
+  | Some c when span <> 0 -> Rq.server_end c ~span ?bytes ~at:(Engine.time ()) outcome
+  | _ -> ()
 
 let run_cpu sys rt ~tid s =
   let s =
@@ -130,22 +155,35 @@ let backlog rt =
 (* Serve one request whose bytes arrived at [arrived]: replay a measured
    trace (CPU, disk, sleeps, downstream RPCs) then send the response — or
    shed it when the resilience knobs say the tier is overloaded. *)
-let rec handle sys rt ~tid ep ~arrived =
+let rec handle sys rt ~tid ep ~arrived ~meta ~bytes =
   if tier_down sys rt then (* the process died with the request in hand *) ()
   else
+    (* [meta] is the sender's RPC span id when this request is sampled;
+       the server span's queue segment is [arrived, now). *)
+    let span =
+      match sys.rq with
+      | Some c when meta <> 0 ->
+          Rq.server_begin c ~parent:meta ~tier:rt.spec.Spec.tier_name ~bytes ~arrived
+            ~at:(Engine.time ())
+      | _ -> 0
+    in
     match rt.spec.Spec.resilience.Spec.queue_bound with
     | Some bound when backlog rt > bound ->
         rt.shed <- rt.shed + 1;
         ts_counter sys rt Ditto_obs.Timeseries.Shed;
+        rq_server_end sys span ~bytes:err_bytes Rq.Shed;
         Socket.send ~err:true ep ~bytes:err_bytes
     | _ ->
-        let trace =
-          rt.mres.Measure.traces.(Rng.int rt.rng (Array.length rt.mres.Measure.traces))
-        in
+        let tidx = Rng.int rt.rng (Array.length rt.mres.Measure.traces) in
+        let trace = rt.mres.Measure.traces.(tidx) in
+        (match sys.rq with
+        | Some c when span <> 0 -> Rq.server_op c ~span ~op:tidx
+        | _ -> ());
         rt.inflight <- rt.inflight + 1;
-        let ok = replay sys rt ~tid trace in
+        let ok = replay sys rt ~tid ~span trace in
         rt.inflight <- rt.inflight - 1;
         if ok then begin
+          rq_server_end sys span ~bytes:rt.spec.Spec.response_bytes Rq.Ok;
           Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
           let now = Engine.time () in
           Stats.add rt.lat (now -. arrived);
@@ -159,34 +197,46 @@ let rec handle sys rt ~tid ep ~arrived =
         else begin
           rt.failures <- rt.failures + 1;
           ts_counter sys rt Ditto_obs.Timeseries.Failures;
+          rq_server_end sys span ~bytes:err_bytes Rq.Err;
           Socket.send ~err:true ep ~bytes:err_bytes
         end
 
 (* Replay a trace; false when a downstream call ultimately failed (after
    retries), in which case the remaining synchronous segments are skipped —
    the handler aborts like a real RPC server surfacing an upstream error. *)
-and replay sys rt ~tid trace =
+and replay sys rt ~tid ~span trace =
   let pending = ref [] in
   let failed = ref false in
+  (* On a sampled request, local work (CPU, disk, think) is bracketed into
+     [Service] segments; the unsampled/disabled path runs the bare segment. *)
+  let timed body =
+    if span = 0 then body ()
+    else begin
+      let t0 = Engine.time () in
+      body ();
+      rq_seg sys ~span Rq.Service ~t0
+    end
+  in
   List.iter
     (fun seg ->
       if not !failed then
         match seg with
-        | Measure.Cpu s -> run_cpu sys rt ~tid s
+        | Measure.Cpu s -> timed (fun () -> run_cpu sys rt ~tid s)
         | Measure.Disk_read { bytes; random } ->
-            Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
+            timed (fun () -> Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random)
         | Measure.Disk_write { bytes } ->
             (* Buffered write: flushed in the background. *)
             Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
-        | Measure.Sleep s -> Engine.wait s
+        | Measure.Sleep s -> timed (fun () -> Engine.wait s)
         | Measure.Downstream { target; req_bytes; resp_bytes } -> (
             match rt.spec.Spec.client_model with
             | Spec.Sync_client ->
-                if not (downstream sys rt ~tid target req_bytes resp_bytes) then failed := true
+                if not (downstream sys rt ~tid ~span target req_bytes resp_bytes) then
+                  failed := true
             | Spec.Async_client ->
                 let iv = Engine.Ivar.create () in
                 Engine.fork (fun () ->
-                    Engine.Ivar.fill iv (downstream sys rt ~tid target req_bytes resp_bytes));
+                    Engine.Ivar.fill iv (downstream sys rt ~tid ~span target req_bytes resp_bytes));
                 pending := iv :: !pending))
     trace;
   List.iter (fun iv -> if not (Engine.Ivar.read iv) then failed := true) !pending;
@@ -198,7 +248,7 @@ and replay sys rt ~tid trace =
    pairing, so it is dropped like a closed TCP connection), and bounded
    retries with exponential backoff + deterministic jitter from the tier's
    seeded RNG. Returns true on success. *)
-and downstream sys rt ~tid target req_bytes _resp_bytes =
+and downstream sys rt ~tid ~span target req_bytes _resp_bytes =
   ignore tid;
   let drt =
     match Hashtbl.find_opt sys.registry target with
@@ -232,21 +282,36 @@ and downstream sys rt ~tid target req_bytes _resp_bytes =
         let conn =
           match Queue.take_opt pool with Some c -> c | None -> connect sys rt drt
         in
-        Socket.send conn ~bytes:req_bytes;
+        (* One RPC span per attempt (client-side view: send until
+           reply/timeout); its id rides the request message as [meta] so
+           the callee's server span parents under it. *)
+        let rpc =
+          match sys.rq with
+          | Some c when span <> 0 ->
+              Rq.rpc_begin c ~parent:span ~target ~bytes:req_bytes ~at:(Engine.time ())
+          | _ -> 0
+        in
+        if rpc = 0 then Socket.send conn ~bytes:req_bytes
+        else Socket.send conn ~meta:rpc ~bytes:req_bytes;
         let ok =
           match res.Spec.call_timeout with
           | None ->
               let m = Socket.recv_msg conn in
               Queue.push conn pool;
+              rq_rpc_end sys rpc ~bytes:m.Socket.bytes
+                (if m.Socket.err then Rq.Err else Rq.Ok);
               not m.Socket.err
           | Some timeout -> (
               match Socket.recv_msg_timeout conn ~timeout with
               | Some m ->
                   Queue.push conn pool;
+                  rq_rpc_end sys rpc ~bytes:m.Socket.bytes
+                    (if m.Socket.err then Rq.Err else Rq.Ok);
                   not m.Socket.err
               | None ->
                   rt.timeouts <- rt.timeouts + 1;
                   ts_counter sys rt Ditto_obs.Timeseries.Timeouts;
+                  rq_rpc_end sys rpc Rq.Timeout;
                   false)
         in
         (match breaker with
@@ -261,7 +326,15 @@ and downstream sys rt ~tid target req_bytes _resp_bytes =
       rt.retries <- rt.retries + 1;
       ts_counter sys rt Ditto_obs.Timeseries.Retries;
       let backoff = res.Spec.retry_backoff *. (2.0 ** float_of_int n) in
-      if backoff > 0.0 then Engine.wait (backoff *. (0.5 +. Rng.float rt.rng 1.0));
+      if backoff > 0.0 then begin
+        let d = backoff *. (0.5 +. Rng.float rt.rng 1.0) in
+        if span = 0 then Engine.wait d
+        else begin
+          let t0 = Engine.time () in
+          Engine.wait d;
+          rq_seg sys ~span Rq.Backoff ~t0
+        end
+      end;
       go (n + 1)
     end
   in
@@ -305,9 +378,8 @@ and blocking_loop sys rt ~tid ep =
       blocking_loop sys rt ~tid ep
     end
     else begin
-      let bytes, arrived = Socket.recv_timed ep in
-      ignore bytes;
-      handle sys rt ~tid ep ~arrived;
+      let m = Socket.recv_msg ep in
+      handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta ~bytes:m.Socket.bytes;
       blocking_loop sys rt ~tid ep
     end
 
@@ -328,9 +400,10 @@ let epoll_worker sys rt ~tid w =
                   (* Stop draining the instant the tier crashes: queued
                      requests must survive to be the restart's backlog. *)
                   if not (tier_down sys rt) then
-                    match Socket.try_recv_timed ep with
-                    | Some (_, arrived) ->
-                        handle sys rt ~tid ep ~arrived;
+                    match Socket.try_recv_msg ep with
+                    | Some m ->
+                        handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
+                          ~bytes:m.Socket.bytes;
                         drain ()
                     | None -> ()
                 in
@@ -352,10 +425,11 @@ let nonblocking_worker sys rt ~tid =
         let got = ref false in
         List.iter
           (fun ep ->
-            match Socket.try_recv_timed ep with
-            | Some (_, arrived) ->
+            match Socket.try_recv_msg ep with
+            | Some m ->
                 got := true;
-                handle sys rt ~tid ep ~arrived
+                handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
+                  ~bytes:m.Socket.bytes
             | None -> ())
           rt.poll_conns;
         (* Polling burns CPU even when idle — the §4.3.1 caveat. *)
@@ -422,7 +496,15 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
            ~tiers:(List.map (fun (t : Spec.tier) -> t.Spec.tier_name) app.Spec.tiers)
            ())
   in
-  let sys = { registry; tids; inj; tl } in
+  let rq =
+    if not (Ditto_obs.Reqtrace.enabled ()) then None
+    else
+      (* Sampling hashes the run seed with a request counter — no RNG
+         stream is consumed, so the simulated results of an enabled run
+         are byte-identical to a disabled run's. *)
+      Some (Ditto_obs.Reqtrace.create ~seed ())
+  in
+  let sys = { registry; tids; inj; tl; rq } in
   let rts =
     List.map
       (fun (tier : Spec.tier) ->
@@ -557,20 +639,40 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
   let client_timeouts = ref 0 in
   let client_retries_used = ref 0 in
   let gen_rng = Rng.split root in
+  (* Client-side trace hooks: [root] / [rpc] are 0 for unsampled requests,
+     so every helper below is a guard and nothing else on the common path. *)
+  let rq_client_rpc root =
+    match rq with
+    | Some c when root <> 0 ->
+        Rq.rpc_begin c ~parent:root ~target:entry.spec.Spec.tier_name
+          ~bytes:entry.spec.Spec.request_bytes ~at:(Engine.time ())
+    | _ -> 0
+  in
+  let rq_client_finish root outcome =
+    match rq with
+    | Some c when root <> 0 -> Rq.client_finish c ~span:root ~at:(Engine.time ()) outcome
+    | _ -> ()
+  in
   let do_request ci =
     (* The clock starts at submission: open-loop latency must include any
        wait for a free connection (coordinated-omission correction, as in
        wrk2/mutated). *)
     let t0 = Engine.time () in
+    let root = match rq with Some c -> Rq.client_start c ~at:t0 | None -> 0 in
     let conn, mutex = conns.(ci) in
     Engine.Resource.with_resource mutex (fun () ->
         match l.client_timeout with
         | None ->
-            Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
-            ignore (Socket.recv !conn);
+            let rpc = rq_client_rpc root in
+            if rpc = 0 then Socket.send !conn ~bytes:entry.spec.Spec.request_bytes
+            else Socket.send !conn ~meta:rpc ~bytes:entry.spec.Spec.request_bytes;
+            let m = Socket.recv_msg !conn in
+            rq_rpc_end sys rpc ~bytes:m.Socket.bytes
+              (if m.Socket.err then Rq.Err else Rq.Ok);
             let now = Engine.time () in
             Stats.add lat (now -. t0);
             incr completed;
+            rq_client_finish root (if m.Socket.err then Rq.Err else Rq.Ok);
             (match tl with
             | None -> ()
             | Some ts ->
@@ -578,12 +680,16 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
                   ~tier:Ditto_obs.Timeseries.client_tier ~at:now ~seconds:(now -. t0))
         | Some timeout ->
             let rec go n =
-              Socket.send !conn ~bytes:entry.spec.Spec.request_bytes;
+              let rpc = rq_client_rpc root in
+              if rpc = 0 then Socket.send !conn ~bytes:entry.spec.Spec.request_bytes
+              else Socket.send !conn ~meta:rpc ~bytes:entry.spec.Spec.request_bytes;
               match Socket.recv_msg_timeout !conn ~timeout with
               | Some m when not m.Socket.err ->
+                  rq_rpc_end sys rpc ~bytes:m.Socket.bytes Rq.Ok;
                   let now = Engine.time () in
                   Stats.add lat (now -. t0);
                   incr completed;
+                  rq_client_finish root Rq.Ok;
                   (match tl with
                   | None -> ()
                   | Some ts ->
@@ -594,12 +700,15 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
                   | None ->
                       (* Poison the timed-out connection: a late reply must
                          not answer the next request. *)
+                      rq_rpc_end sys rpc Rq.Timeout;
                       incr client_timeouts;
                       ts_client Ditto_obs.Timeseries.Timeouts;
                       let a, b = client_pair () in
                       attach sys entry b;
                       conn := a
-                  | Some _ -> (* error response; the conn stays paired *) ());
+                  | Some m ->
+                      (* error response; the conn stays paired *)
+                      rq_rpc_end sys rpc ~bytes:m.Socket.bytes Rq.Err);
                   if n < l.client_retries then begin
                     incr client_retries_used;
                     ts_client Ditto_obs.Timeseries.Retries;
@@ -607,7 +716,9 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
                   end
                   else begin
                     incr client_errors;
-                    ts_client Ditto_obs.Timeseries.Failures
+                    ts_client Ditto_obs.Timeseries.Failures;
+                    rq_client_finish root
+                      (match outcome with None -> Rq.Timeout | Some _ -> Rq.Err)
                   end
             in
             go 0)
@@ -651,6 +762,9 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
   end;
   Engine.run ~until:(t_end +. 0.5) engine;
   List.iter (fun rt -> rt.stopped <- true) rts;
+  (* Close spans of requests still in flight at teardown (outcome
+     Timeout) and freeze the trees for readers. *)
+  (match rq with None -> () | Some c -> Ditto_obs.Reqtrace.finalize c ~at:(Engine.now engine));
   let elapsed = Float.max 1e-9 (Float.min (Engine.now engine) t_end -. t_start) in
   let mbps before now = float_of_int (now - before) /. elapsed /. 1e6 in
   let tiers =
@@ -695,4 +809,5 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     elapsed;
     tiers;
     timeline = tl;
+    reqtrace = rq;
   }

@@ -68,6 +68,11 @@ type result = {
           markers from the plan); [Some] only when
           {!Ditto_obs.Timeseries.enabled} was set when the run started.
           Enabling telemetry does not perturb any other field. *)
+  reqtrace : Ditto_obs.Reqtrace.t option;
+      (** span trees of deterministically sampled requests, finalized
+          ({!Ditto_obs.Reqtrace.traces} is ready); [Some] only when
+          {!Ditto_obs.Reqtrace.enabled} was set when the run started.
+          Enabling request tracing does not perturb any other field. *)
 }
 
 val run :

@@ -72,6 +72,8 @@ type comparison = {
   synthetic_raw : float array;
   actual_measured : (string * Measure.tier_result) list;
   synthetic_measured : (string * Measure.tier_result) list;
+  actual_service : Service.result;
+  synthetic_service : Service.result;
 }
 
 let comparison_of_outputs ~label (actual_out : Runner.output) (synth_out : Runner.output) =
@@ -85,6 +87,8 @@ let comparison_of_outputs ~label (actual_out : Runner.output) (synth_out : Runne
     synthetic_raw = synth_out.Runner.service.Service.latency_raw;
     actual_measured = actual_out.Runner.measured;
     synthetic_measured = synth_out.Runner.measured;
+    actual_service = actual_out.Runner.service;
+    synthetic_service = synth_out.Runner.service;
   }
 
 let validate ?pool ?config_of ~platform ~load ~label result =

@@ -40,6 +40,11 @@ type comparison = {
       (** per-tier measurement-phase results (request counts, raw counters)
           backing the scorecard's insts/req and MPKI rows *)
   synthetic_measured : (string * Ditto_app.Measure.tier_result) list;
+  actual_service : Ditto_app.Service.result;
+      (** full service-phase results of both sides; carries the optional
+          {!Ditto_obs.Timeseries} / {!Ditto_obs.Reqtrace} collectors when
+          those layers were enabled for the validation runs *)
+  synthetic_service : Ditto_app.Service.result;
 }
 
 val validate :

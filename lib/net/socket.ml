@@ -1,6 +1,6 @@
 open Ditto_sim
 
-type msg = { bytes : int; err : bool; arrived : float }
+type msg = { bytes : int; err : bool; arrived : float; meta : int }
 type verdict = Deliver | Delay of float | Drop
 
 type endpoint = {
@@ -37,7 +37,7 @@ let notify_watchers ep =
   ep.watchers <- [];
   List.iter (fun w -> Engine.wake w ()) ws
 
-let send ?(err = false) ep ~bytes =
+let send ?(err = false) ?(meta = 0) ep ~bytes =
   match ep.peer with
   | None -> invalid_arg "Socket.send: unconnected"
   | Some peer -> (
@@ -50,7 +50,7 @@ let send ?(err = false) ep ~bytes =
           let deliver_at = Engine.time () +. ep.latency +. extra in
           Engine.schedule ep.engine deliver_at (fun () ->
               Nic.note_received peer.nic ~bytes;
-              Queue.push { bytes; err; arrived = deliver_at } peer.inbox;
+              Queue.push { bytes; err; arrived = deliver_at; meta } peer.inbox;
               notify_watchers peer))
 
 let rec recv_msg ep =

@@ -13,9 +13,12 @@
 
 type endpoint
 
-type msg = { bytes : int; err : bool; arrived : float }
+type msg = { bytes : int; err : bool; arrived : float; meta : int }
 (** [arrived] is the delivery time — the instant the message entered the
-    receive queue, for measuring server-side queueing. *)
+    receive queue, for measuring server-side queueing. [meta] is an
+    opaque application token carried verbatim with the message ([0] when
+    the sender set none); {!Ditto_obs.Reqtrace} rides trace context on it
+    without this layer depending on the observability stack. *)
 
 type verdict = Deliver | Delay of float | Drop
 (** Fate of one delivery, decided by a disruptor: deliver normally, deliver
@@ -34,9 +37,10 @@ val set_disruptor : endpoint -> (bytes:int -> verdict) option -> unit
 (** Install (or clear) a per-send delivery verdict for this direction of the
     link. [None] (the default) delivers everything. *)
 
-val send : ?err:bool -> endpoint -> bytes:int -> unit
+val send : ?err:bool -> ?meta:int -> endpoint -> bytes:int -> unit
 (** Blocking send from within a process (NIC queueing + serialisation).
-    [err] marks the message as an application-level error response. *)
+    [err] marks the message as an application-level error response;
+    [meta] (default [0]) is an opaque token delivered with the message. *)
 
 val recv : endpoint -> int
 (** Blocking receive; returns the message size. *)

@@ -32,6 +32,13 @@ let default_tolerances =
     ("worst_window_err_pct", 30.0);
     ("mean_window_err_pct", 10.0);
     ("reconverge_seconds", 0.25);
+    (* critpath keys: per-cell critical-path shares ride on a few hundred
+       sampled requests, so a single-cell share swing is noisier than the
+       whole-run counter rows; the worst-cell summary gets a bit more
+       slack than the mean *)
+    ("share_err_pp", 3.0);
+    ("worst_share_err_pp", 4.0);
+    ("mean_share_err_pp", 2.0);
     (* wall-clock budgets (absolute seconds of slack over the pinned
        value, not percentage points): per-experiment stage budget, with a
        wider gate on the whole-bench total since its noise is the sum of
@@ -88,6 +95,10 @@ let flatten json =
     obj_entries (J.member "timeline" json)
     |> List.map (fun (key, v) -> ("timeline/" ^ key, J.to_float v))
   in
+  let critpath =
+    obj_entries (J.member "critpath" json)
+    |> List.map (fun (key, v) -> ("critpath/" ^ key, J.to_float v))
+  in
   (* Wall-clock budgets: per-experiment stage seconds plus the bench
      total, so `bench --check` gates performance regressions alongside
      fidelity ones. The keys end in "wall_seconds" to pick up the
@@ -107,7 +118,7 @@ let flatten json =
     | J.Num s -> per_experiment @ [ ("experiments/total/wall_seconds", s) ]
     | _ -> per_experiment
   in
-  errors @ scorecards @ chaos @ timeline @ wall
+  errors @ scorecards @ chaos @ timeline @ critpath @ wall
 
 let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
 

@@ -1,6 +1,6 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 7
+let schema_version = 8
 
 (* Per-experiment scheduling telemetry (v5): how long the stage took, how
    many domains the pool offered it, and what fraction of (domains x wall)
@@ -17,7 +17,10 @@ type experiment = {
    tier count, so wide-graph runs are self-describing. v7 adds the flat
    transient-fidelity keys from the windowed telemetry layer
    (timeline/<app>/<plan>/{worst_window_err_pct,mean_window_err_pct,
-   reconverge_seconds}). *)
+   reconverge_seconds}). v8 adds the flat critical-path divergence keys
+   from the request-tracing layer
+   (critpath/<app>/<plan>/<tier>/<segment>/share_err_pp plus per-app
+   worst/mean summaries). *)
 type input = {
   domains : int;
   total_seconds : float;
@@ -29,6 +32,7 @@ type input = {
   scorecards : Scorecard.t list;
   chaos : (string * float) list;
   timeline : (string * float) list;
+  critpath : (string * float) list;
   peak_heap_events : int;
   tier_counts : (string * int) list;
 }
@@ -62,6 +66,7 @@ let assemble i =
       );
       ("chaos", num_obj i.chaos);
       ("timeline", num_obj i.timeline);
+      ("critpath", num_obj i.critpath);
       ("engine", J.Obj [ ("peak_heap_events", J.int i.peak_heap_events) ]);
       ("tier_counts", J.Obj (List.map (fun (k, v) -> (k, J.int v)) i.tier_counts));
     ]
@@ -145,6 +150,7 @@ let validate json =
   let* () = field path json "scorecards" (obj_of scorecard) in
   let* () = field path json "chaos" (obj_of num) in
   let* () = field path json "timeline" (obj_of num) in
+  let* () = field path json "critpath" (obj_of num) in
   let* () =
     field path json "engine" (fun path v -> field path v "peak_heap_events" num)
   in

@@ -9,12 +9,16 @@
     event-heap high-water mark) and the ["tier_counts"] object (per cloned
     app), so wide synthetic-graph runs are self-describing; version 7 adds
     the flat ["timeline"] section (transient-fidelity metrics from the
-    windowed telemetry layer, keyed ["<app>/<plan>/<metric>"]).
+    windowed telemetry layer, keyed ["<app>/<plan>/<metric>"]); version 8
+    adds the flat ["critpath"] section (critical-path divergence metrics
+    from the request-tracing layer, keyed
+    ["<app>/<plan>/<tier>/<segment>/share_err_pp"] plus per-app
+    [worst_share_err_pp]/[mean_share_err_pp] summaries).
     {!validate} is the shape check the test suite and downstream tooling
     run against emitted files, so schema drift fails loudly instead of
     silently. *)
 
-val schema_version : int  (** 7 *)
+val schema_version : int  (** 8 *)
 
 type experiment = {
   exp_name : string;
@@ -41,6 +45,9 @@ type input = {
   timeline : (string * float) list;
       (** "<app>/<plan>/<metric>" -> value ({!Timeline.flat}), from
           [bench timeline]; empty when that experiment did not run *)
+  critpath : (string * float) list;
+      (** "<app>/<plan>/..." -> value ({!Critpath.flat}), from
+          [bench critpath]; empty when that experiment did not run *)
   peak_heap_events : int;
       (** {!Ditto_sim.Engine.global_peak_heap_events} at document time *)
   tier_counts : (string * int) list;  (** app -> tiers in the original spec *)

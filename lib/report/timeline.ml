@@ -11,6 +11,13 @@ type window_row = {
   w_err_pct : float;
 }
 
+type fault_row = {
+  f_at : float;
+  f_label : string;
+  f_reconverged : bool;
+  f_reconverge_seconds : float;
+}
+
 type t = {
   app : string;
   plan : string option;
@@ -22,6 +29,7 @@ type t = {
   fault_at : float option;
   reconverged : bool;
   reconverge_seconds : float;
+  faults : fault_row list;
   tier_worst : (string * float) list;
 }
 
@@ -61,32 +69,43 @@ let of_timelines ~app ?plan ?(threshold_pct = 25.0) ~actual ~clone () =
   let mean =
     if errs = [] then 0.0 else List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs)
   in
-  let fault_at =
-    match Ts.marks actual with
-    | [] -> None
-    | (at, _) :: rest ->
-        let first = List.fold_left (fun acc (a, _) -> Float.min acc a) at rest in
-        Some (first -. Ts.start_time actual)
+  let marks =
+    Ts.marks actual
+    |> List.map (fun (at, label) -> (at -. Ts.start_time actual, label))
+    |> List.sort compare
   in
+  let fault_at = match marks with [] -> None | (f, _) :: _ -> Some f in
   let arr = Array.of_list rows in
+  let reconverge_from f =
+    (* first window whose span contains (or follows) the fault *)
+    let wf = max 0 (min (n - 1) (int_of_float (f /. w))) in
+    let compliant i = arr.(i).w_err_pct <= threshold_pct in
+    let rec find j =
+      if j >= n then None
+      else if compliant j && (j + 1 >= n || compliant (j + 1)) then Some j
+      else find (j + 1)
+    in
+    (* reconvergence = fault time -> end of the first window opening a
+       compliant streak; always >= the remainder of the fault window,
+       hence strictly positive *)
+    match find wf with
+    | Some j -> (true, (float_of_int (j + 1) *. w) -. f)
+    | None -> (false, (float_of_int n *. w) -. f)
+  in
+  (* One row per fault marker: multi-event plans (flaky-link's repeated
+     down/up toggles) get a reconvergence time per event, not just for
+     the first. *)
+  let faults =
+    List.map
+      (fun (f, label) ->
+        let ok, secs = reconverge_from f in
+        { f_at = f; f_label = label; f_reconverged = ok; f_reconverge_seconds = secs })
+      marks
+  in
   let reconverged, reconverge_seconds =
-    match fault_at with
-    | None -> (true, 0.0)
-    | Some f ->
-        (* first window whose span contains (or follows) the fault *)
-        let wf = max 0 (min (n - 1) (int_of_float (f /. w))) in
-        let compliant i = arr.(i).w_err_pct <= threshold_pct in
-        let rec find j =
-          if j >= n then None
-          else if compliant j && (j + 1 >= n || compliant (j + 1)) then Some j
-          else find (j + 1)
-        in
-        (* reconvergence = fault time -> end of the first window opening a
-           compliant streak; always >= the remainder of the fault window,
-           hence strictly positive *)
-        (match find wf with
-        | Some j -> (true, (float_of_int (j + 1) *. w) -. f)
-        | None -> (false, (float_of_int n *. w) -. f))
+    match faults with
+    | [] -> (true, 0.0)
+    | f :: _ -> (f.f_reconverged, f.f_reconverge_seconds)
   in
   let tier_worst =
     List.filter_map
@@ -113,20 +132,21 @@ let of_timelines ~app ?plan ?(threshold_pct = 25.0) ~actual ~clone () =
     fault_at;
     reconverged;
     reconverge_seconds;
+    faults;
     tier_worst;
   }
 
 let print t =
-  let fault_window =
-    match t.fault_at with
-    | None -> -1
-    | Some f -> int_of_float (f /. t.window_seconds)
+  let fault_windows =
+    List.map (fun f -> int_of_float (f.f_at /. t.window_seconds)) t.faults
   in
   let rows =
     List.map
       (fun r ->
         [
-          Printf.sprintf "%s%.0f ms" (if r.w_index = fault_window then "*" else "") (r.w_start *. 1e3);
+          Printf.sprintf "%s%.0f ms"
+            (if List.mem r.w_index fault_windows then "*" else "")
+            (r.w_start *. 1e3);
           Table.fmt_float r.w_actual_qps;
           Table.fmt_float r.w_clone_qps;
           Printf.sprintf "%.3f" (r.w_actual_p95 *. 1e3);
@@ -143,13 +163,14 @@ let print t =
   Table.print ~title
     ~header:[ "window"; "qps actual"; "qps clone"; "p95 actual (ms)"; "p95 clone (ms)"; "err" ]
     rows;
-  (match t.fault_at with
-  | None -> ()
-  | Some f ->
-      Printf.printf "  fault at %.0f ms (window %d, flagged *): %s after %.0f ms\n" (f *. 1e3)
-        fault_window
-        (if t.reconverged then "reconverged" else "NOT reconverged by run end")
-        (t.reconverge_seconds *. 1e3));
+  List.iter
+    (fun f ->
+      Printf.printf "  fault %-18s at %.0f ms (window %d, flagged *): %s after %.0f ms\n"
+        f.f_label (f.f_at *. 1e3)
+        (int_of_float (f.f_at /. t.window_seconds))
+        (if f.f_reconverged then "reconverged" else "NOT reconverged by run end")
+        (f.f_reconverge_seconds *. 1e3))
+    t.faults;
   Printf.printf "  worst window %.1f%%, mean %.1f%% (threshold %.0f%%)\n" t.worst_window_err_pct
     t.mean_window_err_pct t.threshold_pct;
   List.iter
@@ -159,8 +180,19 @@ let print t =
 let flat t =
   let plan = Option.value ~default:"steady" t.plan in
   let key m = Printf.sprintf "%s/%s/%s" t.app plan m in
+  let per_fault =
+    (* Multi-event plans gate each marker's reconvergence; a single-fault
+       plan's marker is already the reconverge_seconds key above. *)
+    if List.length t.faults <= 1 then []
+    else
+      List.mapi
+        (fun i f ->
+          (key (Printf.sprintf "fault%d/reconverge_seconds" i), f.f_reconverge_seconds))
+        t.faults
+  in
   [
     (key "worst_window_err_pct", t.worst_window_err_pct);
     (key "mean_window_err_pct", t.mean_window_err_pct);
     (key "reconverge_seconds", t.reconverge_seconds);
   ]
+  @ per_fault

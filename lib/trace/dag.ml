@@ -74,6 +74,24 @@ let of_spans spans =
   in
   { entry; services; edges }
 
+let roots spans =
+  let children = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Span.t) ->
+      match s.Span.parent_span with
+      | None -> ()
+      | Some p -> Hashtbl.add children (s.Span.trace_id, p) s)
+    spans;
+  List.filter Span.root spans
+  |> List.map (fun (root : Span.t) ->
+         let count = ref 0 in
+         let rec visit (s : Span.t) =
+           incr count;
+           List.iter visit (Hashtbl.find_all children (s.Span.trace_id, s.Span.span_id))
+         in
+         visit root;
+         (root, !count))
+
 let downstreams t service = List.filter (fun e -> e.caller = service) t.edges
 
 let topo_order t =

@@ -17,7 +17,14 @@ type edge = {
 type t = { entry : string; services : string list; edges : edge list }
 
 val of_spans : Span.t list -> t
-(** Raises [Invalid_argument] if the spans contain no root. *)
+(** Raises [Invalid_argument] if the spans contain no root. When several
+    roots are present (one trace per request, as [ditto_cli critpath]
+    exports), the topology is extracted with the first root's service as
+    entry; use {!roots} to enumerate them all. *)
+
+val roots : Span.t list -> (Span.t * int) list
+(** Every root span paired with the number of spans reachable from it
+    (itself included), in input order. *)
 
 val downstreams : t -> string -> edge list
 val topo_order : t -> string list

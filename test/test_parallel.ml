@@ -314,6 +314,39 @@ let test_telemetry_invariance () =
     && v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
     && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end)
 
+(* Request tracing must be just as invisible: sampling hashes a private
+   per-run sequence counter (never a simulation RNG stream) and recording
+   performs no engine effects, so a tracing-on run matches the
+   tracing-off baseline bit-for-bit — and the sampled traces themselves
+   are pinned across pool sizes. *)
+let reqtrace_clone_with pool =
+  Ditto_obs.Reqtrace.enable ();
+  Fun.protect ~finally:Ditto_obs.Reqtrace.disable (fun () -> clone_with pool)
+
+let test_reqtrace_invariance () =
+  let (_, v_off), _ = Lazy.force seq_parallel in
+  let _, v1 = with_pool 1 reqtrace_clone_with in
+  let _, v4 = with_pool 4 reqtrace_clone_with in
+  Alcotest.(check bool) "tracing-on matches tracing-off baseline" true
+    (v1.Pipeline.actual = v_off.Pipeline.actual
+    && v1.Pipeline.synthetic = v_off.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v_off.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v_off.Pipeline.synthetic_end_to_end);
+  Alcotest.(check bool) "tracing-on identical across pool sizes" true
+    (v1.Pipeline.actual = v4.Pipeline.actual
+    && v1.Pipeline.synthetic = v4.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end);
+  let jaeger_of (v : Pipeline.comparison) =
+    match v.Pipeline.actual_service.Service.reqtrace with
+    | Some c ->
+        Alcotest.(check bool) "sampled some requests" true (Ditto_obs.Reqtrace.sampled c > 0);
+        Ditto_util.Jsonx.to_string (Ditto_obs.Reqtrace.jaeger c)
+    | None -> Alcotest.fail "tracing enabled but no collector on the actual run"
+  in
+  Alcotest.(check bool) "sampled span trees bit-identical across pool sizes" true
+    (jaeger_of v1 = jaeger_of v4)
+
 let test_speculation_reported () =
   let (r1, _), _ = Lazy.force seq_parallel in
   match r1.Pipeline.tuning with
@@ -357,6 +390,7 @@ let () =
           Alcotest.test_case "memo x pool-size matrix" `Slow test_memo_pool_matrix;
           Alcotest.test_case "synth graph across pool sizes" `Slow test_synth_determinism;
           Alcotest.test_case "telemetry on/off x pool sizes" `Slow test_telemetry_invariance;
+          Alcotest.test_case "reqtrace on/off x pool sizes" `Slow test_reqtrace_invariance;
           Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
         ] );
     ]

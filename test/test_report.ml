@@ -235,6 +235,7 @@ let sample_doc () =
       scorecards = [ card ];
       chaos = [ ("redis/kill-mid-tier/error_rate_pp", 1.2) ];
       timeline = [ ("redis/kill-mid-tier/worst_window_err_pct", 3.0) ];
+      critpath = [ ("redis/steady/redis/service/share_err_pp", 1.1) ];
       peak_heap_events = 4096;
       tier_counts = [ ("redis", 1) ];
     }
@@ -271,6 +272,8 @@ let test_schema_drift_rejected () =
       ("missing tier_counts", drop "tier_counts" doc);
       ("missing timeline", drop "timeline" doc);
       ("stringly timeline value", set "timeline" (J.Obj [ ("k", J.Str "3") ]) doc);
+      ("missing critpath", drop "critpath" doc);
+      ("stringly critpath value", set "critpath" (J.Obj [ ("k", J.Str "3") ]) doc);
       ("old schema version", set "schema_version" (J.int 2) doc);
       ("stringly total_seconds", set "total_seconds" (J.Str "1.25") doc);
       ( "scorecard row missing err_pct",
@@ -302,6 +305,8 @@ let test_flatten_keys () =
     (List.mem_assoc "chaos/redis/kill-mid-tier/error_rate_pp" flat);
   Alcotest.(check bool) "timeline key present" true
     (List.mem_assoc "timeline/redis/kill-mid-tier/worst_window_err_pct" flat);
+  Alcotest.(check bool) "critpath key present" true
+    (List.mem_assoc "critpath/redis/steady/redis/service/share_err_pp" flat);
   Alcotest.(check (float 1e-12)) "experiment wall key" 1.0
     (List.assoc "experiments/scorecards/wall_seconds" flat);
   Alcotest.(check (float 1e-12)) "total wall key" 1.25

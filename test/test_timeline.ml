@@ -242,6 +242,36 @@ let test_scorecard_not_reconverged () =
   (* capped at run end: 0.4 - 0.15 *)
   Alcotest.(check (float 1e-9)) "capped at run end" 0.25 tl.Tl.reconverge_seconds
 
+let test_scorecard_multi_fault () =
+  (* flaky-link-style plan: two markers, each opening its own divergence
+     episode — per-marker reconvergence rows, legacy fields = first *)
+  let actual = collector_with [| 10; 10; 10; 10; 10; 10 |] in
+  let clone = collector_with [| 10; 20; 10; 10; 20; 10 |] in
+  Ts.mark actual ~at:0.15 ~label:"link-down:web";
+  Ts.mark actual ~at:0.45 ~label:"link-up:web";
+  let tl = Tl.of_timelines ~app:"unit" ~plan:"flaky" ~actual ~clone () in
+  Alcotest.(check int) "one row per marker" 2 (List.length tl.Tl.faults);
+  (match tl.Tl.faults with
+  | [ f0; f1 ] ->
+      Alcotest.(check string) "first label" "link-down:web" f0.Tl.f_label;
+      Alcotest.(check (float 1e-9)) "first at" 0.15 f0.Tl.f_at;
+      (* window 1 misses, windows 2-3 open the compliant streak *)
+      Alcotest.(check (float 1e-9)) "first reconverge" 0.15 f0.Tl.f_reconverge_seconds;
+      Alcotest.(check bool) "first reconverged" true f0.Tl.f_reconverged;
+      (* window 4 misses, final window 5 agrees *)
+      Alcotest.(check string) "second label" "link-up:web" f1.Tl.f_label;
+      Alcotest.(check (float 1e-9)) "second reconverge" 0.15 f1.Tl.f_reconverge_seconds;
+      Alcotest.(check bool) "second reconverged" true f1.Tl.f_reconverged
+  | _ -> Alcotest.fail "expected two fault rows");
+  (* legacy first-fault fields keep their meaning *)
+  Alcotest.(check bool) "fault_at is the first marker" true (tl.Tl.fault_at = Some 0.15);
+  Alcotest.(check (float 1e-9)) "legacy reconverge = first row" 0.15 tl.Tl.reconverge_seconds;
+  (* multi-event plans gate each marker *)
+  let flat = Tl.flat tl in
+  Alcotest.(check bool) "per-fault flat keys" true
+    (List.mem_assoc "unit/flaky/fault0/reconverge_seconds" flat
+    && List.mem_assoc "unit/flaky/fault1/reconverge_seconds" flat)
+
 let test_scorecard_grid_mismatch () =
   let actual = collector_with [| 10; 10 |] in
   let clone = collector_with [| 10; 10; 10 |] in
@@ -310,6 +340,8 @@ let () =
           Alcotest.test_case "steady state" `Quick test_scorecard_steady;
           Alcotest.test_case "reconvergence after fault" `Quick test_scorecard_reconvergence;
           Alcotest.test_case "never reconverges" `Quick test_scorecard_not_reconverged;
+          Alcotest.test_case "per-marker reconvergence (multi-event)" `Quick
+            test_scorecard_multi_fault;
           Alcotest.test_case "grid mismatch rejected" `Quick test_scorecard_grid_mismatch;
         ] );
       ( "determinism",
