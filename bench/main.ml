@@ -927,6 +927,43 @@ let critpath () =
           | _ -> Printf.printf "  %s: no request traces collected (tracing disabled?)\n" name)
         (registry_entries ()))
 
+(* {1 Surge: overload fidelity under a flash crowd (bench surge)} *)
+
+(* Flat "<app>/<scenario>/<metric>" keys for the --json "surge" section
+   (schema v9), gated like the timeline keys. *)
+let surge_acc : (string * float) list ref = ref []
+
+let surge () =
+  banner "Surge: overload fidelity (flash crowd + kill-mid-tier, autoscaling armed)";
+  (* Same flag discipline as the timeline stage. The queue bound is tight
+     enough that the 4x flash crowd actually sheds, so the saturation-onset
+     and shed-rate keys measure something on every app. *)
+  Ditto_obs.Timeseries.enable ();
+  Fun.protect ~finally:Ditto_obs.Timeseries.disable (fun () ->
+      List.iter
+        (fun (entry : Registry.entry) ->
+          let name = entry.Registry.name in
+          let load, result = get_clone name in
+          let tiers =
+            List.map
+              (fun (t : Spec.tier) -> t.Spec.tier_name)
+              result.Pipeline.original.Spec.tiers
+          in
+          let plan = Plan.kill_mid_tier ~duration ~tiers () in
+          let profile = Ditto_loadgen.Profile.flash_crowd ~duration () in
+          let ch =
+            Pipeline.validate_under ~pool ~platform:Platform.a ~load
+              ~resilience:(Spec.resilient ~queue_bound:48 ())
+              ~autoscale:(Spec.autoscale ~max_replicas:4 ())
+              ~plan ~profile
+              ~label:(fmt "surge:%s" name)
+              result
+          in
+          let sc = Ditto_report.Surge.of_chaos ~app:name ch in
+          Ditto_report.Surge.print sc;
+          surge_acc := Ditto_report.Surge.flat sc @ !surge_acc)
+        (registry_entries ()))
+
 (* {1 Perf smoke: the warm-memo fast path (gated by bin/ci.sh)} *)
 
 let perfsmoke () =
@@ -1028,6 +1065,7 @@ let all_experiments =
 let opt_in_experiments =
   [
     ("chaos", chaos); ("timeline", timeline); ("critpath", critpath);
+    ("surge", surge);
     ("perfsmoke", perfsmoke);
     ("synth100", synth100); ("synth500", synth500); ("synth1000", synth1000);
   ]
@@ -1037,7 +1075,7 @@ let opt_in_experiments =
    experiment loop starts. fig11 and micro build their own specs. *)
 let clone_needs = function
   | "fig5" | "fig7" | "fig8" | "errors" | "ablation" | "scorecards" | "chaos" | "timeline"
-  | "critpath" ->
+  | "critpath" | "surge" ->
       List.map (fun (e : Registry.entry) -> e.Registry.name) (registry_entries ())
   | "fig6" -> [ "social_network" ]
   | "fig9" -> [ "mongodb" ]
@@ -1272,6 +1310,7 @@ let () =
              chaos = List.sort compare !chaos_acc;
              timeline = List.sort compare !timeline_acc;
              critpath = List.sort compare !critpath_acc;
+             surge = List.sort compare !surge_acc;
              peak_heap_events = Ditto_sim.Engine.global_peak_heap_events ();
              tier_counts =
                Hashtbl.fold

@@ -1,12 +1,14 @@
 #!/bin/sh
-# Tier-1 gate: full build, the 22 test suites, a benchmark smoke run, a
+# Tier-1 gate: full build, the 23 test suites, a benchmark smoke run, a
 # self-tracing smoke test (Chrome + Jaeger exports re-parsed via Jsonx), a
 # sampled-profiler smoke test, a chaos smoke test (fault injection +
 # resilience counters), a synth scaling smoke (100-tier generated graph
 # cloned + validated under a wall budget), a timeline smoke (windowed
 # telemetry + transient-fidelity scorecard + OpenMetrics export), a
 # critpath smoke (request-level critical-path tracing + divergence
-# attribution + Jaeger round-trip), and the fidelity regression gate
+# attribution + Jaeger round-trip), a surge smoke (flash-crowd overload
+# with autoscaling and admission control fired on both sides), and the
+# fidelity regression gate
 # (scorecards diffed against the committed baseline, plus a proof that
 # the gate rejects a perturbed baseline).
 # Usage: bin/ci.sh   (from the repo root; DITTO_DOMAINS caps the pool)
@@ -27,9 +29,10 @@ dune build 2>&1 | tee "$build_log"
 # architecture (pool futures, memo caches, machine pooling, the bench
 # DAG); lib/sim, lib/app, lib/apps, lib/gen and lib/trace carry the
 # topology-synthesis scaling path; lib/core and lib/net carry the
-# pipeline and the socket layer the request-trace context rides on.
+# pipeline and the socket layer the request-trace context rides on;
+# lib/loadgen carries the arrival-rate profiles the surge path samples.
 # Keep them all warning-clean.
-if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace|core|net)|bench/|bin/"; then
+if grep -i "warning" "$build_log" | grep -qE "lib/(obs|report|fault|util|uarch|tune|sim|app|apps|gen|trace|core|net|loadgen)|bench/|bin/"; then
   echo "ci: FAIL — build warnings in the gated modules" >&2
   exit 1
 fi
@@ -152,6 +155,32 @@ if ! grep -Eq '[1-9][0-9]* root\(s\)' "$inspect_log"; then
 fi
 if ! grep -q 'client' "$inspect_log"; then
   echo "ci: FAIL — Jaeger export re-ingest lost the client entry tier" >&2
+  exit 1
+fi
+
+echo "== surge smoke (flash crowd on memcached, autoscaling + shedding fired) =="
+# An open-loop flash-crowd profile with autoscaling armed must actually
+# exercise the overload machinery on both sides: at least one scale-out
+# event fired, the admission controller shed a non-zero number of
+# requests, and the spike left a strictly positive reconvergence time in
+# the transient scorecard — and the command must exit cleanly with the
+# greppable SURGE-SMOKE-OK line.
+surge_log="$tmpdir/surge.log"
+dune exec bin/ditto_cli.exe -- surge memcached --profile flash-crowd --no-tune | tee "$surge_log"
+if ! grep -q "SURGE-SMOKE-OK" "$surge_log"; then
+  echo "ci: FAIL — surge smoke did not reach SURGE-SMOKE-OK" >&2
+  exit 1
+fi
+if ! grep -Eq 'scale_out_events=[1-9]' "$surge_log"; then
+  echo "ci: FAIL — autoscaler never scaled out under the flash crowd" >&2
+  exit 1
+fi
+if ! grep -Eq 'shed_total=[1-9]' "$surge_log"; then
+  echo "ci: FAIL — admission control shed nothing under the flash crowd" >&2
+  exit 1
+fi
+if ! grep -Eq 'reconverge_ms=[1-9][0-9]*' "$surge_log"; then
+  echo "ci: FAIL — reconvergence time not strictly positive under the surge" >&2
   exit 1
 fi
 

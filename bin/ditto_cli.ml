@@ -420,6 +420,106 @@ let critpath_app name qps no_tune plan_file jaeger =
       Printf.eprintf "critpath: no request traces collected (Reqtrace disabled?)\n";
       exit 1
 
+(* Overload robustness: clone the app, drive an open-loop surge profile
+   (default flash-crowd; --profile takes a canonical name or a Rate JSON
+   file) against original and clone with autoscaling and load shedding
+   armed — optionally composed with a --plan fault file — and print the
+   surge-fidelity scorecard (shed-rate error, replica-trajectory match,
+   saturation-onset timing). The closing "SURGE-SMOKE-OK" line is what CI
+   greps: scale_out_events and shed_total prove the controller and the
+   shedder actually fired, reconverge_ms that the surge registered as a
+   transient. *)
+let surge_app name qps no_tune profile_sel plan_file queue_bound openmetrics =
+  let module Plan = Ditto_fault.Plan in
+  let module Ts = Ditto_obs.Timeseries in
+  let module Sg = Ditto_report.Surge in
+  let module Profile = Ditto_loadgen.Profile in
+  let entry, load = load_for name qps 0.8 in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Pipeline.clone ~tune:(not no_tune) ~platform:Platform.a ~load (entry.Registry.spec ())
+  in
+  Printf.printf "cloned %s in %.1fs\n" name (Unix.gettimeofday () -. t0);
+  let tiers =
+    List.map (fun (t : Spec.tier) -> t.Spec.tier_name) result.Pipeline.original.Spec.tiers
+  in
+  let duration = load.Service.duration in
+  let profile =
+    match profile_sel with
+    | None -> Profile.flash_crowd ~duration ()
+    | Some sel when List.mem sel Profile.names -> Profile.by_name ~duration sel
+    | Some path -> (
+        match Profile.load path with
+        | p -> p
+        | exception Sys_error msg ->
+            Printf.eprintf "surge: %s\n" msg;
+            exit 2
+        | exception Ditto_util.Jsonx.Parse_error msg ->
+            Printf.eprintf "surge: %s: %s\n" path msg;
+            exit 2
+        | exception Invalid_argument msg ->
+            Printf.eprintf "surge: %s: %s\n" path msg;
+            exit 2)
+  in
+  let plan =
+    match plan_file with
+    | Some path -> (
+        match
+          let p = Plan.load path in
+          Plan.validate ~duration ~tiers p;
+          p
+        with
+        | p -> Some p
+        | exception Sys_error msg ->
+            Printf.eprintf "surge: %s\n" msg;
+            exit 2
+        | exception Ditto_util.Jsonx.Parse_error msg ->
+            Printf.eprintf "surge: %s: %s\n" path msg;
+            exit 2
+        | exception Invalid_argument msg ->
+            Printf.eprintf "surge: %s: %s\n" path msg;
+            exit 2)
+    | None -> None
+  in
+  Ts.enable ();
+  let ch =
+    Fun.protect ~finally:Ts.disable (fun () ->
+        Pipeline.validate_under ~platform:Platform.a ~load
+          ~resilience:(Spec.resilient ~queue_bound ())
+          ~autoscale:(Spec.autoscale ())
+          ?plan ~profile
+          ~label:(Printf.sprintf "surge:%s" name)
+          result)
+  in
+  let sc = Sg.of_chaos ~app:name ch in
+  Sg.print sc;
+  (match openmetrics with
+  | Some path -> (
+      match
+        ( ch.Pipeline.actual_service.Service.timeline,
+          ch.Pipeline.synthetic_service.Service.timeline )
+      with
+      | Some actual, Some clone ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc
+                (Ts.openmetrics
+                   [
+                     ([ ("app", name); ("side", "actual") ], actual);
+                     ([ ("app", name); ("side", "clone") ], clone);
+                   ]));
+          Printf.printf "openmetrics: wrote %s\n" path
+      | _ -> ())
+  | None -> ());
+  Printf.printf
+    "SURGE-SMOKE-OK windows=%d worst=%.1f%% shed_err_pp=%.2f scale_out_events=%d shed_total=%d \
+     reconverge_ms=%d\n"
+    (List.length sc.Sg.timeline.Ditto_report.Timeline.rows)
+    sc.Sg.timeline.Ditto_report.Timeline.worst_window_err_pct sc.Sg.shed_fraction_err_pp
+    (sc.Sg.scale_out_actual + sc.Sg.scale_out_clone)
+    (sc.Sg.shed_total_actual + sc.Sg.shed_total_clone)
+    (int_of_float
+       (Float.round (sc.Sg.timeline.Ditto_report.Timeline.reconverge_seconds *. 1e3)))
+
 (* Scale round trip: generate a production-shaped graph, export its traces
    through the Jaeger writer, recover the DAG from the re-ingested spans,
    check it against the ground truth, then clone and validate the graph
@@ -731,6 +831,7 @@ let list_apps () =
               ("chaos", Printf.sprintf "chaos/%s/" name);
               ("timeline", Printf.sprintf "timeline/%s/" name);
               ("critpath", Printf.sprintf "critpath/%s/" name);
+              ("surge", Printf.sprintf "surge/%s/" name);
               (* synth graph wall budgets: experiments/synth100/... for
                  app "synth-100" *)
               ( "wall",
@@ -880,6 +981,31 @@ let critpath_cmd =
           x segment")
     Term.(const critpath_app $ app_arg $ qps_arg $ no_tune_arg $ plan_arg $ jaeger_arg)
 
+let profile_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"NAME|FILE"
+        ~doc:
+          "Rate profile: a canonical name (flash-crowd, diurnal, ramp-to-saturation) or a Rate \
+           JSON file (default: flash-crowd)")
+
+let queue_bound_arg =
+  Arg.(
+    value & opt int 48
+    & info [ "queue-bound" ] ~docv:"N"
+        ~doc:"Per-replica shed threshold overlaid on every tier (default 48)")
+
+let surge_cmd =
+  Cmd.v
+    (Cmd.info "surge"
+       ~doc:
+         "Overload robustness: open-loop surge profile vs original and clone, with autoscaling \
+          and graceful degradation armed")
+    Term.(
+      const surge_app $ app_arg $ qps_arg $ no_tune_arg $ profile_file_arg $ plan_arg
+      $ queue_bound_arg $ openmetrics_arg)
+
 let original_arg =
   Arg.(value & flag & info [ "original" ] ~doc:"Profile the original instead of its clone")
 
@@ -915,5 +1041,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; clone_cmd; synth_cmd; export_cmd; stages_cmd; chaos_cmd; timeline_cmd;
-            critpath_cmd; inspect_cmd; profile_cmd; list_cmd;
+            critpath_cmd; surge_cmd; inspect_cmd; profile_cmd; list_cmd;
           ]))

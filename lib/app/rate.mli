@@ -1,0 +1,71 @@
+(** Rate profiles as data: open-loop offered load over the DES clock.
+
+    A profile multiplies the load's base qps as a function of time since
+    the start of load. Shapes compose multiplicatively (the algebra's
+    identity is the empty product, {!constant}), so a diurnal swing with
+    a flash crowd riding on it is just both terms in {!make}'s list.
+    An optional burst term batches arrivals geometrically while
+    preserving the offered rate — arrival-process generation, no
+    per-client state, so "millions of simulated users" is purely a rate.
+
+    Sampling draws from whatever {!Ditto_util.Rng} stream the caller
+    dedicates to it; {!Service} uses a stream derived from the run seed
+    at a fixed offset so enabling a profile never perturbs tier RNGs. *)
+
+type term =
+  | Constant
+  | Sinusoid of { amplitude : float; period : float; phase : float }
+      (** [1 + amplitude * sin (2 pi t / period + phase)]; amplitude in [0,1]. *)
+  | Ramp of { to_mult : float; over : float }
+      (** linear from 1 at t=0 to [to_mult] at [over], then held. *)
+  | Spike of { at : float; rise : float; hold : float; fall : float; mult : float }
+      (** flash crowd: 1 until [at], linear to [mult] over [rise], held
+          for [hold], linear back to 1 over [fall]. *)
+  | Piecewise of (float * float) list
+      (** [(start, mult)] steps, strictly increasing starts; 1 before the
+          first step. *)
+
+type burst = { batch_mean : float }
+type t = private { profile_name : string; shape : term list; burst : burst option }
+
+val make : ?burst:burst -> name:string -> term list -> t
+(** Validates (raises [Invalid_argument] on malformed shapes). *)
+
+val check : t -> unit
+val constant : t
+(** The identity profile: a run under it is bit-identical to a run with
+    no profile at all. *)
+
+val mult_at : t -> t:float -> float
+(** Multiplier at [t] seconds after the start of load; clamped at 0. *)
+
+val peak_mult : t -> float
+(** Upper bound on {!mult_at} (product of per-term peaks; exact for the
+    canonical single-term profiles). *)
+
+val mean_mult : t -> duration:float -> float
+(** Numeric mean of {!mult_at} over [0, duration]. *)
+
+val is_constant : t -> bool
+(** True iff the profile cannot change the arrival process: every term is
+    [Constant] and there is no burst. *)
+
+val compose : ?name:string -> t -> t -> t
+(** Multiplicative composition; the left burst wins when both have one. *)
+
+val scale : ?name:string -> float -> t -> t
+(** Scales the whole profile by a constant factor [>= 0]. *)
+
+type arrival = { gap : float; batch : int }
+
+val next_arrival : t -> Ditto_util.Rng.t -> base_qps:float -> t:float -> arrival
+(** Gap to the next arrival (batch) given the rate in force at [t], and
+    the number of requests arriving together. One RNG draw per gap, plus
+    one per batch when bursty. *)
+
+(** {1 JSON} — same discipline as {!Ditto_fault.Plan} (DESIGN.md section 14) *)
+
+val to_json : t -> Ditto_util.Jsonx.t
+val of_json : Ditto_util.Jsonx.t -> t
+val load : string -> t
+val save : path:string -> t -> unit

@@ -282,6 +282,15 @@ let run_inner cfg ~load (app : Spec.t) =
               (r.Service.client_retries + sum (fun o -> o.Service.obs_retries));
             Ditto_obs.Obs.Metrics.add fault_shed_c (sum (fun o -> o.Service.obs_shed));
             Ditto_obs.Obs.Metrics.add fault_drops_c (sum (fun o -> o.Service.obs_link_drops)));
+        (if Spec.has_autoscale app then begin
+           let sum f = List.fold_left (fun a o -> a + f o) 0 r.Service.tiers in
+           Ditto_obs.Obs.Span.add_attr "scale_events"
+             (Int (List.length r.Service.scale_events));
+           Ditto_obs.Obs.Span.add_attr "degraded"
+             (Int (sum (fun o -> o.Service.obs_degraded)));
+           Ditto_obs.Obs.Span.add_attr "replicas_final"
+             (Int (sum (fun o -> o.Service.obs_replicas)))
+         end);
         (match r.Service.reqtrace with
         | None -> ()
         | Some c ->

@@ -15,11 +15,13 @@ type load = {
   duration : float;
   client_timeout : float option;
   client_retries : int;
+  profile : Rate.t option;
 }
 
 let load ?(connections = 16) ?(open_loop = true) ?(duration = 2.0) ?client_timeout
-    ?(client_retries = 0) ~qps () =
-  { qps; connections; open_loop; duration; client_timeout; client_retries }
+    ?(client_retries = 0) ?profile ~qps () =
+  (match profile with Some p -> Rate.check p | None -> ());
+  { qps; connections; open_loop; duration; client_timeout; client_retries; profile }
 
 type tier_obs = {
   obs_name : string;
@@ -30,10 +32,14 @@ type tier_obs = {
   obs_timeouts : int;
   obs_retries : int;
   obs_shed : int;
+  obs_degraded : int;
   obs_failures : int;
+  obs_replicas : int;
   obs_breaker_transitions : int;
   obs_link_drops : int;
 }
+
+type scale_event = { se_at : float; se_tier : string; se_from : int; se_to : int }
 
 type result = {
   latency : Stats.summary;
@@ -45,12 +51,30 @@ type result = {
   client_retries : int;
   elapsed : float;
   tiers : tier_obs list;
+  scale_events : scale_event list;
+      (** autoscaler actions in time order; [[]] when no tier carries a
+          policy, so pre-surge results are structurally unchanged *)
   timeline : Ditto_obs.Timeseries.t option;
       (** windowed telemetry; [Some] only when {!Ditto_obs.Timeseries} was
           enabled when the run started *)
   reqtrace : Ditto_obs.Reqtrace.t option;
       (** sampled request span trees; [Some] only when
           {!Ditto_obs.Reqtrace} was enabled when the run started *)
+}
+
+(* One horizontally-scaled copy of a tier beyond the built-in primary: its
+   own machine (fresh cores/NIC/disk) plus the per-server-model connection
+   state. Deactivated replicas drain their attached connections but take
+   no new ones, and are reactivated before any new machine is created. *)
+type replica = {
+  rep_id : int;
+  rep_machine : Machine.t;
+  rep_epolls : Socket.Epoll.t array;
+  mutable rep_epoll_rr : int;
+  mutable rep_poll_conns : Socket.endpoint list;
+  mutable rep_active : bool;
+  rep_nic0 : int;  (* NIC odometer at creation, for teardown bandwidth *)
+  rep_disk0 : int;
 }
 
 type tier_rt = {
@@ -70,6 +94,9 @@ type tier_rt = {
   mutable retries : int;
   mutable shed : int;
   mutable failures : int;
+  mutable degraded : int;
+  mutable replicas : replica list;  (* creation order; [] when autoscaling off *)
+  mutable rep_rr : int;  (* round-robin cursor over primary + active replicas *)
   mutable stopped : bool;
 }
 
@@ -88,6 +115,8 @@ type sys = {
       (** request-trace collector, same discipline: [None] keeps every
           hook to a single option match; when [Some], hooks only fire for
           sampled requests (their span id rides [Socket.msg.meta]) *)
+  scale_log : scale_event list ref;
+      (** autoscaler actions, newest first; only the controller writes *)
 }
 
 let fresh_tid counter =
@@ -129,7 +158,10 @@ let rq_server_end sys span ?bytes outcome =
   | Some c when span <> 0 -> Rq.server_end c ~span ?bytes ~at:(Engine.time ()) outcome
   | _ -> ()
 
-let run_cpu sys rt ~tid s =
+(* [mach] is the machine serving the current request: the tier's primary,
+   or a replica's when the autoscaler routed the connection there. With
+   autoscaling off it is always [rt.machine]. *)
+let run_cpu sys rt ~tid ~mach s =
   let s =
     match sys.inj with
     | None -> s
@@ -140,22 +172,61 @@ let run_cpu sys rt ~tid s =
   | Some ts ->
       Ditto_obs.Timeseries.record_cpu ts ~tier:rt.spec.Spec.tier_name ~at:(Engine.time ())
         ~seconds:s);
-  Ditto_os.Sched.run_oncpu rt.machine.Machine.sched ~thread:tid s
+  Ditto_os.Sched.run_oncpu mach.Machine.sched ~thread:tid s
 
 (* Accept-queue depth for load shedding: undelivered messages plus requests
-   already being replayed. *)
+   already being replayed, summed over the primary and every replica. *)
 let backlog rt =
-  match rt.spec.Spec.server_model with
-  | Spec.Io_multiplexing ->
-      Array.fold_left (fun acc e -> acc + Socket.Epoll.pending_total e) rt.inflight rt.epolls
-  | Spec.Nonblocking ->
-      List.fold_left (fun acc ep -> acc + Socket.pending ep) rt.inflight rt.poll_conns
-  | Spec.Blocking -> rt.inflight
+  let base =
+    match rt.spec.Spec.server_model with
+    | Spec.Io_multiplexing ->
+        Array.fold_left (fun acc e -> acc + Socket.Epoll.pending_total e) rt.inflight rt.epolls
+    | Spec.Nonblocking ->
+        List.fold_left (fun acc ep -> acc + Socket.pending ep) rt.inflight rt.poll_conns
+    | Spec.Blocking -> rt.inflight
+  in
+  match rt.replicas with
+  | [] -> base
+  | reps ->
+      List.fold_left
+        (fun acc rep ->
+          match rt.spec.Spec.server_model with
+          | Spec.Io_multiplexing ->
+              Array.fold_left (fun a e -> a + Socket.Epoll.pending_total e) acc rep.rep_epolls
+          | Spec.Nonblocking ->
+              List.fold_left (fun a ep -> a + Socket.pending ep) acc rep.rep_poll_conns
+          | Spec.Blocking -> acc)
+        base reps
+
+(* Live serving capacity: the primary plus active replicas. The shed and
+   degradation thresholds scale with it — the bounded accept queue is a
+   per-replica resource. *)
+let replica_count rt =
+  1 + List.fold_left (fun acc r -> if r.rep_active then acc + 1 else acc) 0 rt.replicas
+
+type slot = Primary | Rep of replica
+
+let slot_machine rt = function Primary -> rt.machine | Rep r -> r.rep_machine
+
+(* Replica-aware routing: new connections round-robin over the primary and
+   the active replicas. With no replicas this is branch-free [Primary] and
+   the cursor is never touched, keeping the disabled path identical. *)
+let pick_slot rt =
+  match rt.replicas with
+  | [] -> Primary
+  | reps ->
+      let slots =
+        Primary :: List.filter_map (fun r -> if r.rep_active then Some (Rep r) else None) reps
+      in
+      let k = rt.rep_rr mod List.length slots in
+      rt.rep_rr <- rt.rep_rr + 1;
+      List.nth slots k
 
 (* Serve one request whose bytes arrived at [arrived]: replay a measured
    trace (CPU, disk, sleeps, downstream RPCs) then send the response — or
-   shed it when the resilience knobs say the tier is overloaded. *)
-let rec handle sys rt ~tid ep ~arrived ~meta ~bytes =
+   shed it when the resilience knobs say the tier is overloaded, or serve
+   it degraded when utilization crossed the degradation threshold. *)
+let rec handle sys rt ~tid ~mach ep ~arrived ~meta ~bytes =
   if tier_down sys rt then (* the process died with the request in hand *) ()
   else
     (* [meta] is the sender's RPC span id when this request is sampled;
@@ -168,23 +239,38 @@ let rec handle sys rt ~tid ep ~arrived ~meta ~bytes =
       | _ -> 0
     in
     match rt.spec.Spec.resilience.Spec.queue_bound with
-    | Some bound when backlog rt > bound ->
+    | Some bound when backlog rt > bound * replica_count rt ->
         rt.shed <- rt.shed + 1;
         ts_counter sys rt Ditto_obs.Timeseries.Shed;
         rq_server_end sys span ~bytes:err_bytes Rq.Shed;
         Socket.send ~err:true ep ~bytes:err_bytes
     | _ ->
+        let deg =
+          match rt.spec.Spec.resilience.Spec.degrade with
+          | Some d when backlog rt > d.Spec.degrade_queue * replica_count rt -> Some d
+          | _ -> None
+        in
         let tidx = Rng.int rt.rng (Array.length rt.mres.Measure.traces) in
         let trace = rt.mres.Measure.traces.(tidx) in
         (match sys.rq with
         | Some c when span <> 0 -> Rq.server_op c ~span ~op:tidx
         | _ -> ());
         rt.inflight <- rt.inflight + 1;
-        let ok = replay sys rt ~tid ~span trace in
+        let ok = replay sys rt ~tid ~mach ~span ~deg trace in
         rt.inflight <- rt.inflight - 1;
         if ok then begin
-          rq_server_end sys span ~bytes:rt.spec.Spec.response_bytes Rq.Ok;
-          Socket.send ep ~bytes:rt.spec.Spec.response_bytes;
+          let resp_bytes =
+            match deg with
+            | None -> rt.spec.Spec.response_bytes
+            | Some d ->
+                rt.degraded <- rt.degraded + 1;
+                ts_counter sys rt Ditto_obs.Timeseries.Degraded;
+                max 1
+                  (int_of_float
+                     (float_of_int rt.spec.Spec.response_bytes *. d.Spec.degrade_response_scale))
+          in
+          rq_server_end sys span ~bytes:resp_bytes Rq.Ok;
+          Socket.send ep ~bytes:resp_bytes;
           let now = Engine.time () in
           Stats.add rt.lat (now -. arrived);
           rt.served <- rt.served + 1;
@@ -204,7 +290,7 @@ let rec handle sys rt ~tid ep ~arrived ~meta ~bytes =
 (* Replay a trace; false when a downstream call ultimately failed (after
    retries), in which case the remaining synchronous segments are skipped —
    the handler aborts like a real RPC server surfacing an upstream error. *)
-and replay sys rt ~tid ~span trace =
+and replay sys rt ~tid ~mach ~span ~deg trace =
   let pending = ref [] in
   let failed = ref false in
   (* On a sampled request, local work (CPU, disk, think) is bracketed into
@@ -221,22 +307,30 @@ and replay sys rt ~tid ~span trace =
     (fun seg ->
       if not !failed then
         match seg with
-        | Measure.Cpu s -> timed (fun () -> run_cpu sys rt ~tid s)
+        | Measure.Cpu s ->
+            let s =
+              match deg with None -> s | Some d -> s *. d.Spec.degrade_cpu_scale
+            in
+            timed (fun () -> run_cpu sys rt ~tid ~mach s)
         | Measure.Disk_read { bytes; random } ->
-            timed (fun () -> Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random)
+            timed (fun () -> Ditto_storage.Disk.read mach.Machine.disk ~bytes ~random)
         | Measure.Disk_write { bytes } ->
             (* Buffered write: flushed in the background. *)
-            Engine.fork (fun () -> Ditto_storage.Disk.write rt.machine.Machine.disk ~bytes)
-        | Measure.Sleep s -> timed (fun () -> Engine.wait s)
+            Engine.fork (fun () -> Ditto_storage.Disk.write mach.Machine.disk ~bytes)
+        | Measure.Sleep s -> (
+            match deg with
+            | Some d when d.Spec.degrade_skip_sleeps -> ()
+            | _ -> timed (fun () -> Engine.wait s))
         | Measure.Downstream { target; req_bytes; resp_bytes } -> (
             match rt.spec.Spec.client_model with
             | Spec.Sync_client ->
-                if not (downstream sys rt ~tid ~span target req_bytes resp_bytes) then
+                if not (downstream sys rt ~tid ~mach ~span target req_bytes resp_bytes) then
                   failed := true
             | Spec.Async_client ->
                 let iv = Engine.Ivar.create () in
                 Engine.fork (fun () ->
-                    Engine.Ivar.fill iv (downstream sys rt ~tid ~span target req_bytes resp_bytes));
+                    Engine.Ivar.fill iv
+                      (downstream sys rt ~tid ~mach ~span target req_bytes resp_bytes));
                 pending := iv :: !pending))
     trace;
   List.iter (fun iv -> if not (Engine.Ivar.read iv) then failed := true) !pending;
@@ -248,7 +342,7 @@ and replay sys rt ~tid ~span trace =
    pairing, so it is dropped like a closed TCP connection), and bounded
    retries with exponential backoff + deterministic jitter from the tier's
    seeded RNG. Returns true on success. *)
-and downstream sys rt ~tid ~span target req_bytes _resp_bytes =
+and downstream sys rt ~tid ~mach ~span target req_bytes _resp_bytes =
   ignore tid;
   let drt =
     match Hashtbl.find_opt sys.registry target with
@@ -280,7 +374,7 @@ and downstream sys rt ~tid ~span target req_bytes _resp_bytes =
     | Some br when not (Breaker.allow br ~now:(Engine.time ())) -> false
     | _ ->
         let conn =
-          match Queue.take_opt pool with Some c -> c | None -> connect sys rt drt
+          match Queue.take_opt pool with Some c -> c | None -> connect sys rt ~mach drt
         in
         (* One RPC span per attempt (client-side view: send until
            reply/timeout); its id rides the request message as [meta] so
@@ -340,50 +434,61 @@ and downstream sys rt ~tid ~span target req_bytes _resp_bytes =
   in
   go 0
 
-and connect sys rt drt =
-  let same = rt.machine == drt.machine in
-  let a_nic = if same then rt.machine.Machine.loopback else rt.machine.Machine.nic in
-  let b_nic = if same then drt.machine.Machine.loopback else drt.machine.Machine.nic in
+and connect sys rt ~mach drt =
+  (* Pick the destination replica first: the socket pair must land on the
+     machine whose NIC will carry the bytes. *)
+  let slot = pick_slot drt in
+  let dmach = slot_machine drt slot in
+  let same = mach == dmach in
+  let a_nic = if same then mach.Machine.loopback else mach.Machine.nic in
+  let b_nic = if same then dmach.Machine.loopback else dmach.Machine.nic in
   let latency = if same then 5e-6 else 20e-6 in
-  let client_ep, server_ep =
-    Socket.pair rt.machine.Machine.engine ~a_nic ~b_nic ~latency
-  in
+  let client_ep, server_ep = Socket.pair mach.Machine.engine ~a_nic ~b_nic ~latency in
   (match sys.inj with
   | None -> ()
   | Some inj ->
       let src = rt.spec.Spec.tier_name and dst = drt.spec.Spec.tier_name in
       Socket.set_disruptor client_ep (Some (Injector.disruptor inj ~src ~dst));
       Socket.set_disruptor server_ep (Some (Injector.disruptor inj ~src:dst ~dst:src)));
-  attach sys drt server_ep;
+  attach_slot sys drt slot server_ep;
   client_ep
 
 (* Register a new inbound connection according to the server's network and
-   thread model. *)
-and attach sys rt ep =
-  match rt.spec.Spec.server_model with
-  | Spec.Io_multiplexing ->
+   thread model, on the routing slot chosen by [pick_slot]. *)
+and attach_slot sys rt slot ep =
+  match (rt.spec.Spec.server_model, slot) with
+  | Spec.Io_multiplexing, Primary ->
       Socket.Epoll.add rt.epolls.(rt.epoll_rr mod Array.length rt.epolls) ep;
       rt.epoll_rr <- rt.epoll_rr + 1
-  | Spec.Blocking ->
+  | Spec.Io_multiplexing, Rep r ->
+      Socket.Epoll.add r.rep_epolls.(r.rep_epoll_rr mod Array.length r.rep_epolls) ep;
+      r.rep_epoll_rr <- r.rep_epoll_rr + 1
+  | Spec.Blocking, _ ->
       (* Thread-per-connection (spawned dynamically for services like
          MongoDB whose thread count follows the connection count). *)
       let tid = fresh_tid sys.tids in
-      Engine.fork (fun () -> blocking_loop sys rt ~tid ep)
-  | Spec.Nonblocking -> rt.poll_conns <- ep :: rt.poll_conns
+      let mach = slot_machine rt slot in
+      Engine.fork (fun () -> blocking_loop sys rt ~tid ~mach ep)
+  | Spec.Nonblocking, Primary -> rt.poll_conns <- ep :: rt.poll_conns
+  | Spec.Nonblocking, Rep r -> r.rep_poll_conns <- ep :: r.rep_poll_conns
 
-and blocking_loop sys rt ~tid ep =
+
+and blocking_loop sys rt ~tid ~mach ep =
   if not rt.stopped then
     if tier_down sys rt then begin
       Engine.wait down_poll;
-      blocking_loop sys rt ~tid ep
+      blocking_loop sys rt ~tid ~mach ep
     end
     else begin
       let m = Socket.recv_msg ep in
-      handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta ~bytes:m.Socket.bytes;
-      blocking_loop sys rt ~tid ep
+      handle sys rt ~tid ~mach ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
+        ~bytes:m.Socket.bytes;
+      blocking_loop sys rt ~tid ~mach ep
     end
 
-let epoll_worker sys rt ~tid w =
+(* Workers are bound to one machine (primary or replica) and, for the
+   polling models, to that machine's connection set. *)
+let epoll_worker sys rt ~tid ~mach epoll =
   let rec loop () =
     if not rt.stopped then
       if tier_down sys rt then begin
@@ -391,7 +496,7 @@ let epoll_worker sys rt ~tid w =
         loop ()
       end
       else
-        match Socket.Epoll.wait ~timeout:0.1 rt.epolls.(w) with
+        match Socket.Epoll.wait ~timeout:0.1 epoll with
         | [] -> loop ()
         | ready ->
             List.iter
@@ -402,8 +507,8 @@ let epoll_worker sys rt ~tid w =
                   if not (tier_down sys rt) then
                     match Socket.try_recv_msg ep with
                     | Some m ->
-                        handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
-                          ~bytes:m.Socket.bytes;
+                        handle sys rt ~tid ~mach ep ~arrived:m.Socket.arrived
+                          ~meta:m.Socket.meta ~bytes:m.Socket.bytes;
                         drain ()
                     | None -> ()
                 in
@@ -413,7 +518,7 @@ let epoll_worker sys rt ~tid w =
   in
   loop ()
 
-let nonblocking_worker sys rt ~tid =
+let nonblocking_worker sys rt ~tid ~mach ~conns =
   let poll_interval = 20e-6 and poll_cpu = 1.5e-6 in
   let rec loop () =
     if not rt.stopped then
@@ -428,12 +533,12 @@ let nonblocking_worker sys rt ~tid =
             match Socket.try_recv_msg ep with
             | Some m ->
                 got := true;
-                handle sys rt ~tid ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
+                handle sys rt ~tid ~mach ep ~arrived:m.Socket.arrived ~meta:m.Socket.meta
                   ~bytes:m.Socket.bytes
             | None -> ())
-          rt.poll_conns;
+          (conns ());
         (* Polling burns CPU even when idle — the §4.3.1 caveat. *)
-        run_cpu sys rt ~tid poll_cpu;
+        run_cpu sys rt ~tid ~mach poll_cpu;
         if not !got then Engine.wait poll_interval;
         loop ()
       end
@@ -448,7 +553,7 @@ let background_thread sys rt ~tid period trace =
         List.iter
           (fun seg ->
             match seg with
-            | Measure.Cpu s -> run_cpu sys rt ~tid s
+            | Measure.Cpu s -> run_cpu sys rt ~tid ~mach:rt.machine s
             | Measure.Disk_read { bytes; random } ->
                 Ditto_storage.Disk.read rt.machine.Machine.disk ~bytes ~random
             | Measure.Disk_write { bytes } ->
@@ -460,6 +565,119 @@ let background_thread sys rt ~tid period trace =
     end
   in
   loop ()
+
+(* --- Horizontal autoscaling ------------------------------------------ *)
+
+(* Bring one more replica online: reactivate a drained one if available
+   (no machine churn), otherwise create a fresh machine mirroring the
+   primary's platform/core count and spawn its worker set. [spawn] is
+   [Engine.spawn engine] at setup time and [Engine.fork] from inside the
+   controller process. *)
+let scale_up_one sys rt ~spawn =
+  match List.find_opt (fun r -> not r.rep_active) rt.replicas with
+  | Some r -> r.rep_active <- true
+  | None ->
+      let mach =
+        Machine.create ~cores:(Machine.ncores rt.machine) rt.machine.Machine.engine
+          rt.machine.Machine.platform
+      in
+      let workers = max 1 rt.spec.Spec.thread_model.Spec.workers in
+      let nepolls =
+        match rt.spec.Spec.server_model with Spec.Io_multiplexing -> workers | _ -> 0
+      in
+      let rep =
+        {
+          rep_id = List.length rt.replicas + 1;
+          rep_machine = mach;
+          rep_epolls = Array.init nepolls (fun _ -> Socket.Epoll.create ());
+          rep_epoll_rr = 0;
+          rep_poll_conns = [];
+          rep_active = true;
+          rep_nic0 = Nic.bytes_sent mach.Machine.nic + Nic.bytes_received mach.Machine.nic;
+          rep_disk0 =
+            Ditto_storage.Disk.bytes_read mach.Machine.disk
+            + Ditto_storage.Disk.bytes_written mach.Machine.disk;
+        }
+      in
+      rt.replicas <- rt.replicas @ [ rep ];
+      (match rt.spec.Spec.server_model with
+      | Spec.Io_multiplexing ->
+          Array.iter
+            (fun epoll ->
+              let tid = fresh_tid sys.tids in
+              spawn (fun () -> epoll_worker sys rt ~tid ~mach epoll))
+            rep.rep_epolls
+      | Spec.Nonblocking ->
+          for _ = 1 to workers do
+            let tid = fresh_tid sys.tids in
+            spawn (fun () -> nonblocking_worker sys rt ~tid ~mach ~conns:(fun () -> rep.rep_poll_conns))
+          done
+      | Spec.Blocking -> (* threads spawn per connection in [attach_slot] *) ())
+
+(* Drain the newest active replica: it stops taking new connections but
+   keeps serving the ones it has. The primary never scales in. *)
+let scale_down_one rt =
+  match List.rev (List.filter (fun r -> r.rep_active) rt.replicas) with
+  | r :: _ -> r.rep_active <- false
+  | [] -> ()
+
+let apply_scale sys rt ~spawn ~from_n ~to_n =
+  if to_n > from_n then
+    for _ = from_n + 1 to to_n do scale_up_one sys rt ~spawn done
+  else
+    for _ = to_n + 1 to from_n do scale_down_one rt done;
+  let now = Engine.time () in
+  let tier = rt.spec.Spec.tier_name in
+  sys.scale_log := { se_at = now; se_tier = tier; se_from = from_n; se_to = to_n } :: !(sys.scale_log);
+  match sys.tl with
+  | None -> ()
+  | Some ts ->
+      (* "scale:" prefix: Timeline must not score these as faults *)
+      Ditto_obs.Timeseries.mark ts ~at:now
+        ~label:(Printf.sprintf "scale:%s:%d->%d" tier from_n to_n);
+      Ditto_obs.Timeseries.record_replicas ts ~tier ~at:now ~count:to_n
+
+(* The controller is a DES process (Engine.every callbacks cannot spawn
+   workers): every interval it reads the per-replica backlog — pure state,
+   no RNG, no messages — and runs a PI step in the HPA style,
+   [desired = n * (1 + kp*err + ki*integral)] with the error normalised to
+   the queue setpoint. Hysteresis (deadband) and cooldown gate actuation;
+   the integral is clamped (anti-windup) and reset after each scale event
+   (bumpless restart). Everything it does is a deterministic function of
+   the DES clock and queue state, so scale trajectories are reproducible
+   bit-for-bit across runs and pool sizes. *)
+let autoscaler sys rt ~engine ~t_end (pol : Spec.autoscale) =
+  Engine.spawn engine (fun () ->
+      let integral = ref 0.0 in
+      let last_scale = ref neg_infinity in
+      let rec loop () =
+        Engine.wait pol.Spec.as_interval;
+        let now = Engine.time () in
+        if now < t_end && not rt.stopped then begin
+          (if not (tier_down sys rt) then begin
+             let n = replica_count rt in
+             let q = float_of_int (backlog rt) /. float_of_int n in
+             let err = (q -. pol.Spec.as_target_queue) /. pol.Spec.as_target_queue in
+             if Float.abs err > pol.Spec.as_deadband then begin
+               integral :=
+                 Float.max (-4.0) (Float.min 4.0 (!integral +. (err *. pol.Spec.as_interval)));
+               let adj = (pol.Spec.as_kp *. err) +. (pol.Spec.as_ki *. !integral) in
+               let desired =
+                 max pol.Spec.as_min_replicas
+                   (min pol.Spec.as_max_replicas
+                      (int_of_float (Float.round (float_of_int n *. (1.0 +. adj)))))
+               in
+               if desired <> n && now -. !last_scale >= pol.Spec.as_cooldown then begin
+                 apply_scale sys rt ~spawn:Engine.fork ~from_n:n ~to_n:desired;
+                 last_scale := now;
+                 integral := 0.0
+               end
+             end
+           end);
+          loop ()
+        end
+      in
+      loop ())
 
 let dedupe_machines rts =
   let seen = Hashtbl.create 16 in
@@ -481,7 +699,9 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     match fault_plan with
     | None -> None
     | Some plan ->
-        Plan.validate ~tiers:(List.map (fun t -> t.Spec.tier_name) app.Spec.tiers) plan;
+        Plan.validate ~duration:l.duration
+          ~tiers:(List.map (fun t -> t.Spec.tier_name) app.Spec.tiers)
+          plan;
         (* The injector draws from its own stream, offset from the run seed
            so fault coin-flips never perturb the tiers' trace selection. *)
         Some (Injector.create ~engine ~seed:(seed + 104729) plan)
@@ -504,7 +724,7 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
          are byte-identical to a disabled run's. *)
       Some (Ditto_obs.Reqtrace.create ~seed ())
   in
-  let sys = { registry; tids; inj; tl; rq } in
+  let sys = { registry; tids; inj; tl; rq; scale_log = ref [] } in
   let rts =
     List.map
       (fun (tier : Spec.tier) ->
@@ -528,6 +748,9 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
             retries = 0;
             shed = 0;
             failures = 0;
+            degraded = 0;
+            replicas = [];
+            rep_rr = 0;
             stopped = false;
           }
         in
@@ -540,15 +763,16 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     (fun rt ->
       (match rt.spec.Spec.server_model with
       | Spec.Io_multiplexing ->
-          Array.iteri
-            (fun w _ ->
+          Array.iter
+            (fun epoll ->
               let tid = fresh_tid tids in
-              Engine.spawn engine (fun () -> epoll_worker sys rt ~tid w))
+              Engine.spawn engine (fun () -> epoll_worker sys rt ~tid ~mach:rt.machine epoll))
             rt.epolls
       | Spec.Nonblocking ->
           for _ = 1 to max 1 rt.spec.Spec.thread_model.Spec.workers do
             let tid = fresh_tid tids in
-            Engine.spawn engine (fun () -> nonblocking_worker sys rt ~tid)
+            Engine.spawn engine (fun () ->
+                nonblocking_worker sys rt ~tid ~mach:rt.machine ~conns:(fun () -> rt.poll_conns))
           done
       | Spec.Blocking -> (* threads spawn per connection in [attach] *) ());
       match (rt.mres.Measure.background_trace, rt.spec.Spec.thread_model.Spec.background) with
@@ -559,6 +783,17 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
               Engine.spawn engine (fun () -> background_thread sys rt ~tid period trace))
             bgs
       | None, _ -> ())
+    rts;
+  (* Pre-scale autoscaled tiers to their policy floor so the first client
+     connections already round-robin across [min_replicas] copies. *)
+  List.iter
+    (fun rt ->
+      match rt.spec.Spec.autoscale with
+      | None -> ()
+      | Some pol ->
+          for _ = 2 to pol.Spec.as_min_replicas do
+            scale_up_one sys rt ~spawn:(Engine.spawn engine)
+          done)
     rts;
   let entry = Hashtbl.find registry app.Spec.entry in
   let machines = dedupe_machines rts in
@@ -572,29 +807,45 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
           Ditto_storage.Disk.bytes_read m.Machine.disk
           + Ditto_storage.Disk.bytes_written m.Machine.disk ))
     machines;
-  (* Client connections (the load generator is its own machine). *)
+  (* Client connections (the load generator is its own machine). The entry
+     replica is chosen per connection so surge scale-out spreads new and
+     re-paired client connections across the live replica set. *)
   let client_nic = Nic.create engine ~gbps:40.0 in
   let client_pair () =
-    let a, b =
-      Socket.pair engine ~a_nic:client_nic ~b_nic:entry.machine.Machine.nic ~latency:20e-6
-    in
+    let slot = pick_slot entry in
+    let dmach = slot_machine entry slot in
+    let a, b = Socket.pair engine ~a_nic:client_nic ~b_nic:dmach.Machine.nic ~latency:20e-6 in
     (match inj with
     | None -> ()
     | Some i ->
         let dst = entry.spec.Spec.tier_name in
         Socket.set_disruptor a (Some (Injector.disruptor i ~src:Plan.client_tier ~dst));
         Socket.set_disruptor b (Some (Injector.disruptor i ~src:dst ~dst:Plan.client_tier)));
-    (a, b)
+    (a, b, slot)
   in
   let conns =
     Array.init (max 1 l.connections) (fun _ ->
-        let a, b = client_pair () in
-        Engine.spawn engine (fun () -> attach sys entry b);
+        let a, b, slot = client_pair () in
+        Engine.spawn engine (fun () -> attach_slot sys entry slot b);
         (ref a, Engine.Resource.create 1))
   in
   (match inj with Some i -> Injector.arm i ~at:(Engine.now engine) | None -> ());
   let t_start = Engine.now engine in
   let t_end = t_start +. l.duration in
+  (* One controller process per autoscaled tier. With no policies this
+     spawns nothing, so the event stream is untouched. *)
+  List.iter
+    (fun rt ->
+      match rt.spec.Spec.autoscale with
+      | None -> ()
+      | Some pol ->
+          (match tl with
+          | None -> ()
+          | Some ts ->
+              Ditto_obs.Timeseries.record_replicas ts ~tier:rt.spec.Spec.tier_name ~at:t_start
+                ~count:(replica_count rt));
+          autoscaler sys rt ~engine ~t_end pol)
+    rts;
   (match tl with
   | None -> ()
   | Some ts ->
@@ -619,6 +870,19 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
               Ditto_obs.Timeseries.mark ts ~at:(t_start +. ev.Plan.at)
                 ~label:(label ^ ":" ^ ev.Plan.tier))
             plan.Plan.events);
+      (* Flash-crowd onsets are events just like faults: the transient
+         scorecard measures reconvergence from them too. *)
+      (match l.profile with
+      | Some p when not (Rate.is_constant p) ->
+          List.iter
+            (fun term ->
+              match term with
+              | Rate.Spike { at; _ } ->
+                  Ditto_obs.Timeseries.mark ts ~at:(t_start +. at)
+                    ~label:("surge:" ^ p.Rate.profile_name)
+              | _ -> ())
+            p.Rate.shape
+      | _ -> ());
       let w = Ditto_obs.Timeseries.window_seconds ts in
       Engine.every engine ~start:t_start ~period:w ~until:(t_end -. (0.5 *. w)) (fun at ->
           List.iter
@@ -703,8 +967,8 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
                       rq_rpc_end sys rpc Rq.Timeout;
                       incr client_timeouts;
                       ts_client Ditto_obs.Timeseries.Timeouts;
-                      let a, b = client_pair () in
-                      attach sys entry b;
+                      let a, b, slot = client_pair () in
+                      attach_slot sys entry slot b;
                       conn := a
                   | Some m ->
                       (* error response; the conn stays paired *)
@@ -723,31 +987,73 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
             in
             go 0)
   in
-  if l.open_loop then
-    Engine.spawn engine (fun () ->
-        let i = ref 0 in
-        while Engine.time () < t_end do
-          Engine.wait (Dist.exponential gen_rng ~mean:(1.0 /. l.qps));
-          let ci = !i mod Array.length conns in
-          incr i;
-          Engine.fork (fun () -> do_request ci)
-        done)
-  else begin
-    (* Closed loop with rate throttling (YCSB-style: one outstanding request
-       per connection; late responses eat into the think gap). *)
-    let per_conn_mean = float_of_int (Array.length conns) /. l.qps in
-    Array.iteri
-      (fun ci _ ->
-        Engine.spawn engine (fun () ->
-            let next = ref (Engine.time ()) in
-            while Engine.time () < t_end do
-              next := !next +. Dist.exponential gen_rng ~mean:per_conn_mean;
-              let now = Engine.time () in
-              if !next > now then Engine.wait (!next -. now);
-              if Engine.time () < t_end then do_request ci
-            done))
-      conns
-  end;
+  (* A non-constant profile samples arrivals from its own stream at a fixed
+     seed offset; the constant/absent branches below are the pre-profile
+     code verbatim, so disabled runs stay bit-identical. *)
+  let surge =
+    match l.profile with Some p when not (Rate.is_constant p) -> Some p | _ -> None
+  in
+  (match (l.open_loop, surge) with
+  | true, Some p ->
+      let prng = Rng.create (seed + 224737) in
+      Engine.spawn engine (fun () ->
+          let i = ref 0 in
+          while Engine.time () < t_end do
+            let arr =
+              Rate.next_arrival p prng ~base_qps:l.qps ~t:(Engine.time () -. t_start)
+            in
+            Engine.wait arr.Rate.gap;
+            if Engine.time () < t_end then
+              for _ = 1 to arr.Rate.batch do
+                let ci = !i mod Array.length conns in
+                incr i;
+                Engine.fork (fun () -> do_request ci)
+              done
+          done)
+  | true, None ->
+      Engine.spawn engine (fun () ->
+          let i = ref 0 in
+          while Engine.time () < t_end do
+            Engine.wait (Dist.exponential gen_rng ~mean:(1.0 /. l.qps));
+            let ci = !i mod Array.length conns in
+            incr i;
+            Engine.fork (fun () -> do_request ci)
+          done)
+  | false, Some p ->
+      (* Closed loop under a profile: think gaps shrink as the multiplier
+         rises, still one outstanding request per connection. *)
+      let prng = Rng.create (seed + 224737) in
+      let per_conn = float_of_int (Array.length conns) in
+      Array.iteri
+        (fun ci _ ->
+          Engine.spawn engine (fun () ->
+              let next = ref (Engine.time ()) in
+              while Engine.time () < t_end do
+                let mult =
+                  Float.max 1e-6 (Rate.mult_at p ~t:(Engine.time () -. t_start))
+                in
+                let mean = per_conn /. (l.qps *. mult) in
+                next := !next +. Dist.exponential prng ~mean;
+                let now = Engine.time () in
+                if !next > now then Engine.wait (!next -. now);
+                if Engine.time () < t_end then do_request ci
+              done))
+        conns
+  | false, None ->
+      (* Closed loop with rate throttling (YCSB-style: one outstanding request
+         per connection; late responses eat into the think gap). *)
+      let per_conn_mean = float_of_int (Array.length conns) /. l.qps in
+      Array.iteri
+        (fun ci _ ->
+          Engine.spawn engine (fun () ->
+              let next = ref (Engine.time ()) in
+              while Engine.time () < t_end do
+                next := !next +. Dist.exponential gen_rng ~mean:per_conn_mean;
+                let now = Engine.time () in
+                if !next > now then Engine.wait (!next -. now);
+                if Engine.time () < t_end then do_request ci
+              done))
+        conns);
   (* iperf-style competing stream through the entry machine's NIC. *)
   if net_interference_gbps > 0.0 then begin
     let chunk = 65536 in
@@ -779,16 +1085,36 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
         let nic_b, disk_b =
           match Hashtbl.find_opt before m.Machine.uid with Some v -> v | None -> (0, 0)
         in
+        (* Replicas carry their own machines; fold their odometers (relative
+           to the creation snapshot) into the tier's bandwidth totals. *)
+        let rep_nic, rep_disk =
+          List.fold_left
+            (fun (n, d) r ->
+              let rm = r.rep_machine in
+              let rn =
+                Nic.bytes_sent rm.Machine.nic + Nic.bytes_received rm.Machine.nic - r.rep_nic0
+              in
+              let rd =
+                Ditto_storage.Disk.bytes_read rm.Machine.disk
+                + Ditto_storage.Disk.bytes_written rm.Machine.disk
+                - r.rep_disk0
+              in
+              (n + rn, d + rd))
+            (0, 0) rt.replicas
+        in
+        List.iter (fun r -> Machine.release r.rep_machine) rt.replicas;
         {
           obs_name = rt.spec.Spec.tier_name;
           obs_latency = Stats.summary rt.lat;
           obs_requests = rt.served;
-          obs_net_mbps = mbps nic_b nic_now;
-          obs_disk_mbps = mbps disk_b disk_now;
+          obs_net_mbps = mbps nic_b (nic_now + rep_nic);
+          obs_disk_mbps = mbps disk_b (disk_now + rep_disk);
           obs_timeouts = rt.timeouts;
           obs_retries = rt.retries;
           obs_shed = rt.shed;
+          obs_degraded = rt.degraded;
           obs_failures = rt.failures;
+          obs_replicas = replica_count rt;
           obs_breaker_transitions =
             Hashtbl.fold (fun _ br acc -> acc + Breaker.transitions br) rt.breakers 0;
           obs_link_drops =
@@ -808,6 +1134,7 @@ let run ~engine ~(app : Spec.t) ~placement ~results ~seed ?(net_interference_gbp
     client_retries = !client_retries_used;
     elapsed;
     tiers;
+    scale_events = List.rev !(sys.scale_log);
     timeline = tl;
     reqtrace = rq;
   }

@@ -26,6 +26,10 @@ type load = {
       (** end-to-end request deadline at the load generator; a timed-out
           connection is torn down and replaced *)
   client_retries : int;  (** client-side retry budget after timeout/error *)
+  profile : Rate.t option;
+      (** rate profile shaping the offered load over time; [None] (or a
+          {!Rate.is_constant} profile) leaves the arrival process — and the
+          run's event stream — bit-identical to the pre-profile code *)
 }
 
 val load :
@@ -34,6 +38,7 @@ val load :
   ?duration:float ->
   ?client_timeout:float ->
   ?client_retries:int ->
+  ?profile:Rate.t ->
   qps:float ->
   unit ->
   load
@@ -47,10 +52,17 @@ type tier_obs = {
   obs_timeouts : int;  (** downstream calls that hit [call_timeout] *)
   obs_retries : int;  (** downstream retry attempts *)
   obs_shed : int;  (** requests answered with an error by load shedding *)
+  obs_degraded : int;  (** requests served in degraded mode (cheaper response) *)
   obs_failures : int;  (** handled requests that ended in an error reply *)
+  obs_replicas : int;  (** replica count at teardown (1 without autoscaling) *)
   obs_breaker_transitions : int;  (** circuit-breaker state changes, all downstreams *)
   obs_link_drops : int;  (** messages the fault plan dropped leaving this tier *)
 }
+
+(** One autoscaler actuation, on the DES clock. Available on every run —
+    no telemetry required — so tests and scorecards can compare replica
+    trajectories directly. *)
+type scale_event = { se_at : float; se_tier : string; se_from : int; se_to : int }
 
 type result = {
   latency : Ditto_util.Stats.summary;  (** end-to-end, at the client (successes) *)
@@ -62,6 +74,9 @@ type result = {
   client_retries : int;  (** client retry attempts used *)
   elapsed : float;
   tiers : tier_obs list;
+  scale_events : scale_event list;
+      (** chronological autoscaler actuations; empty when no tier has an
+          {!Spec.autoscale} policy *)
   timeline : Ditto_obs.Timeseries.t option;
       (** windowed per-tier telemetry on the DES clock (plus a
           {!Ditto_obs.Timeseries.client_tier} end-to-end series and fault

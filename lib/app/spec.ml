@@ -14,19 +14,46 @@ type thread_model = {
   background : (string * float) list;
 }
 
+type degrade = {
+  degrade_queue : int;
+  degrade_cpu_scale : float;
+  degrade_skip_sleeps : bool;
+  degrade_response_scale : float;
+}
+
+let degraded ?(queue = 256) ?(cpu_scale = 0.5) ?(skip_sleeps = true) ?(response_scale = 0.25) () =
+  if queue <= 0 then invalid_arg "Spec.degraded: non-positive queue threshold";
+  if cpu_scale <= 0.0 || cpu_scale > 1.0 then invalid_arg "Spec.degraded: cpu_scale outside (0,1]";
+  if response_scale <= 0.0 || response_scale > 1.0 then
+    invalid_arg "Spec.degraded: response_scale outside (0,1]";
+  {
+    degrade_queue = queue;
+    degrade_cpu_scale = cpu_scale;
+    degrade_skip_sleeps = skip_sleeps;
+    degrade_response_scale = response_scale;
+  }
+
 type resilience = {
   call_timeout : float option;
   max_retries : int;
   retry_backoff : float;
   breaker : Ditto_fault.Breaker.config option;
   queue_bound : int option;
+  degrade : degrade option;
 }
 
 let no_resilience =
-  { call_timeout = None; max_retries = 0; retry_backoff = 0.0; breaker = None; queue_bound = None }
+  {
+    call_timeout = None;
+    max_retries = 0;
+    retry_backoff = 0.0;
+    breaker = None;
+    queue_bound = None;
+    degrade = None;
+  }
 
 let resilient ?(call_timeout = 0.01) ?(max_retries = 2) ?(retry_backoff = 2e-3)
-    ?(breaker = Ditto_fault.Breaker.default_config) ?(queue_bound = 512) () =
+    ?(breaker = Ditto_fault.Breaker.default_config) ?(queue_bound = 512) ?degrade () =
   if call_timeout <= 0.0 then invalid_arg "Spec.resilient: non-positive call_timeout";
   if max_retries < 0 then invalid_arg "Spec.resilient: negative max_retries";
   if retry_backoff < 0.0 then invalid_arg "Spec.resilient: negative retry_backoff";
@@ -37,6 +64,42 @@ let resilient ?(call_timeout = 0.01) ?(max_retries = 2) ?(retry_backoff = 2e-3)
     retry_backoff;
     breaker = Some breaker;
     queue_bound = Some queue_bound;
+    degrade;
+  }
+
+(* Horizontal autoscaling policy: a queue-depth PI controller evaluated on
+   the DES clock. Replica count is clamped to [min, max]; the controller
+   only acts when the normalised error leaves the hysteresis deadband and
+   the cooldown since the last scale event has elapsed, so small load
+   wiggles do not thrash replicas. *)
+type autoscale = {
+  as_min_replicas : int;
+  as_max_replicas : int;
+  as_target_queue : float;
+  as_kp : float;
+  as_ki : float;
+  as_interval : float;
+  as_cooldown : float;
+  as_deadband : float;
+}
+
+let autoscale ?(min_replicas = 1) ?(max_replicas = 4) ?(target_queue = 32.0) ?(kp = 1.0)
+    ?(ki = 0.25) ?(interval = 0.05) ?(cooldown = 0.1) ?(deadband = 0.25) () =
+  if min_replicas < 1 then invalid_arg "Spec.autoscale: min_replicas < 1";
+  if max_replicas < min_replicas then invalid_arg "Spec.autoscale: max_replicas < min_replicas";
+  if target_queue <= 0.0 then invalid_arg "Spec.autoscale: non-positive target_queue";
+  if interval <= 0.0 then invalid_arg "Spec.autoscale: non-positive interval";
+  if cooldown < 0.0 then invalid_arg "Spec.autoscale: negative cooldown";
+  if deadband < 0.0 then invalid_arg "Spec.autoscale: negative deadband";
+  {
+    as_min_replicas = min_replicas;
+    as_max_replicas = max_replicas;
+    as_target_queue = target_queue;
+    as_kp = kp;
+    as_ki = ki;
+    as_interval = interval;
+    as_cooldown = cooldown;
+    as_deadband = deadband;
   }
 
 type tier = {
@@ -52,12 +115,13 @@ type tier = {
   shared_bytes : int;
   file_bytes : int;
   resilience : resilience;
+  autoscale : autoscale option;
 }
 
 let tier ?(server_model = Io_multiplexing) ?(client_model = Sync_client) ?(workers = 4)
     ?(dynamic_threads = false) ?(background = []) ?background_handler ?(request_bytes = 128)
     ?(response_bytes = 512) ?(heap_bytes = 16 * 1024 * 1024) ?(shared_bytes = 1024 * 1024)
-    ?(file_bytes = 0) ?(resilience = no_resilience) ~name ~handler () =
+    ?(file_bytes = 0) ?(resilience = no_resilience) ?autoscale ~name ~handler () =
   {
     tier_name = name;
     server_model;
@@ -71,6 +135,7 @@ let tier ?(server_model = Io_multiplexing) ?(client_model = Sync_client) ?(worke
     shared_bytes;
     file_bytes;
     resilience;
+    autoscale;
   }
 
 type t = {
@@ -89,6 +154,11 @@ let make ~name ?entry ?page_cache_hint tiers =
 
 let with_resilience res t =
   { t with tiers = List.map (fun tier -> { tier with resilience = res }) t.tiers }
+
+let with_autoscale pol t =
+  { t with tiers = List.map (fun tier -> { tier with autoscale = Some pol }) t.tiers }
+
+let has_autoscale t = List.exists (fun tier -> tier.autoscale <> None) t.tiers
 
 let find_tier t name =
   match List.find_opt (fun tier -> tier.tier_name = name) t.tiers with

@@ -33,6 +33,24 @@ type thread_model = {
       (** timer-triggered background threads: (name, period seconds) *)
 }
 
+(** Utilization-triggered graceful degradation: past the queue threshold a
+    tier serves a cheaper response (scaled CPU, dropped think-time sleeps,
+    truncated reply) instead of shedding outright. *)
+type degrade = {
+  degrade_queue : int;  (** arm past this per-replica backlog *)
+  degrade_cpu_scale : float;  (** scale on-CPU segments, in (0,1] *)
+  degrade_skip_sleeps : bool;  (** drop [Sleep] trace segments *)
+  degrade_response_scale : float;  (** scale the response bytes, in (0,1] *)
+}
+
+val degraded :
+  ?queue:int ->
+  ?cpu_scale:float ->
+  ?skip_sleeps:bool ->
+  ?response_scale:float ->
+  unit ->
+  degrade
+
 (** RPC-resilience knobs of a tier's skeleton (the chaos layer, DESIGN.md
     §9). The defaults ({!no_resilience}) disable every mechanism, keeping
     the fault-free execution path — and therefore bit-identity across pool
@@ -47,7 +65,9 @@ type resilience = {
       (** per-downstream circuit breaker; open = fail fast *)
   queue_bound : int option;
       (** shed (answer with an error) when the accept queue + in-flight
-          requests exceed this *)
+          requests exceed this (scaled by the live replica count when the
+          tier autoscales) *)
+  degrade : degrade option;  (** serve degraded before shedding; default off *)
 }
 
 val no_resilience : resilience
@@ -58,10 +78,39 @@ val resilient :
   ?retry_backoff:float ->
   ?breaker:Ditto_fault.Breaker.config ->
   ?queue_bound:int ->
+  ?degrade:degrade ->
   unit ->
   resilience
 (** All mechanisms on, with sensible defaults (10 ms timeout, 2 retries,
-    2 ms base backoff, default breaker, queue bound 512). *)
+    2 ms base backoff, default breaker, queue bound 512; degradation stays
+    off unless given). *)
+
+(** Horizontal-autoscaling policy: a per-tier queue-depth PI controller
+    evaluated on the DES clock (DESIGN.md section 14). Deterministic: pure
+    arithmetic on backlog reads, no RNG draws, so two runs of the same
+    (seed, policy) pair scale at identical simulated times. *)
+type autoscale = {
+  as_min_replicas : int;
+  as_max_replicas : int;
+  as_target_queue : float;  (** per-replica backlog setpoint *)
+  as_kp : float;  (** proportional gain on normalised error *)
+  as_ki : float;  (** integral gain; integral is clamped (anti-windup) *)
+  as_interval : float;  (** controller period, simulated seconds *)
+  as_cooldown : float;  (** min gap between scale events *)
+  as_deadband : float;  (** hysteresis: no action within this error band *)
+}
+
+val autoscale :
+  ?min_replicas:int ->
+  ?max_replicas:int ->
+  ?target_queue:float ->
+  ?kp:float ->
+  ?ki:float ->
+  ?interval:float ->
+  ?cooldown:float ->
+  ?deadband:float ->
+  unit ->
+  autoscale
 
 type tier = {
   tier_name : string;
@@ -77,6 +126,7 @@ type tier = {
   shared_bytes : int;
   file_bytes : int;  (** on-disk dataset size; 0 = no disk component *)
   resilience : resilience;
+  autoscale : autoscale option;  (** horizontal scaling policy; default off *)
 }
 
 val tier :
@@ -92,6 +142,7 @@ val tier :
   ?shared_bytes:int ->
   ?file_bytes:int ->
   ?resilience:resilience ->
+  ?autoscale:autoscale ->
   name:string ->
   handler:(Ditto_util.Rng.t -> int -> op list) ->
   unit ->
@@ -114,6 +165,12 @@ val with_resilience : resilience -> t -> t
 (** Deployment-level overlay: the same resilience knobs on every tier (used
     by [Pipeline.validate_under] so original and clone face failures with
     identical armour). *)
+
+val with_autoscale : autoscale -> t -> t
+(** Deployment-level overlay: the same scaling policy on every tier, so
+    original and clone scale out under identical rules. *)
+
+val has_autoscale : t -> bool
 
 val find_tier : t -> string -> tier
 val is_microservice : t -> bool

@@ -109,32 +109,49 @@ let validate ?pool ?config_of ~platform ~load ~label result =
 
 type chaos = {
   chaos_label : string;
-  plan : Ditto_fault.Plan.t;
+  plan : Ditto_fault.Plan.t option;
+  surge : Rate.t option;
   comparison : comparison;
   actual_service : Service.result;
   synthetic_service : Service.result;
 }
+
+let scenario_name ?plan ?surge () =
+  match (plan, surge) with
+  | Some (p : Ditto_fault.Plan.t), Some (r : Rate.t) ->
+      p.Ditto_fault.Plan.plan_name ^ "+" ^ r.Rate.profile_name
+  | Some p, None -> p.Ditto_fault.Plan.plan_name
+  | None, Some r -> r.Rate.profile_name
+  | None, None -> "steady"
 
 let error_rate (r : Service.result) =
   let total = r.Service.completed + r.Service.errors in
   if total = 0 then 0.0 else float_of_int r.Service.errors /. float_of_int total
 
 let validate_under ?pool ?(resilience = Spec.resilient ()) ?(client_timeout = 0.03)
-    ?(client_retries = 1) ?config_of ~platform ~load ~plan ~label result =
+    ?(client_retries = 1) ?autoscale ?config_of ~platform ~load ?plan ?profile ~label result =
   Obs.Span.with_span ~name:"pipeline.validate_under"
     ~attrs:
-      [ ("label", Obs.Str label); ("plan", Obs.Str plan.Ditto_fault.Plan.plan_name) ]
+      [ ("label", Obs.Str label); ("scenario", Obs.Str (scenario_name ?plan ?surge:profile ())) ]
   @@ fun () ->
   let pool = match pool with Some p -> p | None -> Ditto_util.Pool.default () in
   let base = match config_of with Some f -> f platform | None -> Runner.config platform in
-  let config = { base with Runner.fault_plan = Some plan } in
+  let config = { base with Runner.fault_plan = plan } in
   (* Both sides face the failure with identical armour: the same
-     deployment-level resilience overlay and the same client behaviour —
-     the comparison isolates the clone's fidelity, not its configuration. *)
+     deployment-level resilience overlay, scaling policy and client
+     behaviour — the comparison isolates the clone's fidelity, not its
+     configuration. A surge profile replaces the load's (if any), so the
+     same offered-rate shape hits original and clone. *)
   let load =
-    { load with Service.client_timeout = Some client_timeout; client_retries }
+    let profile =
+      match profile with Some _ -> profile | None -> load.Service.profile
+    in
+    { load with Service.client_timeout = Some client_timeout; client_retries; profile }
   in
-  let armour spec = Spec.with_resilience resilience spec in
+  let armour spec =
+    let spec = Spec.with_resilience resilience spec in
+    match autoscale with None -> spec | Some pol -> Spec.with_autoscale pol spec
+  in
   let actual_out, synth_out =
     Ditto_util.Pool.both pool
       (fun () -> Runner.run config ~load (armour result.original))
@@ -143,6 +160,7 @@ let validate_under ?pool ?(resilience = Spec.resilient ()) ?(client_timeout = 0.
   {
     chaos_label = label;
     plan;
+    surge = load.Service.profile;
     comparison = comparison_of_outputs ~label actual_out synth_out;
     actual_service = actual_out.Runner.service;
     synthetic_service = synth_out.Runner.service;

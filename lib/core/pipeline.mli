@@ -68,11 +68,16 @@ val comparison_errors : comparison -> (string * (string * float) list) list
 
 type chaos = {
   chaos_label : string;
-  plan : Ditto_fault.Plan.t;
+  plan : Ditto_fault.Plan.t option;  (** the fault schedule armed, if any *)
+  surge : Ditto_app.Rate.t option;  (** the rate profile driven, if any *)
   comparison : comparison;  (** degraded per-tier metrics, both sides *)
   actual_service : Ditto_app.Service.result;
   synthetic_service : Ditto_app.Service.result;
 }
+
+val scenario_name : ?plan:Ditto_fault.Plan.t -> ?surge:Ditto_app.Rate.t -> unit -> string
+(** ["<plan>+<profile>"], either half alone, or ["steady"] — the scenario
+    key used in scorecards and flat metric paths. *)
 
 val error_rate : Ditto_app.Service.result -> float
 (** Failed fraction of client requests: errors / (completed + errors). *)
@@ -82,17 +87,22 @@ val validate_under :
   ?resilience:Ditto_app.Spec.resilience ->
   ?client_timeout:float ->
   ?client_retries:int ->
+  ?autoscale:Ditto_app.Spec.autoscale ->
   ?config_of:(Ditto_uarch.Platform.t -> Ditto_app.Runner.config) ->
   platform:Ditto_uarch.Platform.t ->
   load:Ditto_app.Service.load ->
-  plan:Ditto_fault.Plan.t ->
+  ?plan:Ditto_fault.Plan.t ->
+  ?profile:Ditto_app.Rate.t ->
   label:string ->
   clone_result ->
   chaos
-(** {!validate}, but with [plan] armed against both runs and the same
-    resilience armour ([resilience], default [Spec.resilient ()]; client
-    deadline [client_timeout], default 30 ms, with [client_retries],
-    default 1) overlaid on every tier of original and clone alike — so the
-    comparison probes whether the clone degrades like the original, not
-    whether it is configured like it. Deterministic for a given seed and
-    plan, for any pool size. *)
+(** {!validate}, but under adversity: [plan] (a fault schedule), [profile]
+    (an open-loop surge, overriding the load's own), or both composed —
+    with the same resilience armour ([resilience], default
+    [Spec.resilient ()]; client deadline [client_timeout], default 30 ms,
+    with [client_retries], default 1) and, when given, the same
+    [autoscale] policy overlaid on every tier of original and clone alike
+    — so the comparison probes whether the clone degrades (and scales)
+    like the original, not whether it is configured like it.
+    Deterministic for a given seed, plan and profile, for any pool
+    size. *)

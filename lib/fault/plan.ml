@@ -31,13 +31,23 @@ let make ~name events =
   List.iter check_event events;
   { plan_name = name; events = List.stable_sort (fun a b -> compare a.at b.at) events }
 
-let validate ~tiers t =
+let validate ?duration ?(strict = false) ~tiers t =
   List.iter
     (fun e ->
       if e.tier <> client_tier && not (List.mem e.tier tiers) then
         invalid_arg
           (Printf.sprintf "Ditto_fault.Plan %S: unknown tier %S (known: %s)" t.plan_name e.tier
-             (String.concat ", " (client_tier :: tiers))))
+             (String.concat ", " (client_tier :: tiers)));
+      match duration with
+      | Some d when e.at >= d ->
+          let msg =
+            Printf.sprintf
+              "Ditto_fault.Plan %S: event on %S at %gs is at/past the %gs load duration and will \
+               never fire"
+              t.plan_name e.tier e.at d
+          in
+          if strict then invalid_arg msg else Printf.eprintf "warning: %s\n%!" msg
+      | _ -> ())
     t.events
 
 (* Canonical plans. The mid tier splits the graph; the leaf is the last tier

@@ -36,9 +36,11 @@ val make : name:string -> event list -> t
     negative time, factor < 1, drop outside [0,1], or non-positive
     duration. *)
 
-val validate : tiers:string list -> t -> unit
+val validate : ?duration:float -> ?strict:bool -> tiers:string list -> t -> unit
 (** Raises [Invalid_argument] naming the first event whose [tier] is neither
-    in [tiers] nor {!client_tier}. *)
+    in [tiers] nor {!client_tier}. With [duration], an event scheduled at or
+    past it (which can never fire) is reported: a warning on stderr by
+    default, [Invalid_argument] under [strict] (default false). *)
 
 (** {1 Canonical plans}
 

@@ -5,8 +5,9 @@ let tcpkali = { gen_name = "tcpkali"; open_loop = true; connections = 48 }
 let ycsb = { gen_name = "ycsb"; open_loop = false; connections = 32 }
 let wrk2_open = { gen_name = "wrk2-open"; open_loop = true; connections = 32 }
 
-let to_load t ~qps ?(duration = 2.0) () =
-  Ditto_app.Service.load ~connections:t.connections ~open_loop:t.open_loop ~duration ~qps ()
+let to_load t ~qps ?(duration = 2.0) ?profile () =
+  Ditto_app.Service.load ~connections:t.connections ~open_loop:t.open_loop ~duration ?profile ~qps
+    ()
 
 module Keys = struct
   type sampler = Uniform | Zipf of Ditto_util.Dist.zipf

@@ -25,7 +25,11 @@ val ycsb : t
 val wrk2_open : t
 (** wrk2 modified to open-loop, as the paper does for Social Network. *)
 
-val to_load : t -> qps:float -> ?duration:float -> unit -> Ditto_app.Service.load
+val to_load :
+  t -> qps:float -> ?duration:float -> ?profile:Ditto_app.Rate.t -> unit -> Ditto_app.Service.load
+(** [profile] shapes the offered rate over the run ({!Profile} has the
+    canonical ones); omitted, the load is the flat-rate process it always
+    was. *)
 
 (** {1 Key/record access helpers for application handlers} *)
 

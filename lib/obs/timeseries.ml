@@ -10,7 +10,7 @@ let disable () = Atomic.set enabled_flag false
 
 let client_tier = "client"
 
-type counter = Timeouts | Retries | Shed | Failures
+type counter = Timeouts | Retries | Shed | Failures | Degraded
 
 type row = {
   r_completed : int;
@@ -21,8 +21,10 @@ type row = {
   r_retries : int;
   r_shed : int;
   r_failures : int;
+  r_degraded : int;
   r_cpu_seconds : float;
   r_queue_depth : int;
+  r_replicas : int;
 }
 
 type series = {
@@ -34,8 +36,10 @@ type series = {
   retries : int array;
   shed : int array;
   failures : int array;
+  degraded : int array;
   cpu : float array;
   queue : int array;
+  replicas : int array;
   mutable rate_basis : float;  (* insts per request; 0. until set *)
 }
 
@@ -64,8 +68,10 @@ let create ?(windows = 24) ?(alpha = 0.01) ~start ~duration ~tiers () =
           retries = Array.make windows 0;
           shed = Array.make windows 0;
           failures = Array.make windows 0;
+          degraded = Array.make windows 0;
           cpu = Array.make windows 0.0;
           queue = Array.make windows 0;
+          replicas = Array.make windows 0;
           rate_basis = 0.0;
         })
     order;
@@ -124,7 +130,8 @@ let record_counter t ~tier ~at c =
       | Timeouts -> s.timeouts.(i) <- s.timeouts.(i) + 1
       | Retries -> s.retries.(i) <- s.retries.(i) + 1
       | Shed -> s.shed.(i) <- s.shed.(i) + 1
-      | Failures -> s.failures.(i) <- s.failures.(i) + 1)
+      | Failures -> s.failures.(i) <- s.failures.(i) + 1
+      | Degraded -> s.degraded.(i) <- s.degraded.(i) + 1)
 
 let record_cpu t ~tier ~at ~seconds =
   match window_index t at with
@@ -139,6 +146,17 @@ let record_queue t ~tier ~at ~depth =
   | Some i ->
       let s = series t tier in
       if depth > s.queue.(i) then s.queue.(i) <- depth
+
+(* Replica counts are a step function sampled by the autoscaler at each
+   scale event (and at arming time): record the max seen per window and
+   carry the last value forward at read time so quiet windows still show
+   the live count. *)
+let record_replicas t ~tier ~at ~count =
+  match window_index t at with
+  | None -> ()
+  | Some i ->
+      let s = series t tier in
+      if count > s.replicas.(i) then s.replicas.(i) <- count
 
 let mark t ~at ~label = t.marks_rev <- (at, label) :: t.marks_rev
 let set_rate_basis t ~tier ~insts_per_req = (series t tier).rate_basis <- insts_per_req
@@ -157,8 +175,12 @@ let row t ~tier i =
     r_retries = s.retries.(i);
     r_shed = s.shed.(i);
     r_failures = s.failures.(i);
+    r_degraded = s.degraded.(i);
     r_cpu_seconds = s.cpu.(i);
     r_queue_depth = s.queue.(i);
+    r_replicas =
+      (let rec back j = if j < 0 then 0 else if s.replicas.(j) > 0 then s.replicas.(j) else back (j - 1) in
+       back i);
   }
 
 (* --- OpenMetrics text exposition ------------------------------------- *)
@@ -225,9 +247,18 @@ let openmetrics groups =
          emit ~extra:[ ("kind", "timeout") ] (float_of_int r.r_timeouts);
          emit ~extra:[ ("kind", "retry") ] (float_of_int r.r_retries);
          emit ~extra:[ ("kind", "shed") ] (float_of_int r.r_shed);
-         emit ~extra:[ ("kind", "failure") ] (float_of_int r.r_failures)));
+         emit ~extra:[ ("kind", "failure") ] (float_of_int r.r_failures);
+         emit ~extra:[ ("kind", "degraded") ] (float_of_int r.r_degraded)));
   family "ditto_cpu_seconds" "gauge" "on-CPU seconds accumulated in the window"
     (simple (fun ~t:_ ~r ~emit -> emit r.r_cpu_seconds));
+  (* replica counts only exist under an autoscaling policy; suppress the
+     family entirely otherwise so pre-surge exports stay byte-identical *)
+  (if List.exists
+       (fun (_, t) -> List.exists (fun tier -> Array.exists (fun c -> c > 0) (series t tier).replicas) t.order)
+       groups
+   then
+     family "ditto_replicas" "gauge" "live replica count (autoscaler, carried forward per window)"
+       (simple (fun ~t:_ ~r ~emit -> emit (float_of_int r.r_replicas))));
   family "ditto_insts_per_sec" "gauge"
     "rate-form instruction counter: measured insts/request x windowed throughput"
     (fun ~name:_ ~labels:_ ~t ~tier ~i ~ts:_ ~emit ->

@@ -29,7 +29,7 @@ val client_tier : string
 
 type t
 
-type counter = Timeouts | Retries | Shed | Failures
+type counter = Timeouts | Retries | Shed | Failures | Degraded
 
 type row = {
   r_completed : int;
@@ -40,8 +40,13 @@ type row = {
   r_retries : int;
   r_shed : int;
   r_failures : int;
+  r_degraded : int;  (** requests served in degraded mode *)
   r_cpu_seconds : float;
   r_queue_depth : int;  (** max depth sampled in the window; [0] if never sampled *)
+  r_replicas : int;
+      (** live replica count: max recorded in the window, carried forward
+          from earlier windows when the autoscaler was quiet; [0] when the
+          tier never recorded one (no autoscaling) *)
 }
 
 val create :
@@ -62,9 +67,15 @@ val record_cpu : t -> tier:string -> at:float -> seconds:float -> unit
 val record_queue : t -> tier:string -> at:float -> depth:int -> unit
 (** Keeps the max depth seen in the window. *)
 
+val record_replicas : t -> tier:string -> at:float -> count:int -> unit
+(** Autoscaler hook: the tier's live replica count after a scale event.
+    Keeps the max per window; reads carry the last value forward. *)
+
 val mark : t -> at:float -> label:string -> unit
-(** Timeline event marker (fault injections). Kept even when [at] falls
-    outside the windowed interval. *)
+(** Timeline event marker (fault injections, profile spikes, scale
+    events — the latter prefixed ["scale:"] so transient-fidelity scoring
+    can tell them from faults). Kept even when [at] falls outside the
+    windowed interval. *)
 
 val set_rate_basis : t -> tier:string -> insts_per_req:float -> unit
 (** Post-run: measured instructions per request for the tier, letting

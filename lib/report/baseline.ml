@@ -39,6 +39,14 @@ let default_tolerances =
     ("share_err_pp", 3.0);
     ("worst_share_err_pp", 4.0);
     ("mean_share_err_pp", 2.0);
+    (* surge keys: overload behaviour rides on when queues tip over, so a
+       one-window shift moves the shed-rate and trajectory cells by whole
+       windows; onset error is absolute seconds (~4 windows of a default
+       0.6 s run) *)
+    ("shed_fraction_err_pp", 5.0);
+    ("worst_shed_window_err_pp", 15.0);
+    ("replica_traj_err_pp", 20.0);
+    ("saturation_onset_err_s", 0.1);
     (* wall-clock budgets (absolute seconds of slack over the pinned
        value, not percentage points): per-experiment stage budget, with a
        wider gate on the whole-bench total since its noise is the sum of
@@ -99,6 +107,10 @@ let flatten json =
     obj_entries (J.member "critpath" json)
     |> List.map (fun (key, v) -> ("critpath/" ^ key, J.to_float v))
   in
+  let surge =
+    obj_entries (J.member "surge" json)
+    |> List.map (fun (key, v) -> ("surge/" ^ key, J.to_float v))
+  in
   (* Wall-clock budgets: per-experiment stage seconds plus the bench
      total, so `bench --check` gates performance regressions alongside
      fidelity ones. The keys end in "wall_seconds" to pick up the
@@ -118,7 +130,7 @@ let flatten json =
     | J.Num s -> per_experiment @ [ ("experiments/total/wall_seconds", s) ]
     | _ -> per_experiment
   in
-  errors @ scorecards @ chaos @ timeline @ critpath @ wall
+  errors @ scorecards @ chaos @ timeline @ critpath @ surge @ wall
 
 let make ?(tolerance_pp = default_tolerances) metrics = { tolerance_pp; metrics }
 

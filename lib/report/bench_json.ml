@@ -1,6 +1,6 @@
 module J = Ditto_util.Jsonx
 
-let schema_version = 8
+let schema_version = 9
 
 (* Per-experiment scheduling telemetry (v5): how long the stage took, how
    many domains the pool offered it, and what fraction of (domains x wall)
@@ -20,7 +20,10 @@ type experiment = {
    reconverge_seconds}). v8 adds the flat critical-path divergence keys
    from the request-tracing layer
    (critpath/<app>/<plan>/<tier>/<segment>/share_err_pp plus per-app
-   worst/mean summaries). *)
+   worst/mean summaries). v9 adds the flat overload-fidelity keys from
+   surge runs (surge/<app>/<profile>/{worst_window_err_pct,
+   mean_window_err_pct,reconverge_seconds,shed_fraction_err_pp,
+   worst_shed_window_err_pp,replica_traj_err_pp,saturation_onset_err_s}). *)
 type input = {
   domains : int;
   total_seconds : float;
@@ -33,6 +36,7 @@ type input = {
   chaos : (string * float) list;
   timeline : (string * float) list;
   critpath : (string * float) list;
+  surge : (string * float) list;
   peak_heap_events : int;
   tier_counts : (string * int) list;
 }
@@ -67,6 +71,7 @@ let assemble i =
       ("chaos", num_obj i.chaos);
       ("timeline", num_obj i.timeline);
       ("critpath", num_obj i.critpath);
+      ("surge", num_obj i.surge);
       ("engine", J.Obj [ ("peak_heap_events", J.int i.peak_heap_events) ]);
       ("tier_counts", J.Obj (List.map (fun (k, v) -> (k, J.int v)) i.tier_counts));
     ]
@@ -151,6 +156,7 @@ let validate json =
   let* () = field path json "chaos" (obj_of num) in
   let* () = field path json "timeline" (obj_of num) in
   let* () = field path json "critpath" (obj_of num) in
+  let* () = field path json "surge" (obj_of num) in
   let* () =
     field path json "engine" (fun path v -> field path v "peak_heap_events" num)
   in

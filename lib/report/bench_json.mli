@@ -13,12 +13,15 @@
     adds the flat ["critpath"] section (critical-path divergence metrics
     from the request-tracing layer, keyed
     ["<app>/<plan>/<tier>/<segment>/share_err_pp"] plus per-app
-    [worst_share_err_pp]/[mean_share_err_pp] summaries).
+    [worst_share_err_pp]/[mean_share_err_pp] summaries); version 9 adds
+    the flat ["surge"] section (overload-fidelity metrics from
+    profile-driven runs, keyed ["<app>/<profile>/<metric>"],
+    {!Surge.flat}).
     {!validate} is the shape check the test suite and downstream tooling
     run against emitted files, so schema drift fails loudly instead of
     silently. *)
 
-val schema_version : int  (** 8 *)
+val schema_version : int  (** 9 *)
 
 type experiment = {
   exp_name : string;
@@ -48,6 +51,9 @@ type input = {
   critpath : (string * float) list;
       (** "<app>/<plan>/..." -> value ({!Critpath.flat}), from
           [bench critpath]; empty when that experiment did not run *)
+  surge : (string * float) list;
+      (** "<app>/<profile>/<metric>" -> value ({!Surge.flat}), from
+          [bench surge]; empty when that experiment did not run *)
   peak_heap_events : int;
       (** {!Ditto_sim.Engine.global_peak_heap_events} at document time *)
   tier_counts : (string * int) list;  (** app -> tiers in the original spec *)

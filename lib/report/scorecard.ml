@@ -149,6 +149,7 @@ let of_chaos ?(target_pct = 5.0) ~app ?tuning (ch : Pipeline.chaos) =
                 ("timeouts", a_obs.Service.obs_timeouts, s_obs.Service.obs_timeouts);
                 ("retries", a_obs.Service.obs_retries, s_obs.Service.obs_retries);
                 ("shed", a_obs.Service.obs_shed, s_obs.Service.obs_shed);
+                ("degraded", a_obs.Service.obs_degraded, s_obs.Service.obs_degraded);
                 ("failures", a_obs.Service.obs_failures, s_obs.Service.obs_failures);
                 ( "breaker_transitions",
                   a_obs.Service.obs_breaker_transitions,
@@ -163,7 +164,7 @@ let of_chaos ?(target_pct = 5.0) ~app ?tuning (ch : Pipeline.chaos) =
     failure =
       Some
         {
-          fail_plan = ch.Pipeline.plan.Ditto_fault.Plan.plan_name;
+          fail_plan = Pipeline.scenario_name ?plan:ch.Pipeline.plan ?surge:ch.Pipeline.surge ();
           failure_rows = app_rows @ tier_rows;
         };
   }

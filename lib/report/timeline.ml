@@ -70,7 +70,11 @@ let of_timelines ~app ?plan ?(threshold_pct = 25.0) ~actual ~clone () =
     if errs = [] then 0.0 else List.fold_left ( +. ) 0.0 errs /. float_of_int (List.length errs)
   in
   let marks =
+    (* "scale:" marks record autoscaler actuations — responses, not
+       disturbances — so they never open a reconvergence measurement.
+       Fault marks and "surge:" (flash-crowd onset) marks do. *)
     Ts.marks actual
+    |> List.filter (fun (_, label) -> not (String.length label >= 6 && String.sub label 0 6 = "scale:"))
     |> List.map (fun (at, label) -> (at -. Ts.start_time actual, label))
     |> List.sort compare
   in

@@ -9,6 +9,15 @@ let normal rng ~mean ~std =
 
 let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
 
+let geometric rng ~mean =
+  if mean <= 1.0 then 1
+  else
+    (* support {1, 2, ...}: P(k) = p (1-p)^(k-1) with p = 1/mean, sampled
+       by inverting the CDF so one uniform draw yields one batch size *)
+    let p = 1.0 /. mean in
+    let u = 1.0 -. Rng.float rng 1.0 in
+    1 + int_of_float (log u /. log (1.0 -. p))
+
 let pareto rng ~scale ~shape =
   assert (shape > 0.0);
   let u = 1.0 -. Rng.float rng 1.0 in

@@ -56,6 +56,32 @@ let test_plan_validation () =
   | exception Invalid_argument msg ->
       Alcotest.(check bool) "names the tier" true (contains msg "b")
 
+let test_plan_late_events () =
+  (* An event at/past the load duration can never fire. The default is a
+     stderr warning (validate still returns unit); under [~strict:true]
+     the same plan is rejected with a message naming the plan, the tier
+     and both times. *)
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let late = Plan.make ~name:"late" [ crash ~at:0.1 "a"; crash ~at:0.6 "b" ] in
+  (* without a duration nothing is late *)
+  Plan.validate ~tiers:[ "a"; "b" ] late;
+  Plan.validate ~strict:true ~tiers:[ "a"; "b" ] late;
+  (* warn-only: still unit *)
+  Plan.validate ~duration:0.5 ~tiers:[ "a"; "b" ] late;
+  (* exactly at the duration boundary is late (the run has already ended) *)
+  (match Plan.validate ~duration:0.6 ~strict:true ~tiers:[ "a"; "b" ] late with
+  | () -> Alcotest.fail "event at t = duration accepted under strict"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the plan" true (contains msg "late");
+      Alcotest.(check bool) "names the tier" true (contains msg "b");
+      Alcotest.(check bool) "says never fire" true (contains msg "never fire"));
+  (* strictly inside the window passes even under strict *)
+  Plan.validate ~duration:0.61 ~strict:true ~tiers:[ "a"; "b" ] late
+
 let all_kinds_plan =
   Plan.make ~name:"everything"
     [
@@ -170,6 +196,60 @@ let test_breaker_probe_failure_reopens () =
   (* the cooldown restarts from the re-open *)
   Alcotest.(check bool) "cooldown restarted" false (Breaker.allow b ~now:2.0);
   Alcotest.(check bool) "probing again later" true (Breaker.allow b ~now:2.7)
+
+let test_breaker_probe_budget_exhaustion () =
+  (* Once the half-open probe budget is spent, no amount of elapsed time
+     re-admits traffic: only a recorded outcome moves the state machine.
+     The cooldown clock governs Open -> Half_open, not Half_open itself. *)
+  let b = Breaker.create ~config:breaker_config () in
+  for _ = 1 to 4 do
+    Breaker.record b ~now:0.0 ~ok:false
+  done;
+  Alcotest.(check bool) "probe 1 admitted" true (Breaker.allow b ~now:1.0);
+  Alcotest.(check bool) "probe 2 admitted" true (Breaker.allow b ~now:1.0);
+  Alcotest.(check bool) "budget spent" false (Breaker.allow b ~now:1.0);
+  (* far past another cooldown interval: still half-open, still refusing *)
+  Alcotest.(check bool) "time does not refill the budget" false (Breaker.allow b ~now:100.0);
+  check_state "stuck half-open until probes resolve" Breaker.Half_open b;
+  (* one success is not enough to close, and does NOT refill the budget *)
+  Breaker.record b ~now:100.1 ~ok:true;
+  check_state "one of two probes back" Breaker.Half_open b;
+  Alcotest.(check bool) "still no extra admissions" false (Breaker.allow b ~now:100.2);
+  (* the second success closes it and traffic flows freely again *)
+  Breaker.record b ~now:100.3 ~ok:true;
+  check_state "second probe closes" Breaker.Closed b;
+  Alcotest.(check bool) "closed admits everything" true (Breaker.allow b ~now:100.4)
+
+let test_breaker_reopen_race () =
+  (* Two probes in flight; the first comes back a failure and re-opens
+     the breaker. The second probe's success then arrives late — it must
+     be dropped on the floor: no state change, no transition count, and
+     no corruption of the fresh cooldown window. *)
+  let b = Breaker.create ~config:breaker_config () in
+  for _ = 1 to 4 do
+    Breaker.record b ~now:0.0 ~ok:false
+  done;
+  Alcotest.(check bool) "probe A admitted" true (Breaker.allow b ~now:1.0);
+  Alcotest.(check bool) "probe B admitted" true (Breaker.allow b ~now:1.0);
+  Breaker.record b ~now:1.1 ~ok:false;
+  check_state "probe A failure re-opens" Breaker.Open b;
+  let transitions_after_reopen = Breaker.transitions b in
+  (* probe B's success lands after the re-open: ignored *)
+  Breaker.record b ~now:1.2 ~ok:true;
+  check_state "late success ignored while open" Breaker.Open b;
+  Alcotest.(check int) "no transition from the stale probe" transitions_after_reopen
+    (Breaker.transitions b);
+  (* the new cooldown runs from the re-open (1.1), not the stale record *)
+  Alcotest.(check bool) "cooldown from re-open holds" false (Breaker.allow b ~now:2.05);
+  Alcotest.(check bool) "probing resumes after it" true (Breaker.allow b ~now:2.15);
+  check_state "half-open again" Breaker.Half_open b;
+  (* and a full clean probe round still closes it: the stale success did
+     not pre-count toward the fresh probe quorum *)
+  Alcotest.(check bool) "second probe of the new round" true (Breaker.allow b ~now:2.2);
+  Breaker.record b ~now:2.3 ~ok:true;
+  check_state "one fresh success is not quorum" Breaker.Half_open b;
+  Breaker.record b ~now:2.4 ~ok:true;
+  check_state "fresh quorum closes" Breaker.Closed b
 
 let test_breaker_bad_config_rejected () =
   let bad msg config =
@@ -414,6 +494,7 @@ let () =
       ( "plan",
         [
           Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "late events warn or reject" `Quick test_plan_late_events;
           Alcotest.test_case "json roundtrip" `Quick test_plan_json_roundtrip;
           Alcotest.test_case "canonical plans" `Quick test_plan_canonical;
         ] );
@@ -422,6 +503,8 @@ let () =
           Alcotest.test_case "trips at threshold" `Quick test_breaker_trips_at_threshold;
           Alcotest.test_case "open/half-open cycle" `Quick test_breaker_open_half_open_cycle;
           Alcotest.test_case "probe failure reopens" `Quick test_breaker_probe_failure_reopens;
+          Alcotest.test_case "probe budget exhaustion" `Quick test_breaker_probe_budget_exhaustion;
+          Alcotest.test_case "re-open race" `Quick test_breaker_reopen_race;
           Alcotest.test_case "bad config rejected" `Quick test_breaker_bad_config_rejected;
         ] );
       ( "injection",

@@ -347,6 +347,36 @@ let test_reqtrace_invariance () =
   Alcotest.(check bool) "sampled span trees bit-identical across pool sizes" true
     (jaeger_of v1 = jaeger_of v4)
 
+(* A constant rate profile must be a true no-op: the arrival loop takes
+   the pre-profile code path, so a profile-carrying load agrees
+   bit-for-bit with the profile-free baseline ([seq_parallel]) and across
+   pool sizes. *)
+let constant_profile_clone_with pool =
+  let app = Ditto_apps.Redis.spec () in
+  let load =
+    Service.load ~qps:20000.0 ~open_loop:false ~duration:0.3 ~profile:Rate.constant ()
+  in
+  let r =
+    Pipeline.clone ~pool ~requests:60 ~profile_requests:40 ~seed:7 ~platform:Platform.a ~load
+      app
+  in
+  (r, Pipeline.validate ~pool ~platform:Platform.a ~load ~label:"det" r)
+
+let test_constant_profile_invariance () =
+  let (_, v_off), _ = Lazy.force seq_parallel in
+  let _, v1 = with_pool 1 constant_profile_clone_with in
+  let _, v4 = with_pool 4 constant_profile_clone_with in
+  Alcotest.(check bool) "constant profile matches profile-free baseline" true
+    (v1.Pipeline.actual = v_off.Pipeline.actual
+    && v1.Pipeline.synthetic = v_off.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v_off.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v_off.Pipeline.synthetic_end_to_end);
+  Alcotest.(check bool) "constant profile identical across pool sizes" true
+    (v1.Pipeline.actual = v4.Pipeline.actual
+    && v1.Pipeline.synthetic = v4.Pipeline.synthetic
+    && v1.Pipeline.actual_end_to_end = v4.Pipeline.actual_end_to_end
+    && v1.Pipeline.synthetic_end_to_end = v4.Pipeline.synthetic_end_to_end)
+
 let test_speculation_reported () =
   let (r1, _), _ = Lazy.force seq_parallel in
   match r1.Pipeline.tuning with
@@ -391,6 +421,8 @@ let () =
           Alcotest.test_case "synth graph across pool sizes" `Slow test_synth_determinism;
           Alcotest.test_case "telemetry on/off x pool sizes" `Slow test_telemetry_invariance;
           Alcotest.test_case "reqtrace on/off x pool sizes" `Slow test_reqtrace_invariance;
+          Alcotest.test_case "constant profile x pool sizes" `Slow
+            test_constant_profile_invariance;
           Alcotest.test_case "speculation reported" `Quick test_speculation_reported;
         ] );
     ]

@@ -236,6 +236,7 @@ let sample_doc () =
       chaos = [ ("redis/kill-mid-tier/error_rate_pp", 1.2) ];
       timeline = [ ("redis/kill-mid-tier/worst_window_err_pct", 3.0) ];
       critpath = [ ("redis/steady/redis/service/share_err_pp", 1.1) ];
+      surge = [ ("redis/flash-crowd/shed_fraction_err_pp", 0.7) ];
       peak_heap_events = 4096;
       tier_counts = [ ("redis", 1) ];
     }

@@ -107,6 +107,52 @@ let test_histogram_edges () =
     (Invalid_argument "Histogram.merge: alpha mismatch") (fun () ->
       ignore (Histogram.merge h (Histogram.create ~alpha:0.02 ())))
 
+let test_histogram_empty_merge () =
+  (* Pins for the degenerate merges the windowed scorecards lean on: a
+     window with no samples merges as a true identity element, and
+     quantiles of a zero-count sketch are 0 at every rank, not NaN or an
+     exception. *)
+  let empty () = Histogram.create () in
+  let e = Histogram.merge (empty ()) (empty ()) in
+  Alcotest.(check int) "empty+empty count" 0 (Histogram.count e);
+  Alcotest.(check int) "empty+empty zero bucket" 0 (Histogram.zero_count e);
+  Alcotest.(check bool) "empty+empty buckets" true (Histogram.buckets e = []);
+  Alcotest.(check (float 0.0)) "empty+empty min" 0.0 (Histogram.min_value e);
+  Alcotest.(check (float 0.0)) "empty+empty max" 0.0 (Histogram.max_value e);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "zero-count quantile q=%g" q)
+        0.0 (Histogram.quantile e q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* empty is an identity on either side: merging it in changes nothing *)
+  let h = Histogram.create () in
+  Array.iter (Histogram.add h) (mixed_samples ~seed:11 500);
+  let le = Histogram.merge (empty ()) h and re = Histogram.merge h (empty ()) in
+  List.iter
+    (fun (side, m) ->
+      Alcotest.(check int) (side ^ " count") (Histogram.count h) (Histogram.count m);
+      Alcotest.(check bool) (side ^ " buckets") true (Histogram.buckets h = Histogram.buckets m);
+      Alcotest.(check (float 0.0)) (side ^ " min") (Histogram.min_value h) (Histogram.min_value m);
+      Alcotest.(check (float 0.0)) (side ^ " max") (Histogram.max_value h) (Histogram.max_value m);
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s quantile q=%g bit-equal" side q)
+            (Histogram.quantile h q) (Histogram.quantile m q))
+        [ 0.0; 0.5; 0.95; 0.99; 1.0 ])
+    [ ("empty<-h", le); ("h<-empty", re) ];
+  (* a sketch holding only zero-bucket samples still reports 0 everywhere
+     after a merge, and keeps its exact (negative) min *)
+  let z = Histogram.create () in
+  Histogram.add z 0.0;
+  Histogram.add z (-1.0);
+  let zm = Histogram.merge z (empty ()) in
+  Alcotest.(check int) "zero-only count survives merge" 2 (Histogram.count zm);
+  Alcotest.(check int) "zero-only zero bucket" 2 (Histogram.zero_count zm);
+  Alcotest.(check (float 0.0)) "zero-only p100" 0.0 (Histogram.quantile zm 1.0);
+  Alcotest.(check (float 0.0)) "zero-only exact min" (-1.0) (Histogram.min_value zm)
+
 (* {1 Timeseries windowing} *)
 
 let test_windowing () =
@@ -328,6 +374,8 @@ let () =
           Alcotest.test_case "merge associative and bit-stable" `Quick test_merge_associative;
           Alcotest.test_case "monotone p50<=p95<=p99" `Quick test_monotone_quantiles;
           Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          Alcotest.test_case "empty merge and zero-count quantiles" `Quick
+            test_histogram_empty_merge;
         ] );
       ( "timeseries",
         [
